@@ -1,0 +1,58 @@
+//! Wire-codec throughput: encode/decode cost of the messages the phone and
+//! server exchange, binary vs text.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enviro_data::Timestamp;
+use enviro_geo::Point;
+use enviro_net::{
+    BinaryCodec, Request, Response, TextCodec, WireCodec, WireCover,
+};
+use enviro_meter::LinearModel;
+use std::hint::black_box;
+
+fn sample_cover(regions: usize) -> WireCover {
+    WireCover {
+        valid_until: Timestamp::from_secs(14_400),
+        regions: (0..regions)
+            .map(|i| enviro_net::WireRegion {
+                centroid: Point::new(i as f64 * 100.0, -(i as f64) * 50.0),
+                model: enviro_net::protocol::WireModel::Linear(
+                    [i as f64; LinearModel::COEFFICIENT_COUNT],
+                ),
+            })
+            .collect(),
+    }
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let query = Request::Query {
+        time: Timestamp::from_secs(12_345),
+        pos: Point::new(123.456, -654.321),
+    };
+    let cover = Response::Cover(sample_cover(16));
+
+    let mut group = c.benchmark_group("codec");
+    for (name, codec) in [
+        ("binary", &BinaryCodec as &dyn WireCodec),
+        ("text", &TextCodec as &dyn WireCodec),
+    ] {
+        group.bench_with_input(BenchmarkId::new("encode_query", name), &name, |b, _| {
+            b.iter(|| black_box(codec.encode_request(black_box(&query))));
+        });
+        let query_bytes = codec.encode_request(&query);
+        group.bench_with_input(BenchmarkId::new("decode_query", name), &name, |b, _| {
+            b.iter(|| black_box(codec.decode_request(black_box(&query_bytes)).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("encode_cover16", name), &name, |b, _| {
+            b.iter(|| black_box(codec.encode_response(black_box(&cover))));
+        });
+        let cover_bytes = codec.encode_response(&cover);
+        group.bench_with_input(BenchmarkId::new("decode_cover16", name), &name, |b, _| {
+            b.iter(|| black_box(codec.decode_response(black_box(&cover_bytes)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

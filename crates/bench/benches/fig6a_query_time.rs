@@ -1,0 +1,45 @@
+//! Criterion bench for Figure 6(a): per-query latency of the four methods
+//! at the sweep's endpoints (H = 40 and H = 240).
+//!
+//! The `figures` binary reports the full-workload elapsed time (the paper's
+//! y-axis); this bench gives statistically robust per-query latencies for
+//! regression tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enviro_bench::fig6a::engine_for_h;
+use enviro_bench::workload::{build, Scale};
+use enviro_meter::QueryMethod;
+use std::hint::black_box;
+
+fn bench_query_time(c: &mut Criterion) {
+    let workload = build(Scale::Quick, 0);
+    let mut group = c.benchmark_group("fig6a_query");
+    for h in [40usize, 240] {
+        let engine = engine_for_h(&workload, h);
+        for method in [
+            QueryMethod::ModelCover,
+            QueryMethod::VpTree,
+            QueryMethod::RTree,
+            QueryMethod::Naive,
+        ] {
+            engine.prepare(method);
+            let queries = &workload.queries;
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), h),
+                &h,
+                |b, _| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let q = &queries[i % queries.len()];
+                        i += 1;
+                        black_box(engine.query(black_box(q), method))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_time);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for Figure 7(b): end-to-end session cost (CPU side) of
+//! the baseline vs model-cache clients.
+//!
+//! The virtual-clock *time* factor is reported by the `figures` binary;
+//! here we track the real compute cost of running a 100-tuple session —
+//! encode/decode, server processing, cache lookups — which must stay
+//! negligible next to the simulated network times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enviro_bench::workload::{Scale, RADIUS_M};
+use enviro_data::WindowSpec;
+use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+use enviro_net::{
+    BaselineClient, BinaryCodec, EnviroServer, LinkProfile, ModelCacheClient,
+    SimulatedLink,
+};
+use std::hint::black_box;
+
+fn bench_sessions(c: &mut Criterion) {
+    let sim = enviro_data::LausanneSim::lausanne(Scale::Quick.sim_config(0));
+    let dataset = sim.generate();
+    let platform = EnviroMeter::new(
+        dataset,
+        WindowSpec::ByDuration(4 * 3_600),
+        AdKmnConfig::default(),
+        RADIUS_M,
+    );
+    let server = EnviroServer::new(platform, BinaryCodec, QueryMethod::ModelCover);
+    let trajectory = sim.continuous_trajectory(100, 60, 1);
+    // Warm the cover cache so the bench isolates steady-state cost.
+    let mut warm_link = SimulatedLink::new(LinkProfile::IDEAL);
+    BaselineClient::new(BinaryCodec).run(&server, &trajectory, &mut warm_link);
+
+    let mut group = c.benchmark_group("fig7b_session");
+    group.bench_function("baseline_100_tuples", |b| {
+        b.iter(|| {
+            let mut link = SimulatedLink::new(LinkProfile::GPRS);
+            let stats =
+                BaselineClient::new(BinaryCodec).run(&server, &trajectory, &mut link);
+            black_box(stats.usage.sent_bytes)
+        });
+    });
+    group.bench_function("model_cache_100_tuples", |b| {
+        b.iter(|| {
+            let mut link = SimulatedLink::new(LinkProfile::GPRS);
+            let mut client = ModelCacheClient::new(BinaryCodec);
+            let stats = client.run(&server, &trajectory, &mut link);
+            black_box(stats.usage.sent_bytes)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

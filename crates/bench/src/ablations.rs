@@ -1,0 +1,600 @@
+//! Ablations of the design choices the paper leaves implicit (DESIGN.md §4).
+
+use crate::fig7b;
+use crate::workload::{Workload, RADIUS_M};
+use enviro_data::{Pollutant, WindowSpec, Windows};
+use enviro_meter::{
+    AccuracyReport, AdKmn, AdKmnConfig, QueryEngine, QueryMethod, SplitStrategy,
+};
+use enviro_net::{BinaryCodec, LinkProfile, TextCodec};
+use std::time::Instant;
+
+/// One row of the `abl-k0` sweep: initial cluster count vs outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct K0Row {
+    /// Initial k.
+    pub k0: usize,
+    /// Final number of models.
+    pub models: usize,
+    /// Split rounds performed.
+    pub rounds: usize,
+    /// Worst per-region training error (%).
+    pub worst_error: f64,
+    /// Build time in seconds.
+    pub build_secs: f64,
+}
+
+/// abl-k0: how does the initial k affect Ad-KMN's result on one window?
+///
+/// Run with τ_n = 1 % — tight enough that the adaptive loop actually has
+/// to split (at the default 2 % the initial clustering already passes and
+/// every strategy degenerates to plain k-means).
+pub fn k0_sweep(workload: &Workload, h: usize, k0_values: &[usize]) -> Vec<K0Row> {
+    let window = Windows::new(&workload.dataset, WindowSpec::ByCount(h))
+        .next()
+        .expect("non-empty dataset");
+    k0_values
+        .iter()
+        .map(|&k0| {
+            let adkmn = AdKmn::new(AdKmnConfig {
+                initial_k: k0,
+                tau_percent: 1.0,
+                ..AdKmnConfig::default()
+            });
+            let start = Instant::now();
+            let result = adkmn.run(window.tuples, Pollutant::Co2);
+            K0Row {
+                k0,
+                models: result.model_count(),
+                rounds: result.rounds,
+                worst_error: result.worst_error_percent(),
+                build_secs: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the `abl-split` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitRow {
+    /// The strategy.
+    pub strategy: SplitStrategy,
+    /// Final number of models.
+    pub models: usize,
+    /// Split rounds performed.
+    pub rounds: usize,
+    /// Worst per-region training error (%).
+    pub worst_error: f64,
+}
+
+/// abl-split: does the worst-error seed (the paper's choice) beat random
+/// seeds or centroid jitter?
+pub fn split_sweep(workload: &Workload, h: usize) -> Vec<SplitRow> {
+    let window = Windows::new(&workload.dataset, WindowSpec::ByCount(h))
+        .next()
+        .expect("non-empty dataset");
+    [
+        SplitStrategy::WorstErrorPoint,
+        SplitStrategy::RandomPoint,
+        SplitStrategy::CentroidJitter,
+    ]
+    .iter()
+    .map(|&strategy| {
+        let adkmn = AdKmn::new(AdKmnConfig {
+            split: strategy,
+            tau_percent: 1.0, // see k0_sweep: force the adaptive loop to act
+            ..AdKmnConfig::default()
+        });
+        let result = adkmn.run(window.tuples, Pollutant::Co2);
+        SplitRow {
+            strategy,
+            models: result.model_count(),
+            rounds: result.rounds,
+            worst_error: result.worst_error_percent(),
+        }
+    })
+    .collect()
+}
+
+/// One row of the `abl-tau` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TauRow {
+    /// The threshold τ_n in percent.
+    pub tau: f64,
+    /// Mean models per window.
+    pub mean_models: f64,
+    /// Model-cover accuracy over the workload.
+    pub report: AccuracyReport,
+}
+
+/// abl-tau: the model-count / accuracy trade-off as τ_n varies.
+pub fn tau_sweep(workload: &Workload, h: usize, taus: &[f64]) -> Vec<TauRow> {
+    taus.iter()
+        .map(|&tau| {
+            let engine = QueryEngine::new(
+                workload.dataset.clone(),
+                WindowSpec::ByCount(h),
+                AdKmnConfig {
+                    tau_percent: tau,
+                    ..AdKmnConfig::default()
+                },
+                RADIUS_M,
+            );
+            engine.prepare(QueryMethod::ModelCover);
+            let total_models: usize = (0..engine.window_count())
+                .map(|i| engine.cover(i).len())
+                .sum();
+            let report =
+                AccuracyReport::from_predictions(workload.accuracy_queries.iter().map(|q| {
+                    (
+                        engine.query(q, QueryMethod::ModelCover),
+                        workload.sim.true_value(q.time, &q.pos),
+                    )
+                }));
+            TauRow {
+                tau,
+                mean_models: total_models as f64 / engine.window_count().max(1) as f64,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// One row of the `abl-codec` comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecRow {
+    /// Codec name.
+    pub codec: &'static str,
+    /// The fig7b comparison under that codec.
+    pub comparison: fig7b::Comparison,
+}
+
+/// abl-codec: rerun Figure 7(b) with the verbose text codec.
+pub fn codec_sweep(seed: u64) -> Vec<CodecRow> {
+    vec![
+        CodecRow {
+            codec: "binary",
+            comparison: fig7b::run_with(BinaryCodec, LinkProfile::GPRS, seed),
+        },
+        CodecRow {
+            codec: "text",
+            comparison: fig7b::run_with(TextCodec, LinkProfile::GPRS, seed),
+        },
+    ]
+}
+
+/// One row of the `abl-radius` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadiusRow {
+    /// Query radius in meters.
+    pub radius: f64,
+    /// Naïve-method accuracy at that radius.
+    pub report: AccuracyReport,
+    /// Naïve-method time for the workload, seconds.
+    pub elapsed_secs: f64,
+}
+
+/// abl-radius: how the raw-data methods trade coverage, accuracy and time
+/// as `r` varies (the paper fixes r = 1 km without discussion).
+pub fn radius_sweep(workload: &Workload, h: usize, radii: &[f64]) -> Vec<RadiusRow> {
+    radii
+        .iter()
+        .map(|&radius| {
+            let engine = QueryEngine::new(
+                workload.dataset.clone(),
+                WindowSpec::ByCount(h),
+                AdKmnConfig::default(),
+                radius,
+            );
+            let start = Instant::now();
+            let report = AccuracyReport::from_predictions(workload.queries.iter().map(|q| {
+                (
+                    engine.query(q, QueryMethod::Naive),
+                    workload.sim.true_value(q.time, &q.pos),
+                )
+            }));
+            RadiusRow {
+                radius,
+                report,
+                elapsed_secs: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the `abl-spread` sweep: accuracy vs lateral query distance
+/// from the corridors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpreadRow {
+    /// Lateral spread of query positions, meters.
+    pub spread: f64,
+    /// Model-cover accuracy.
+    pub cover: AccuracyReport,
+    /// Naive-method accuracy.
+    pub naive: AccuracyReport,
+}
+
+/// abl-spread: both methods learn from on-track data only; how fast does
+/// accuracy degrade as queries move away from the corridors? (This is the
+/// question the paper's on-track NRMSE cannot answer.)
+pub fn spread_sweep(workload: &Workload, h: usize, spreads: &[f64]) -> Vec<SpreadRow> {
+    let engine = QueryEngine::new(
+        workload.dataset.clone(),
+        WindowSpec::ByCount(h),
+        AdKmnConfig::default(),
+        RADIUS_M,
+    );
+    engine.prepare(QueryMethod::ModelCover);
+    spreads
+        .iter()
+        .map(|&spread| {
+            let queries = workload
+                .sim
+                .query_workload(workload.accuracy_queries.len(), spread, 0x5BEAD);
+            let eval = |method: QueryMethod| {
+                AccuracyReport::from_predictions(queries.iter().map(|q| {
+                    (
+                        engine.query(q, method),
+                        workload.sim.true_value(q.time, &q.pos),
+                    )
+                }))
+            };
+            SpreadRow {
+                spread,
+                cover: eval(QueryMethod::ModelCover),
+                naive: eval(QueryMethod::Naive),
+            }
+        })
+        .collect()
+}
+
+/// One row of the `abl-interval` sweep: the Android app's settings screen
+/// exposes "the interval for the position updates"; this quantifies what
+/// that knob costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalRow {
+    /// Position-update interval, seconds.
+    pub interval_secs: i64,
+    /// The fig7b comparison at that interval (same 100-minute journey).
+    pub comparison: fig7b::Comparison,
+}
+
+/// abl-interval: bandwidth/time of a fixed-duration journey as the app's
+/// update interval varies. The baseline cost scales with the number of
+/// updates; the model-cache cost does not (one download serves any rate).
+pub fn interval_sweep(seed: u64, intervals: &[i64]) -> Vec<IntervalRow> {
+    intervals
+        .iter()
+        .map(|&interval_secs| IntervalRow {
+            interval_secs,
+            comparison: fig7b::run_with_interval(
+                enviro_net::BinaryCodec,
+                LinkProfile::GPRS,
+                seed,
+                interval_secs,
+            ),
+        })
+        .collect()
+}
+
+/// One row of the `abl-loss` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossRow {
+    /// Per-attempt loss probability.
+    pub loss: f64,
+    /// The fig7b comparison under that loss rate.
+    pub comparison: fig7b::Comparison,
+}
+
+/// abl-loss: does the model-cache advantage survive a lossy cell? The
+/// baseline gives the bearer 100 chances per session to hit a
+/// retransmission timeout; the model-cache gives it one.
+pub fn loss_sweep(seed: u64, losses: &[f64]) -> Vec<LossRow> {
+    losses
+        .iter()
+        .map(|&loss| LossRow {
+            loss,
+            comparison: fig7b::run_with(
+                enviro_net::BinaryCodec,
+                LinkProfile::GPRS.with_loss(loss),
+                seed,
+            ),
+        })
+        .collect()
+}
+
+/// One row of the `abl-build` comparison: the per-method cost of
+/// materializing every window structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildRow {
+    /// The method whose structures were built.
+    pub method: QueryMethod,
+    /// Time to prepare every window, seconds.
+    pub prepare_secs: f64,
+    /// Windows prepared.
+    pub windows: usize,
+}
+
+/// abl-build: what does each method pay *before* the first query? This is
+/// the cost the paper's lazy update policy amortizes over a window's
+/// validity period — and the flip side of Figure 6(a), which deliberately
+/// measures query time with structures prebuilt.
+pub fn build_sweep(workload: &Workload, h: usize) -> Vec<BuildRow> {
+    [
+        QueryMethod::ModelCover,
+        QueryMethod::VpTree,
+        QueryMethod::RTree,
+        QueryMethod::KdTree,
+        QueryMethod::Grid,
+        QueryMethod::Idw,
+    ]
+    .iter()
+    .map(|&method| {
+        let engine = QueryEngine::new(
+            workload.dataset.clone(),
+            WindowSpec::ByCount(h),
+            AdKmnConfig::default(),
+            RADIUS_M,
+        );
+        let start = Instant::now();
+        engine.prepare(method);
+        BuildRow {
+            method,
+            prepare_secs: start.elapsed().as_secs_f64(),
+            windows: engine.window_count(),
+        }
+    })
+    .collect()
+}
+
+/// One row of the `abl-warm` comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmRow {
+    /// "cold" or "warm".
+    pub mode: &'static str,
+    /// Total split rounds across all windows.
+    pub total_rounds: usize,
+    /// Mean models per window.
+    pub mean_models: f64,
+    /// Mean worst-region training error (%).
+    pub mean_worst_error: f64,
+    /// Total build time, seconds.
+    pub build_secs: f64,
+}
+
+/// abl-warm: does warm-starting each window's Ad-KMN from the previous
+/// window's centroids (cross-window adaptivity) save work without hurting
+/// quality? Run at τ = 1 % so the adaptive loop actually splits.
+pub fn warm_sweep(workload: &Workload, h: usize) -> Vec<WarmRow> {
+    let windows: Vec<_> = Windows::new(&workload.dataset, WindowSpec::ByCount(h)).collect();
+    let mut rows = Vec::with_capacity(3);
+    for mode in ["cold", "warm", "warm+merge"] {
+        let adkmn = AdKmn::new(AdKmnConfig {
+            tau_percent: 1.0,
+            merge_after_converge: mode == "warm+merge",
+            ..AdKmnConfig::default()
+        });
+        let start = Instant::now();
+        let mut total_rounds = 0usize;
+        let mut total_models = 0usize;
+        let mut total_worst = 0.0f64;
+        let mut previous: Option<Vec<enviro_geo::Point>> = None;
+        for w in &windows {
+            let result = match (&previous, mode) {
+                (Some(seeds), "warm") | (Some(seeds), "warm+merge") => {
+                    adkmn.run_seeded(w.tuples, Pollutant::Co2, seeds)
+                }
+                _ => adkmn.run(w.tuples, Pollutant::Co2),
+            };
+            total_rounds += result.rounds;
+            total_models += result.model_count();
+            total_worst += result.worst_error_percent();
+            if mode != "cold" {
+                previous = Some(result.centroids);
+            }
+        }
+        rows.push(WarmRow {
+            mode,
+            total_rounds,
+            mean_models: total_models as f64 / windows.len().max(1) as f64,
+            mean_worst_error: total_worst / windows.len().max(1) as f64,
+            build_secs: start.elapsed().as_secs_f64(),
+        });
+    }
+    rows
+}
+
+/// One row of the `abl-interp` sweep: interpolator comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpRow {
+    /// Lateral spread of query positions, meters.
+    pub spread: f64,
+    /// Ad-KMN model cover.
+    pub cover: AccuracyReport,
+    /// Radius-bounded uniform average (the paper's naive).
+    pub naive: AccuracyReport,
+    /// Inverse-distance-weighted k-NN (extension).
+    pub idw: AccuracyReport,
+}
+
+/// abl-interp: is the paper's uniform radius-average the right raw-data
+/// strawman? IDW weights the same neighbourhood by distance and answers
+/// everywhere — the strongest raw-data interpolator a practitioner would
+/// reach for.
+pub fn interp_sweep(workload: &Workload, h: usize, spreads: &[f64]) -> Vec<InterpRow> {
+    let engine = QueryEngine::new(
+        workload.dataset.clone(),
+        WindowSpec::ByCount(h),
+        AdKmnConfig::default(),
+        RADIUS_M,
+    );
+    engine.prepare(QueryMethod::ModelCover);
+    engine.prepare(QueryMethod::Idw);
+    spreads
+        .iter()
+        .map(|&spread| {
+            let queries = if spread == 0.0 {
+                workload.accuracy_queries.clone()
+            } else {
+                workload
+                    .sim
+                    .query_workload(workload.accuracy_queries.len(), spread, 0x1D6)
+            };
+            let eval = |method: QueryMethod| {
+                AccuracyReport::from_predictions(queries.iter().map(|q| {
+                    (
+                        engine.query(q, method),
+                        workload.sim.true_value(q.time, &q.pos),
+                    )
+                }))
+            };
+            InterpRow {
+                spread,
+                cover: eval(QueryMethod::ModelCover),
+                naive: eval(QueryMethod::Naive),
+                idw: eval(QueryMethod::Idw),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{build, Scale};
+
+    fn quick() -> Workload {
+        build(Scale::Quick, 41)
+    }
+
+    #[test]
+    fn k0_sweep_reports_each_value() {
+        let rows = k0_sweep(&quick(), 240, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.models >= r.k0.min(240));
+        }
+    }
+
+    #[test]
+    fn split_sweep_covers_strategies() {
+        let rows = split_sweep(&quick(), 240);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().any(|r| r.strategy == SplitStrategy::WorstErrorPoint));
+    }
+
+    #[test]
+    fn tau_sweep_monotone_models() {
+        let w = quick();
+        let rows = tau_sweep(&w, 240, &[8.0, 0.5]);
+        // Tighter τ must not use fewer models.
+        assert!(
+            rows[1].mean_models >= rows[0].mean_models,
+            "τ=0.5 {} vs τ=8 {}",
+            rows[1].mean_models,
+            rows[0].mean_models
+        );
+    }
+
+    #[test]
+    fn codec_sweep_text_heavier() {
+        let rows = codec_sweep(42);
+        let bin = &rows[0].comparison;
+        let txt = &rows[1].comparison;
+        assert!(
+            txt.model_cache.usage.received_bytes > bin.model_cache.usage.received_bytes
+        );
+    }
+
+    #[test]
+    fn spread_sweep_degrades_with_distance() {
+        let w = quick();
+        let rows = spread_sweep(&w, 240, &[0.0, 800.0]);
+        assert!(
+            rows[1].cover.nrmse_percent >= rows[0].cover.nrmse_percent,
+            "cover should degrade off-corridor"
+        );
+    }
+
+    #[test]
+    fn loss_sweep_lossy_links_cost_more_everywhere() {
+        let rows = loss_sweep(61, &[0.0, 0.3]);
+        let clean = &rows[0].comparison;
+        let lossy = &rows[1].comparison;
+        assert!(
+            lossy.baseline.elapsed_secs > clean.baseline.elapsed_secs,
+            "loss must slow the baseline"
+        );
+        // The caching advantage survives (and typically grows).
+        assert!(lossy.time_factor() > 10.0, "{}", lossy.time_factor());
+        // Answers unchanged: loss costs time/bytes, not correctness.
+        assert_eq!(lossy.model_cache.values, clean.model_cache.values);
+    }
+
+    #[test]
+    fn interval_sweep_baseline_scales_cache_does_not() {
+        let rows = interval_sweep(51, &[120, 30]);
+        let slow = &rows[0].comparison; // 120 s updates
+        let fast = &rows[1].comparison; // 30 s updates: 4x the tuples
+        assert!(
+            fast.baseline.usage.sent_bytes > slow.baseline.usage.sent_bytes * 3,
+            "baseline uplink must scale with update rate"
+        );
+        assert!(
+            fast.model_cache.usage.sent_bytes <= slow.model_cache.usage.sent_bytes * 2,
+            "model-cache uplink must stay ~flat"
+        );
+    }
+
+    #[test]
+    fn build_sweep_reports_every_method() {
+        let w = quick();
+        let rows = build_sweep(&w, 240);
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.windows > 0));
+        assert!(rows.iter().all(|r| r.prepare_secs >= 0.0));
+    }
+
+    #[test]
+    fn warm_sweep_saves_rounds_without_losing_quality() {
+        let w = quick();
+        let rows = warm_sweep(&w, 500);
+        let cold = &rows[0];
+        let warm = &rows[1];
+        assert!(warm.total_rounds <= cold.total_rounds);
+        // Quality stays comparable (within 50 % relative).
+        assert!(
+            warm.mean_worst_error <= cold.mean_worst_error * 1.5 + 0.5,
+            "warm {} vs cold {}",
+            warm.mean_worst_error,
+            cold.mean_worst_error
+        );
+    }
+
+    #[test]
+    fn interp_sweep_idw_full_coverage() {
+        let w = quick();
+        let rows = interp_sweep(&w, 240, &[0.0, 400.0]);
+        for r in &rows {
+            assert!((r.idw.coverage() - 1.0).abs() < 1e-9, "IDW answers everywhere");
+        }
+        // On sensed positions the cover clearly beats the uniform average;
+        // IDW sits at the sensor-noise floor by construction (its nearest
+        // neighbour IS the sensed sample), so the cover only needs to be
+        // comparable to it — from ~20x less state.
+        assert!(rows[0].cover.nrmse_percent < rows[0].naive.nrmse_percent);
+        assert!(
+            rows[0].cover.nrmse_percent < rows[0].idw.nrmse_percent * 1.5,
+            "cover {} vs idw {}",
+            rows[0].cover.nrmse_percent,
+            rows[0].idw.nrmse_percent
+        );
+    }
+
+    #[test]
+    fn radius_sweep_wider_radius_more_coverage() {
+        let w = quick();
+        let rows = radius_sweep(&w, 240, &[250.0, 4_000.0]);
+        assert!(rows[1].report.coverage() >= rows[0].report.coverage());
+    }
+}

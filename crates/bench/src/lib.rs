@@ -1,0 +1,25 @@
+//! The EnviroMeter experiment harness.
+//!
+//! One module per panel of the paper's evaluation (§4) plus the ablations
+//! from DESIGN.md. Every experiment is a plain function returning row
+//! structs, so the `figures` binary, the criterion benches and the
+//! integration tests all share one implementation.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig6a`] | Figure 6(a): query time vs window size `H`, four methods |
+//! | [`fig6b`] | Figure 6(b): NRMSE vs `H`, Ad-KMN vs naïve |
+//! | [`fig7a`] | Figure 7(a): memory at `H = 5000`, four representations |
+//! | [`fig7b`] | Figure 7(b): bandwidth/time, baseline vs model-cache |
+//! | [`ablations`] | abl-k0 / abl-split / abl-tau / abl-codec / abl-radius |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ablations;
+pub mod fig6a;
+pub mod fig6b;
+pub mod fig7a;
+pub mod fig7b;
+pub mod table;
+pub mod workload;

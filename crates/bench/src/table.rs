@@ -1,0 +1,78 @@
+//! Plain-text table rendering for the `figures` binary.
+
+/// Renders an aligned text table with a header row and a separator.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render(
+            &["method", "time"],
+            &[
+                vec!["naive".into(), "12.5".into()],
+                vec!["Ad-KMN".into(), "0.3".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(t.contains("Ad-KMN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_ragged_rows() {
+        render(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.5678), "1234.6");
+        assert_eq!(fmt_f64(12.3456), "12.346");
+        assert_eq!(fmt_f64(0.00123), "0.00123");
+    }
+}

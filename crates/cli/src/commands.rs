@@ -1,0 +1,549 @@
+//! The subcommand implementations.
+
+use crate::args::Args;
+use crate::{CliError, USAGE};
+use enviro_data::csv::{read_csv, write_csv};
+use enviro_data::{
+    Dataset, LausanneSim, Pollutant, QueryTuple, SimConfig, WindowSpec,
+};
+use enviro_geo::{Point, Polyline};
+use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+use enviro_storage::TupleStore;
+use std::io::Write;
+
+/// Routes a raw argument list to its subcommand.
+pub fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        writeln!(out, "{USAGE}").map_err(io_err)?;
+        return Ok(());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(&args, out),
+        "info" => cmd_info(&args, out),
+        "query" => cmd_query(&args, out),
+        "heatmap" => cmd_heatmap(&args, out),
+        "route" => cmd_route(&args, out),
+        "store" => cmd_store(&args, out),
+        "--help" | "help" => {
+            writeln!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
+    }
+}
+
+fn io_err(e: std::io::Error) -> CliError {
+    CliError::runtime(format!("I/O error: {e}"))
+}
+
+fn load_dataset(args: &Args) -> Result<Dataset, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("missing dataset path (CSV)"))?;
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?;
+    let pollutant: Pollutant = args
+        .get("pollutant")
+        .unwrap_or("CO2")
+        .parse()
+        .map_err(CliError::usage)?;
+    read_csv(pollutant, file).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn platform_from(args: &Args, dataset: Dataset) -> Result<EnviroMeter, CliError> {
+    let spec = match (args.get("window"), args.get("window-secs")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage("give either --window or --window-secs"))
+        }
+        (Some(_), None) => WindowSpec::ByCount(args.require_parsed("window")?),
+        (None, Some(_)) => WindowSpec::ByDuration(args.require_parsed("window-secs")?),
+        (None, None) => WindowSpec::ByDuration(4 * 3_600),
+    };
+    let adkmn = AdKmnConfig {
+        tau_percent: args.get_or("tau", 2.0)?,
+        ..AdKmnConfig::default()
+    };
+    let radius = args.get_or("radius", 1_000.0)?;
+    Ok(EnviroMeter::new(dataset, spec, adkmn, radius))
+}
+
+fn parse_method(args: &Args) -> Result<QueryMethod, CliError> {
+    match args.get("method").unwrap_or("ad-kmn").to_ascii_lowercase().as_str() {
+        "ad-kmn" | "adkmn" | "cover" | "model-cover" => Ok(QueryMethod::ModelCover),
+        "naive" => Ok(QueryMethod::Naive),
+        "rtree" | "r-tree" => Ok(QueryMethod::RTree),
+        "vptree" | "vp-tree" => Ok(QueryMethod::VpTree),
+        "kdtree" | "kd-tree" => Ok(QueryMethod::KdTree),
+        "grid" => Ok(QueryMethod::Grid),
+        "idw" => Ok(QueryMethod::Idw),
+        other => Err(CliError::usage(format!("unknown --method {other:?}"))),
+    }
+}
+
+fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.has("help") {
+        writeln!(
+            out,
+            "usage: enviro simulate --out FILE [--hours N | --days N] \
+             [--interval SECS] [--seed N]"
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+    let out_path = args.require("out")?;
+    let hours: i64 = args.get_or("hours", 0)?;
+    let days: i64 = args.get_or("days", 0)?;
+    let duration_secs = match (hours, days) {
+        (0, 0) => 24 * 3_600,
+        (h, 0) => h * 3_600,
+        (0, d) => d * 86_400,
+        _ => return Err(CliError::usage("give either --hours or --days")),
+    };
+    let config = SimConfig {
+        duration_secs,
+        sampling_interval_secs: args.get_or("interval", 60)?,
+        seed: args.get_or("seed", SimConfig::default().seed)?,
+        ..SimConfig::default()
+    };
+    let sim = LausanneSim::lausanne(config);
+    let dataset = sim.generate();
+    let mut file = std::io::BufWriter::new(
+        std::fs::File::create(out_path)
+            .map_err(|e| CliError::runtime(format!("cannot create {out_path}: {e}")))?,
+    );
+    write_csv(&dataset, &mut file).map_err(io_err)?;
+    writeln!(
+        out,
+        "wrote {} tuples ({} bus lines, {} s sampling) to {out_path}",
+        dataset.len(),
+        sim.lines().len(),
+        sim.config().sampling_interval_secs
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_info(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.has("help") {
+        writeln!(out, "usage: enviro info FILE [--pollutant P]").map_err(io_err)?;
+        return Ok(());
+    }
+    let dataset = load_dataset(args)?;
+    writeln!(out, "tuples:    {}", dataset.len()).map_err(io_err)?;
+    writeln!(out, "pollutant: {}", dataset.pollutant()).map_err(io_err)?;
+    if let Some((from, to)) = dataset.time_span() {
+        writeln!(out, "time span: {from} .. {to}").map_err(io_err)?;
+    }
+    let b = dataset.bounds();
+    if !b.is_empty() {
+        writeln!(
+            out,
+            "extent:    {:.1} x {:.1} km",
+            b.width() / 1_000.0,
+            b.height() / 1_000.0
+        )
+        .map_err(io_err)?;
+    }
+    if let Some(s) = dataset.stats() {
+        writeln!(
+            out,
+            "values:    min {:.1}  mean {:.1}  max {:.1}  sd {:.1} {}",
+            s.min,
+            s.mean,
+            s.max,
+            s.std_dev,
+            dataset.pollutant().unit()
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.has("help") {
+        writeln!(
+            out,
+            "usage: enviro query FILE --time T --x X --y Y [--method M] \
+             [--radius R] [--window H | --window-secs S] [--tau PCT]"
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+    let dataset = load_dataset(args)?;
+    let pollutant = dataset.pollutant();
+    let platform = platform_from(args, dataset)?;
+    let time = args
+        .time("time")?
+        .ok_or_else(|| CliError::usage("missing required flag --time"))?;
+    let x: f64 = args.require_parsed("x")?;
+    let y: f64 = args.require_parsed("y")?;
+    let method = parse_method(args)?;
+    let q = QueryTuple::new(time, Point::new(x, y));
+    match platform.point_query(&q, method) {
+        Some(v) => {
+            let level = pollutant.classify(v);
+            writeln!(
+                out,
+                "{v:.1} {} at ({x}, {y}) {time} via {method} — {level}",
+                pollutant.unit()
+            )
+            .map_err(io_err)?;
+        }
+        None => writeln!(out, "no data within radius for ({x}, {y}) at {time}")
+            .map_err(io_err)?,
+    }
+    Ok(())
+}
+
+fn cmd_heatmap(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.has("help") {
+        writeln!(
+            out,
+            "usage: enviro heatmap FILE --time T --out FILE.ppm \
+             [--cols N] [--rows N] [--ascii]"
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+    let dataset = load_dataset(args)?;
+    let platform = platform_from(args, dataset)?;
+    let time = args
+        .time("time")?
+        .ok_or_else(|| CliError::usage("missing required flag --time"))?;
+    let cols = args.get_or("cols", 96u32)?;
+    let rows = args.get_or("rows", 64u32)?;
+    let hm = platform
+        .heatmap(time, cols, rows)
+        .ok_or_else(|| CliError::runtime("no data to render".to_string()))?;
+    if args.has("ascii") {
+        write!(out, "{}", hm.to_ascii()).map_err(io_err)?;
+    }
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, hm.to_ppm())
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        let (lo, hi) = hm.value_range();
+        writeln!(
+            out,
+            "wrote {cols}x{rows} heatmap ({lo:.0}..{hi:.0} {}) to {path}",
+            hm.pollutant.unit()
+        )
+        .map_err(io_err)?;
+    } else if !args.has("ascii") {
+        return Err(CliError::usage("give --out FILE.ppm and/or --ascii"));
+    }
+    Ok(())
+}
+
+fn cmd_route(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.has("help") {
+        writeln!(
+            out,
+            "usage: enviro route FILE --points \"x,y;x,y;...\" --start T \
+             [--speed MPS] [--interval SECS] [--method M]"
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+    let dataset = load_dataset(args)?;
+    let platform = platform_from(args, dataset)?;
+    let start = args
+        .time("start")?
+        .ok_or_else(|| CliError::usage("missing required flag --start"))?;
+    let speed: f64 = args.get_or("speed", 1.4)?;
+    let interval: i64 = args.get_or("interval", 60)?;
+    if speed <= 0.0 || interval <= 0 {
+        return Err(CliError::usage("--speed and --interval must be positive"));
+    }
+    let vertices = parse_points(args.require("points")?)?;
+    if vertices.len() < 2 {
+        return Err(CliError::usage("--points needs at least two x,y pairs"));
+    }
+    let walk = Polyline::new(vertices);
+    let fixes = (walk.length() / (speed * interval as f64)).ceil() as usize + 1;
+    let trajectory: Vec<QueryTuple> = (0..fixes)
+        .map(|i| {
+            QueryTuple::new(
+                start + i as i64 * interval,
+                walk.point_at(i as f64 * interval as f64 * speed),
+            )
+        })
+        .collect();
+    let method = parse_method(args)?;
+    let route = platform.record_route(&trajectory, method);
+    let summary = route.summary();
+    writeln!(out, "{}", summary.advisory).map_err(io_err)?;
+    writeln!(
+        out,
+        "points: {} recorded, {} answered; route length {:.0} m",
+        summary.recorded,
+        summary.answered,
+        walk.length()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_store(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let sub = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("--help");
+    match sub {
+        "ingest" => {
+            let csv_path = args
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::usage("usage: enviro store ingest FILE --dir DIR"))?;
+            let dir = args.require("dir")?;
+            let file = std::fs::File::open(csv_path)
+                .map_err(|e| CliError::runtime(format!("cannot open {csv_path}: {e}")))?;
+            let dataset = read_csv(Pollutant::Co2, file)
+                .map_err(|e| CliError::runtime(format!("{csv_path}: {e}")))?;
+            let mut store =
+                TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
+            store
+                .append(dataset.tuples())
+                .and_then(|()| store.sync())
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            let stats = store.stats();
+            writeln!(
+                out,
+                "ingested {} tuples; store now holds {} tuples in {} segments ({} bytes)",
+                dataset.len(),
+                stats.tuples,
+                stats.segments,
+                stats.bytes
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
+        "export" => {
+            let dir = args.require("dir")?;
+            let out_path = args.require("out")?;
+            let store =
+                TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
+            let dataset = store
+                .load_dataset(Pollutant::Co2)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            let mut file = std::io::BufWriter::new(
+                std::fs::File::create(out_path)
+                    .map_err(|e| CliError::runtime(format!("cannot create {out_path}: {e}")))?,
+            );
+            write_csv(&dataset, &mut file).map_err(io_err)?;
+            writeln!(out, "exported {} tuples to {out_path}", dataset.len()).map_err(io_err)?;
+            Ok(())
+        }
+        "stats" => {
+            let dir = args.require("dir")?;
+            let store =
+                TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
+            let s = store.stats();
+            writeln!(
+                out,
+                "segments: {}  tuples: {}  bytes: {}  recovered-torn-tail: {}",
+                s.segments, s.tuples, s.bytes, s.recovered_torn_tail
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
+        "compact" => {
+            let dir = args.require("dir")?;
+            let mut store =
+                TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
+            let before = store.stats();
+            store
+                .compact()
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            let after = store.stats();
+            writeln!(
+                out,
+                "compacted {} segments ({} bytes) into {} ({} bytes); {} tuples",
+                before.segments, before.bytes, after.segments, after.bytes, after.tuples
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
+        _ => {
+            writeln!(
+                out,
+                "usage: enviro store <ingest FILE --dir DIR | export --dir DIR --out FILE | stats --dir DIR | compact --dir DIR>"
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
+    }
+}
+
+/// Parses `"x,y;x,y;…"` into points.
+fn parse_points(raw: &str) -> Result<Vec<Point>, CliError> {
+    raw.split(';')
+        .filter(|s| !s.trim().is_empty())
+        .map(|pair| {
+            let mut it = pair.split(',');
+            let x = it
+                .next()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .ok_or_else(|| CliError::usage(format!("bad point {pair:?}")))?;
+            let y = it
+                .next()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .ok_or_else(|| CliError::usage(format!("bad point {pair:?}")))?;
+            if it.next().is_some() {
+                return Err(CliError::usage(format!("bad point {pair:?}")));
+            }
+            Ok(Point::new(x, y))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(argv: &[&str]) -> (i32, String) {
+        let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let code = crate::run(&args, &mut out);
+        (code, String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("enviro-cli-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let (code, out) = run_cmd(&[]);
+        assert_eq!(code, 0);
+        assert!(out.contains("usage: enviro"));
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage_code() {
+        let (code, _) = run_cmd(&["frobnicate"]);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn simulate_then_info_query_heatmap_route() {
+        let csv = temp_path("pipeline.csv");
+        let csv_str = csv.to_str().unwrap();
+        let (code, out) = run_cmd(&[
+            "simulate", "--hours", "6", "--seed", "3", "--out", csv_str,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("wrote 720 tuples"), "{out}");
+
+        let (code, out) = run_cmd(&["info", csv_str]);
+        assert_eq!(code, 0);
+        assert!(out.contains("tuples:    720"), "{out}");
+        assert!(out.contains("pollutant: CO2"));
+
+        let (code, out) = run_cmd(&[
+            "query", csv_str, "--time", "2h", "--x", "0", "--y", "-200",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("ppm"), "{out}");
+        assert!(out.contains("Ad-KMN"), "{out}");
+
+        let ppm = temp_path("map.ppm");
+        let (code, out) = run_cmd(&[
+            "heatmap", csv_str, "--time", "2h", "--out", ppm.to_str().unwrap(),
+            "--cols", "16", "--rows", "12",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let img = std::fs::read(&ppm).unwrap();
+        assert!(img.starts_with(b"P6\n16 12\n255\n"));
+
+        let (code, out) = run_cmd(&[
+            "route", csv_str, "--start", "1h",
+            "--points", "0,-200;500,0;800,100", "--speed", "2.0",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Average CO2"), "{out}");
+
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&ppm).ok();
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let csv = temp_path("store-src.csv");
+        let back = temp_path("store-back.csv");
+        let dir = temp_path("store-dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (code, _) = run_cmd(&[
+            "simulate", "--hours", "2", "--out", csv.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0);
+        let (code, out) = run_cmd(&[
+            "store", "ingest", csv.to_str().unwrap(), "--dir", dir.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("ingested 240 tuples"), "{out}");
+        let (code, out) = run_cmd(&[
+            "store", "export", "--dir", dir.to_str().unwrap(),
+            "--out", back.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let a = std::fs::read_to_string(&csv).unwrap();
+        let b = std::fs::read_to_string(&back).unwrap();
+        assert_eq!(a, b, "store round trip must be lossless");
+        let (code, out) = run_cmd(&["store", "stats", "--dir", dir.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("tuples: 240"), "{out}");
+        let (code, out) = run_cmd(&["store", "compact", "--dir", dir.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("240 tuples"), "{out}");
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&back).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_requires_time() {
+        let csv = temp_path("notime.csv");
+        run_cmd(&["simulate", "--hours", "1", "--out", csv.to_str().unwrap()]);
+        let (code, _) = run_cmd(&["query", csv.to_str().unwrap(), "--x", "0", "--y", "0"]);
+        assert_eq!(code, 2);
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn query_method_selection() {
+        let csv = temp_path("methods.csv");
+        run_cmd(&["simulate", "--hours", "2", "--out", csv.to_str().unwrap()]);
+        for m in ["naive", "rtree", "vptree", "kdtree", "grid", "idw", "ad-kmn"] {
+            let (code, out) = run_cmd(&[
+                "query", csv.to_str().unwrap(), "--time", "1h",
+                "--x", "0", "--y", "-200", "--method", m,
+            ]);
+            assert_eq!(code, 0, "{m}: {out}");
+        }
+        let (code, _) = run_cmd(&[
+            "query", csv.to_str().unwrap(), "--time", "1h",
+            "--x", "0", "--y", "0", "--method", "quantum",
+        ]);
+        assert_eq!(code, 2);
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn parse_points_rejects_garbage() {
+        assert!(parse_points("1,2;3,4").is_ok());
+        assert!(parse_points("1,2;nope").is_err());
+        assert!(parse_points("1,2,3").is_err());
+        assert_eq!(parse_points("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn missing_file_is_runtime_error() {
+        let (code, _) = run_cmd(&["info", "/definitely/not/here.csv"]);
+        assert_eq!(code, 1);
+    }
+}

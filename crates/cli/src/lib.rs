@@ -1,0 +1,86 @@
+//! The `enviro` command-line tool.
+//!
+//! One binary exposing the platform's surfaces over CSV datasets and
+//! segment stores:
+//!
+//! ```text
+//! enviro simulate --hours 24 --out day.csv          # generate a dataset
+//! enviro info day.csv                               # inspect it
+//! enviro query day.csv --time 8h --x 0 --y -200     # point query
+//! enviro heatmap day.csv --time 8h --out map.ppm    # web UI's heatmap mode
+//! enviro route day.csv --start 7h --points "x,y;…"  # app's route summary
+//! enviro store ingest day.csv --dir ./store         # durable segment store
+//! enviro store export --dir ./store --out back.csv
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--flag value` pairs after a
+//! subcommand) to stay inside the approved dependency set.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// A CLI failure: a message and the exit code to report.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message for stderr.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = runtime failure).
+    pub code: i32,
+}
+
+impl CliError {
+    /// A usage error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    /// A runtime error (exit code 1).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Runs the CLI with `args` (without the program name), writing normal
+/// output to `out`. Returns the process exit code.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
+    match commands::dispatch(args, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("enviro: {}", e.message);
+            e.code
+        }
+    }
+}
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+usage: enviro <command> [flags]
+
+commands:
+  simulate   generate a community-sensed dataset (CSV)
+  info       summarize a dataset
+  query      interpolate the pollutant value at a time and position
+  heatmap    render the model cover as a PPM image
+  route      evaluate a route and print the OSHA summary
+  store      durable segment-store operations (ingest | export | stats)
+
+run `enviro <command> --help` for the command's flags";

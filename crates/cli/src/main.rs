@@ -1,0 +1,7 @@
+//! The `enviro` binary: a thin shell around [`enviro_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(enviro_cli::run(&args, &mut stdout));
+}

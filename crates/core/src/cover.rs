@@ -1,0 +1,295 @@
+//! The model cover: the queryable abstraction replacing raw tuples.
+//!
+//! "A model cover is defined as a set of models `M = {M₁..M_O}` that are
+//! respectively responsible for modeling the sub-regions `R₁..R_O` of `R`"
+//! (§2.1). The sub-regions are the Voronoi cells of the cluster centroids
+//! `µ`; querying means finding the nearest centroid and evaluating its
+//! model. A cover carries the validity horizon `t_n` so clients can cache it
+//! (§2.3).
+
+use crate::cluster::{AdKmn, AdKmnConfig};
+use crate::model::RegionModel;
+use enviro_data::{Pollutant, Timestamp, Window};
+use enviro_geo::Point;
+use enviro_memsize::DeepSize;
+
+/// One sub-region of a cover: centroid + model + training diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverRegion {
+    /// The cluster centroid `µ_j` owning this Voronoi cell.
+    pub centroid: Point,
+    /// The model `M_j` for the cell.
+    pub model: RegionModel,
+    /// Training approximation error of `M_j` on its window tuples.
+    pub training_error_percent: f64,
+    /// Number of window tuples that trained this model.
+    pub population: usize,
+}
+
+/// A complete model cover for one window: `(t_n, µ, M)` in the paper's
+/// notation, plus provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCover {
+    /// The pollutant the models predict.
+    pub pollutant: Pollutant,
+    /// The id `c` of the window `W_c` this cover was learned from.
+    pub window_id: u64,
+    /// The time `t_n` until which this cover is valid.
+    pub valid_until: Timestamp,
+    /// The regions, in centroid order.
+    pub regions: Vec<CoverRegion>,
+}
+
+impl ModelCover {
+    /// Number of models `O`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// `true` when the cover holds no models (learned from an empty window).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// `true` if the cover may still serve queries at time `t`
+    /// (the model-cache check `t_l ≤ t_n`).
+    #[inline]
+    pub fn is_valid_at(&self, t: Timestamp) -> bool {
+        t <= self.valid_until
+    }
+
+    /// The index and region of the centroid nearest to `p` (ties: lowest
+    /// index), or `None` for an empty cover.
+    pub fn nearest_region(&self, p: &Point) -> Option<(usize, &CoverRegion)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, r) in self.regions.iter().enumerate() {
+            let d = r.centroid.distance_sq(p);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.map(|(i, _)| (i, &self.regions[i]))
+    }
+
+    /// Interpolates the sensor value at `(t, p)`: nearest centroid `µ*`,
+    /// then `M*`'s prediction — the paper's model-cover query method.
+    pub fn interpolate(&self, t: Timestamp, p: &Point) -> Option<f64> {
+        self.nearest_region(p).map(|(_, r)| r.model.predict(t, p))
+    }
+
+    /// Total `f64` coefficients across all models — the payload size driver
+    /// for the model-cache protocol.
+    pub fn coefficient_count(&self) -> usize {
+        self.regions
+            .iter()
+            .map(|r| r.model.coefficient_count() + 2) // + centroid (x, y)
+            .sum()
+    }
+
+    /// Worst training error across regions (0 for an empty cover).
+    pub fn worst_training_error_percent(&self) -> f64 {
+        self.regions
+            .iter()
+            .map(|r| r.training_error_percent)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl DeepSize for ModelCover {
+    fn heap_size(&self) -> usize {
+        self.regions.capacity() * std::mem::size_of::<CoverRegion>()
+            + self.regions.iter().map(|r| r.model.heap_size()).sum::<usize>()
+    }
+}
+
+/// Builds model covers from windows by running Ad-KMN.
+#[derive(Debug, Clone)]
+pub struct CoverBuilder {
+    adkmn: AdKmn,
+}
+
+impl CoverBuilder {
+    /// Creates a builder with the given Ad-KMN configuration.
+    pub fn new(config: AdKmnConfig) -> Self {
+        Self {
+            adkmn: AdKmn::new(config),
+        }
+    }
+
+    /// The Ad-KMN configuration in use.
+    pub fn config(&self) -> &AdKmnConfig {
+        self.adkmn.config()
+    }
+
+    /// Learns the cover for one window.
+    ///
+    /// Regions that end up with no members (possible when many tuples share
+    /// one position) are dropped — an unpopulated Voronoi cell has no data
+    /// behind its model and must not answer queries.
+    pub fn build(&self, window: &Window<'_>, pollutant: Pollutant) -> ModelCover {
+        let result = self.adkmn.run(window.tuples, pollutant);
+        self.assemble(window, pollutant, result)
+    }
+
+    /// Learns the cover for one window, warm-starting the clustering from
+    /// a previous cover's centroids (cross-window adaptivity; see
+    /// [`crate::cluster::AdKmn::run_seeded`]).
+    pub fn build_seeded(
+        &self,
+        window: &Window<'_>,
+        pollutant: Pollutant,
+        previous: &ModelCover,
+    ) -> ModelCover {
+        let seeds: Vec<enviro_geo::Point> =
+            previous.regions.iter().map(|r| r.centroid).collect();
+        let result = self.adkmn.run_seeded(window.tuples, pollutant, &seeds);
+        self.assemble(window, pollutant, result)
+    }
+
+    fn assemble(
+        &self,
+        window: &Window<'_>,
+        pollutant: Pollutant,
+        result: crate::cluster::AdKmnResult,
+    ) -> ModelCover {
+        let mut population = vec![0usize; result.centroids.len()];
+        for &a in &result.assignment {
+            population[a] += 1;
+        }
+        let regions: Vec<CoverRegion> = result
+            .centroids
+            .iter()
+            .zip(&result.models)
+            .zip(&result.errors)
+            .zip(&population)
+            .filter(|&(_, &pop)| pop > 0)
+            .map(|(((centroid, model), error), &pop)| CoverRegion {
+                centroid: *centroid,
+                model: model.clone(),
+                training_error_percent: error.percent(),
+                population: pop,
+            })
+            .collect();
+        ModelCover {
+            pollutant,
+            window_id: window.id,
+            valid_until: window.valid_until,
+            regions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enviro_data::{Dataset, RawTuple, WindowSpec, Windows};
+
+    fn tup(t: i64, x: f64, y: f64, v: f64) -> RawTuple {
+        RawTuple::new(Timestamp::from_secs(t), Point::new(x, y), v)
+    }
+
+    fn window_dataset() -> Dataset {
+        let mut tuples = Vec::new();
+        for i in 0..60 {
+            let x = (i % 10) as f64 * 100.0;
+            let y = (i / 10) as f64 * 100.0;
+            tuples.push(tup(i, x, y, 400.0 + 0.05 * x + 0.02 * y));
+        }
+        Dataset::from_tuples(Pollutant::Co2, tuples).unwrap()
+    }
+
+    fn build_cover(ds: &Dataset) -> ModelCover {
+        let w = Windows::new(ds, WindowSpec::ByCount(ds.len()))
+            .next()
+            .unwrap();
+        CoverBuilder::new(AdKmnConfig::default()).build(&w, Pollutant::Co2)
+    }
+
+    #[test]
+    fn cover_from_window_has_models() {
+        let ds = window_dataset();
+        let cover = build_cover(&ds);
+        assert!(!cover.is_empty());
+        assert_eq!(cover.window_id, 0);
+        assert!(cover.regions.iter().all(|r| r.population > 0));
+    }
+
+    #[test]
+    fn interpolation_close_to_truth_on_smooth_field() {
+        let ds = window_dataset();
+        let cover = build_cover(&ds);
+        let p = Point::new(450.0, 250.0);
+        let truth = 400.0 + 0.05 * 450.0 + 0.02 * 250.0;
+        let got = cover.interpolate(Timestamp::from_secs(30), &p).unwrap();
+        assert!((got - truth).abs() < 5.0, "{got} vs {truth}");
+    }
+
+    #[test]
+    fn empty_window_gives_empty_cover() {
+        let ds = Dataset::new(Pollutant::Co2);
+        let w = Window {
+            id: 3,
+            tuples: ds.tuples(),
+            valid_until: Timestamp::from_secs(100),
+        };
+        let cover = CoverBuilder::new(AdKmnConfig::default()).build(&w, Pollutant::Co2);
+        assert!(cover.is_empty());
+        assert_eq!(cover.interpolate(Timestamp::ZERO, &Point::origin()), None);
+        assert!(cover.nearest_region(&Point::origin()).is_none());
+    }
+
+    #[test]
+    fn validity_horizon_from_window() {
+        let ds = window_dataset();
+        let cover = build_cover(&ds);
+        assert!(cover.is_valid_at(Timestamp::from_secs(0)));
+        assert!(cover.is_valid_at(cover.valid_until));
+        assert!(!cover.is_valid_at(cover.valid_until + 1));
+    }
+
+    #[test]
+    fn nearest_region_is_actually_nearest() {
+        let ds = window_dataset();
+        let cover = build_cover(&ds);
+        let q = Point::new(123.0, 456.0);
+        let (idx, _) = cover.nearest_region(&q).unwrap();
+        for (i, r) in cover.regions.iter().enumerate() {
+            assert!(
+                cover.regions[idx].centroid.distance_sq(&q) <= r.centroid.distance_sq(&q),
+                "region {i} closer than chosen {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn coefficient_count_positive_and_scales() {
+        let ds = window_dataset();
+        let cover = build_cover(&ds);
+        assert!(cover.coefficient_count() >= cover.len() * 3);
+    }
+
+    #[test]
+    fn deep_size_scales_with_regions() {
+        let ds = window_dataset();
+        let cover = build_cover(&ds);
+        let sz = cover.deep_size_of();
+        assert!(sz >= cover.len() * std::mem::size_of::<CoverRegion>());
+        // A model cover must be far smaller than the raw tuples it replaces.
+        assert!(sz < ds.len() * std::mem::size_of::<RawTuple>() * 2);
+    }
+
+    #[test]
+    fn identical_position_window_single_populated_region() {
+        let tuples: Vec<RawTuple> = (0..10).map(|i| tup(i, 5.0, 5.0, 400.0)).collect();
+        let ds = Dataset::from_tuples(Pollutant::Co2, tuples).unwrap();
+        let cover = build_cover(&ds);
+        assert!(!cover.is_empty());
+        assert!(cover.regions.iter().all(|r| r.population > 0));
+        let got = cover
+            .interpolate(Timestamp::from_secs(5), &Point::new(5.0, 5.0))
+            .unwrap();
+        assert!((got - 400.0).abs() < 1.0);
+    }
+}

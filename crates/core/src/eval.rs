@@ -1,0 +1,135 @@
+//! Accuracy evaluation: NRMSE and coverage (Figure 6b's metrics).
+
+/// Normalized root-mean-square error, in percent.
+///
+/// `NRMSE = RMSE / (max(truth) − min(truth)) × 100` over the evaluated
+/// pairs. Returns 0 for an empty input, and normalizes by 1 when all truths
+/// are identical (plain RMSE) to stay finite.
+pub fn nrmse_percent(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let mse = pairs
+        .iter()
+        .map(|(pred, truth)| (pred - truth).powi(2))
+        .sum::<f64>()
+        / n;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, truth) in pairs {
+        lo = lo.min(truth);
+        hi = hi.max(truth);
+    }
+    let range = (hi - lo).max(1.0);
+    mse.sqrt() / range * 100.0
+}
+
+/// A method's accuracy over a query workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Queries the method produced an answer for.
+    pub answered: usize,
+    /// Total queries issued.
+    pub total: usize,
+    /// NRMSE over the answered queries, in percent.
+    pub nrmse_percent: f64,
+}
+
+impl AccuracyReport {
+    /// Builds the report from per-query `(prediction, ground truth)` where
+    /// the prediction may be absent (no data within radius).
+    ///
+    /// NRMSE is computed only over answered queries — the same rule for
+    /// every method, as unanswered queries have no error to attribute.
+    pub fn from_predictions<I>(outcomes: I) -> Self
+    where
+        I: IntoIterator<Item = (Option<f64>, f64)>,
+    {
+        let mut pairs = Vec::new();
+        let mut total = 0usize;
+        for (pred, truth) in outcomes {
+            total += 1;
+            if let Some(p) = pred {
+                pairs.push((p, truth));
+            }
+        }
+        Self {
+            answered: pairs.len(),
+            total,
+            nrmse_percent: nrmse_percent(&pairs),
+        }
+    }
+
+    /// Fraction of queries answered, in `[0, 1]` (1.0 for zero queries).
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.answered as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pairs_zero_error() {
+        assert_eq!(nrmse_percent(&[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions_zero_error() {
+        let pairs = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)];
+        assert_eq!(nrmse_percent(&pairs), 0.0);
+    }
+
+    #[test]
+    fn known_nrmse_value() {
+        // Truths span [0, 10]; every prediction off by 1 → RMSE 1 → 10 %.
+        let pairs = [(1.0, 0.0), (6.0, 5.0), (11.0, 10.0)];
+        assert!((nrmse_percent(&pairs) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_truth_normalizes_by_one() {
+        let pairs = [(5.0, 4.0), (3.0, 4.0)]; // RMSE = 1, range = 0 → use 1
+        assert!((nrmse_percent(&pairs) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worse_predictions_higher_nrmse() {
+        let good = [(1.1, 1.0), (2.1, 2.0), (10.0, 10.1)];
+        let bad = [(3.0, 1.0), (5.0, 2.0), (2.0, 10.0)];
+        assert!(nrmse_percent(&bad) > nrmse_percent(&good));
+    }
+
+    #[test]
+    fn report_counts_answered() {
+        let r = AccuracyReport::from_predictions(vec![
+            (Some(1.0), 1.0),
+            (None, 2.0),
+            (Some(3.5), 3.0),
+        ]);
+        assert_eq!(r.total, 3);
+        assert_eq!(r.answered, 2);
+        assert!((r.coverage() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_ignores_unanswered_in_error() {
+        let with_misses = AccuracyReport::from_predictions(vec![
+            (Some(1.0), 1.0),
+            (None, 100.0), // would be a huge error if counted
+        ]);
+        assert_eq!(with_misses.nrmse_percent, 0.0);
+    }
+
+    #[test]
+    fn empty_report_full_coverage() {
+        let r = AccuracyReport::from_predictions(Vec::new());
+        assert_eq!(r.coverage(), 1.0);
+        assert_eq!(r.nrmse_percent, 0.0);
+    }
+}

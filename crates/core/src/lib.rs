@@ -1,0 +1,89 @@
+//! # EnviroMeter
+//!
+//! A platform for querying community-sensed environmental data — a full
+//! reimplementation of *"EnviroMeter: A Platform for Querying
+//! Community-Sensed Data"* (Sathe et al., VLDB 2013).
+//!
+//! Large-area Community-driven Sensor Networks (LCSNs) produce
+//! **geo-temporally skewed** data: mobile sensors (buses, cars, phones)
+//! sample the phenomenon only where and when they happen to be. EnviroMeter
+//! answers point and continuous pollution queries over such data by
+//! replacing the raw tuples of each time window with an adaptive
+//! **model cover** — a set of cluster centroids, each owning a small linear
+//! regression model of its sub-region — and interpolating from the nearest
+//! model instead of scanning raw data.
+//!
+//! ## Crate layout
+//!
+//! * [`cluster`] — standard k-means (k-means++ / Lloyd) and the adaptive
+//!   **Ad-KMN** algorithm that splits high-error regions (§2.1 of the
+//!   paper).
+//! * [`model`] — per-region linear regression models and the
+//!   pollutant-normalized approximation-error metric.
+//! * [`cover`] — the [`ModelCover`]: centroids + models + validity horizon,
+//!   the unit cached by clients and shipped by the server.
+//! * [`query`] — the three query-processing methods of §2.2 (naïve /
+//!   metric-space index / model cover) behind one trait, plus the windowed
+//!   [`query::QueryEngine`].
+//! * [`eval`] — NRMSE and coverage metrics for the accuracy experiments.
+//! * [`heatmap`] — the web UI's heatmap mode: model-cover evaluation over a
+//!   grid, with PPM/ASCII rendering.
+//! * [`route`] — the Android app's route recording with OSHA
+//!   classification.
+//! * [`platform`] — the [`EnviroMeter`] facade tying everything together.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use enviro_data::{LausanneSim, SimConfig, WindowSpec};
+//! use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+//!
+//! // Simulate two buses sensing CO2 for six hours.
+//! let sim = LausanneSim::lausanne(SimConfig {
+//!     duration_secs: 6 * 3600,
+//!     ..SimConfig::default()
+//! });
+//! let dataset = sim.generate();
+//!
+//! // Stand up the platform with 4-hour model windows.
+//! let platform = EnviroMeter::new(
+//!     dataset,
+//!     WindowSpec::ByDuration(4 * 3600),
+//!     AdKmnConfig::default(),
+//!     1_000.0, // radius r = 1 km for the raw-data methods
+//! );
+//!
+//! // Ask for the CO2 level at a position, via the model cover.
+//! let q = enviro_data::QueryTuple::new(
+//!     enviro_data::Timestamp::from_hours(2),
+//!     enviro_geo::Point::new(500.0, -100.0),
+//! );
+//! let answer = platform.point_query(&q, QueryMethod::ModelCover);
+//! assert!(answer.unwrap() > 300.0); // plausible ppm
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cluster;
+pub mod cover;
+pub mod eval;
+pub mod heatmap;
+pub mod live;
+pub mod model;
+pub mod platform;
+pub mod query;
+pub mod route;
+
+pub use cluster::{AdKmn, AdKmnConfig, KMeans, KMeansConfig, SplitStrategy};
+pub use cover::{CoverBuilder, CoverRegion, ModelCover};
+pub use eval::{nrmse_percent, AccuracyReport};
+pub use heatmap::{Heatmap, HeatmapBuilder};
+pub use live::{LiveConfig, LiveEngine, LiveStats};
+pub use model::{ApproximationError, FitConfig, LinearModel, RegionModel};
+pub use platform::EnviroMeter;
+pub use query::{
+    CoverProcessor, IdwConfig, IdwProcessor, IndexKind, IndexedProcessor, NaiveProcessor,
+    PointQueryProcessor, QueryEngine, QueryMethod,
+};
+pub use route::{Route, RouteSummary};

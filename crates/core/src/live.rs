@@ -1,0 +1,461 @@
+//! Live ingestion with lazy model maintenance.
+//!
+//! The batch [`crate::QueryEngine`] owns a finished dataset; a deployment
+//! ingests forever. [`LiveEngine`] accepts tuples as they arrive, buckets
+//! them into duration windows, and maintains model covers **lazily** — the
+//! paper's "lazy update policies": a cover is built only when a query
+//! actually needs its window, and is rebuilt only when enough new data has
+//! arrived to matter.
+//!
+//! Rebuild policy: a cached cover is invalidated when its window has grown
+//! by more than [`LiveConfig::rebuild_growth`] (fractional) since the cover
+//! was built — late-arriving tuples trigger a rebuild on the next query
+//! rather than on every ingest.
+
+use crate::cluster::AdKmnConfig;
+use crate::cover::{CoverBuilder, ModelCover};
+use crate::query::{CoverProcessor, NaiveProcessor, PointQueryProcessor, QueryMethod};
+use enviro_data::{Pollutant, QueryTuple, RawTuple, Timestamp, Window};
+use std::collections::BTreeMap;
+
+/// Configuration of a live engine.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// The monitored pollutant.
+    pub pollutant: Pollutant,
+    /// Window duration in seconds (windows are epoch-aligned).
+    pub window_secs: i64,
+    /// Ad-KMN configuration for cover building.
+    pub adkmn: AdKmnConfig,
+    /// Radius for raw-data queries, meters.
+    pub radius: f64,
+    /// Fractional growth of a window's tuple count that invalidates its
+    /// cached cover (e.g. `0.25` = rebuild after 25 % more data).
+    pub rebuild_growth: f64,
+    /// Windows older than this many windows behind the newest are evicted
+    /// (raw tuples and cover dropped). `None` keeps everything.
+    pub retention_windows: Option<u64>,
+    /// Warm-start each window's Ad-KMN from the previous window's
+    /// centroids (cross-window adaptivity; cheaper and usually equivalent
+    /// — see the `abl-warm` ablation).
+    pub warm_start: bool,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            pollutant: Pollutant::Co2,
+            window_secs: 4 * 3_600,
+            adkmn: AdKmnConfig::default(),
+            radius: 1_000.0,
+            rebuild_growth: 0.25,
+            retention_windows: None,
+            warm_start: true,
+        }
+    }
+}
+
+/// Per-window state: raw tuples plus the lazily maintained cover.
+#[derive(Debug)]
+struct WindowState {
+    tuples: Vec<RawTuple>,
+    /// The cached cover and the tuple count it was built from.
+    cover: Option<(ModelCover, usize)>,
+}
+
+/// Counters exposing the lazy-maintenance behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveStats {
+    /// Tuples ingested (and retained or later evicted).
+    pub ingested: usize,
+    /// Cover builds performed (first builds + rebuilds).
+    pub cover_builds: usize,
+    /// Windows evicted by retention.
+    pub windows_evicted: usize,
+}
+
+/// A streaming EnviroMeter engine with lazy cover maintenance.
+///
+/// ```
+/// use enviro_data::{QueryTuple, RawTuple, Timestamp};
+/// use enviro_geo::Point;
+/// use enviro_meter::{LiveConfig, LiveEngine};
+///
+/// let mut engine = LiveEngine::new(LiveConfig::default());
+/// for i in 0..20 {
+///     engine.ingest(RawTuple::new(
+///         Timestamp::from_secs(i * 60),
+///         Point::new(i as f64 * 50.0, 0.0),
+///         420.0 + i as f64,
+///     ));
+/// }
+/// let q = QueryTuple::new(Timestamp::from_secs(600), Point::new(300.0, 0.0));
+/// assert!(engine.query(&q).is_some());
+/// assert_eq!(engine.stats().cover_builds, 1); // built lazily, on demand
+/// ```
+#[derive(Debug)]
+pub struct LiveEngine {
+    config: LiveConfig,
+    builder: CoverBuilder,
+    windows: BTreeMap<u64, WindowState>,
+    stats: LiveStats,
+}
+
+impl LiveEngine {
+    /// Creates an empty live engine.
+    pub fn new(config: LiveConfig) -> Self {
+        assert!(config.window_secs > 0, "window duration must be positive");
+        assert!(config.radius >= 0.0, "radius must be non-negative");
+        assert!(
+            config.rebuild_growth >= 0.0,
+            "rebuild growth must be non-negative"
+        );
+        let builder = CoverBuilder::new(config.adkmn.clone());
+        Self {
+            config,
+            builder,
+            windows: BTreeMap::new(),
+            stats: LiveStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
+    }
+
+    /// Lazy-maintenance counters.
+    pub fn stats(&self) -> LiveStats {
+        self.stats
+    }
+
+    /// Number of retained windows.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The window id a timestamp belongs to.
+    pub fn window_id_of(&self, t: Timestamp) -> u64 {
+        t.as_secs().div_euclid(self.config.window_secs).max(0) as u64
+    }
+
+    /// Ingests one tuple. Late arrivals (for an already-started or even an
+    /// older window) are accepted; the affected window's cover is rebuilt
+    /// lazily on its next query. Tuples older than the retention horizon
+    /// are dropped.
+    pub fn ingest(&mut self, tuple: RawTuple) {
+        assert!(tuple.is_finite(), "cannot ingest a non-finite tuple");
+        let id = self.window_id_of(tuple.time);
+        if let (Some(retention), Some((&newest, _))) = (
+            self.config.retention_windows,
+            self.windows.last_key_value(),
+        ) {
+            if newest.saturating_sub(id) > retention {
+                return; // beyond the horizon; nothing would ever query it
+            }
+        }
+        let state = self.windows.entry(id).or_insert(WindowState {
+            tuples: Vec::new(),
+            cover: None,
+        });
+        // Keep per-window tuples time-sorted for the naive scan's sanity.
+        let pos = state.tuples.partition_point(|t| t.time <= tuple.time);
+        state.tuples.insert(pos, tuple);
+        self.stats.ingested += 1;
+        self.evict();
+    }
+
+    /// Ingests a batch (e.g. one storage segment or one sampling tick).
+    pub fn ingest_batch(&mut self, tuples: &[RawTuple]) {
+        for t in tuples {
+            self.ingest(*t);
+        }
+    }
+
+    /// Answers a point query with the model cover (the production method).
+    pub fn query(&mut self, q: &QueryTuple) -> Option<f64> {
+        self.query_with(q, QueryMethod::ModelCover)
+    }
+
+    /// Answers a point query with an explicit method (`ModelCover` or
+    /// `Naive`; the index methods are batch-engine territory).
+    pub fn query_with(&mut self, q: &QueryTuple, method: QueryMethod) -> Option<f64> {
+        let id = self.responsible_window(q.time)?;
+        match method {
+            QueryMethod::Naive => {
+                let state = self.windows.get(&id).expect("responsible window exists");
+                NaiveProcessor::new(&state.tuples, self.config.radius).interpolate(q)
+            }
+            _ => {
+                let cover = self.cover_for(id)?;
+                CoverProcessor::new(cover).interpolate(q)
+            }
+        }
+    }
+
+    /// The current cover for the window containing `t`, building or
+    /// rebuilding it if the lazy policy requires. `None` when no data
+    /// exists at or before `t`'s window.
+    pub fn cover_at(&mut self, t: Timestamp) -> Option<&ModelCover> {
+        let id = self.responsible_window(t)?;
+        self.cover_for(id)
+    }
+
+    /// The newest window id with data, if any.
+    pub fn newest_window(&self) -> Option<u64> {
+        self.windows.last_key_value().map(|(&k, _)| k)
+    }
+
+    /// The id of the window that should answer a query at `t`: the window
+    /// containing `t`, or the newest one before it (freshest available
+    /// data), mirroring the batch engine's rule.
+    fn responsible_window(&self, t: Timestamp) -> Option<u64> {
+        let id = self.window_id_of(t);
+        self.windows
+            .range(..=id)
+            .next_back()
+            .map(|(&k, _)| k)
+            .or_else(|| self.windows.first_key_value().map(|(&k, _)| k))
+    }
+
+    /// Gets (building lazily) the cover of window `id`.
+    fn cover_for(&mut self, id: u64) -> Option<&ModelCover> {
+        let window_secs = self.config.window_secs;
+        let growth = self.config.rebuild_growth;
+        let pollutant = self.config.pollutant;
+        let needs_build = {
+            let state = self.windows.get(&id)?;
+            match &state.cover {
+                None => true,
+                Some((_, built_from)) => {
+                    let grown = state.tuples.len().saturating_sub(*built_from);
+                    (grown as f64) > (*built_from as f64) * growth
+                }
+            }
+        };
+        if needs_build {
+            // Warm-start seed: the newest already-built cover before this
+            // window (cloned so the mutable re-borrow below is clean).
+            let seed_cover: Option<ModelCover> = if self.config.warm_start {
+                self.windows
+                    .range(..id)
+                    .rev()
+                    .find_map(|(_, s)| s.cover.as_ref().map(|(c, _)| c.clone()))
+            } else {
+                None
+            };
+            let state = self.windows.get_mut(&id).expect("checked above");
+            let window = Window {
+                id,
+                tuples: &state.tuples,
+                valid_until: Timestamp::from_secs((id as i64 + 1) * window_secs),
+            };
+            let cover = match &seed_cover {
+                Some(prev) if !prev.is_empty() => {
+                    self.builder.build_seeded(&window, pollutant, prev)
+                }
+                _ => self.builder.build(&window, pollutant),
+            };
+            state.cover = Some((cover, state.tuples.len()));
+            self.stats.cover_builds += 1;
+        }
+        self.windows
+            .get(&id)
+            .and_then(|s| s.cover.as_ref().map(|(c, _)| c))
+    }
+
+    /// Applies the retention policy.
+    fn evict(&mut self) {
+        let Some(retention) = self.config.retention_windows else {
+            return;
+        };
+        let Some((&newest, _)) = self.windows.last_key_value() else {
+            return;
+        };
+        let horizon = newest.saturating_sub(retention);
+        let evict: Vec<u64> = self
+            .windows
+            .range(..horizon)
+            .map(|(&k, _)| k)
+            .collect();
+        for id in evict {
+            self.windows.remove(&id);
+            self.stats.windows_evicted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enviro_geo::Point;
+
+    fn tup(secs: i64, x: f64, v: f64) -> RawTuple {
+        RawTuple::new(Timestamp::from_secs(secs), Point::new(x, 0.0), v)
+    }
+
+    fn small_engine() -> LiveEngine {
+        LiveEngine::new(LiveConfig {
+            window_secs: 100,
+            ..LiveConfig::default()
+        })
+    }
+
+    #[test]
+    fn empty_engine_answers_nothing() {
+        let mut e = small_engine();
+        assert_eq!(
+            e.query(&QueryTuple::new(Timestamp::from_secs(50), Point::origin())),
+            None
+        );
+        assert_eq!(e.cover_at(Timestamp::ZERO), None);
+    }
+
+    #[test]
+    fn ingest_and_query_current_window() {
+        let mut e = small_engine();
+        for i in 0..20 {
+            e.ingest(tup(i, i as f64 * 10.0, 400.0 + i as f64));
+        }
+        let v = e
+            .query(&QueryTuple::new(Timestamp::from_secs(10), Point::new(100.0, 0.0)))
+            .unwrap();
+        assert!((350.0..500.0).contains(&v), "{v}");
+        assert_eq!(e.window_count(), 1);
+    }
+
+    #[test]
+    fn covers_are_built_lazily_and_cached() {
+        let mut e = small_engine();
+        for i in 0..20 {
+            e.ingest(tup(i, i as f64, 400.0));
+        }
+        assert_eq!(e.stats().cover_builds, 0, "no query yet, no build");
+        let q = QueryTuple::new(Timestamp::from_secs(10), Point::origin());
+        e.query(&q);
+        assert_eq!(e.stats().cover_builds, 1);
+        e.query(&q);
+        e.query(&q);
+        assert_eq!(e.stats().cover_builds, 1, "cached across queries");
+    }
+
+    #[test]
+    fn growth_triggers_rebuild() {
+        let mut e = small_engine();
+        for i in 0..10 {
+            e.ingest(tup(i, i as f64, 400.0));
+        }
+        let q = QueryTuple::new(Timestamp::from_secs(10), Point::origin());
+        e.query(&q);
+        assert_eq!(e.stats().cover_builds, 1);
+        // +10 % growth: below the 25 % threshold → no rebuild.
+        e.ingest(tup(11, 1.0, 400.0));
+        e.query(&q);
+        assert_eq!(e.stats().cover_builds, 1);
+        // Grow past 25 % → rebuild on next query (and only then).
+        for i in 12..16 {
+            e.ingest(tup(i, i as f64, 400.0));
+        }
+        assert_eq!(e.stats().cover_builds, 1, "ingest alone must not build");
+        e.query(&q);
+        assert_eq!(e.stats().cover_builds, 2);
+    }
+
+    #[test]
+    fn late_arrival_updates_answers() {
+        let mut e = small_engine();
+        for i in 0..10 {
+            e.ingest(tup(i, 0.0, 100.0));
+        }
+        let q = QueryTuple::new(Timestamp::from_secs(5), Point::origin());
+        let before = e.query(&q).unwrap();
+        assert!((before - 100.0).abs() < 5.0);
+        // A burst of late tuples with a very different level.
+        for i in 10..40 {
+            e.ingest(tup(i, 0.0, 900.0));
+        }
+        let after = e.query(&q).unwrap();
+        assert!(after > before + 100.0, "{after} vs {before}");
+    }
+
+    #[test]
+    fn queries_after_last_window_use_freshest() {
+        let mut e = small_engine();
+        for i in 0..20 {
+            e.ingest(tup(i, i as f64, 420.0));
+        }
+        // Window 0 holds the data; query far in the future.
+        let v = e.query(&QueryTuple::new(
+            Timestamp::from_secs(10_000),
+            Point::new(5.0, 0.0),
+        ));
+        assert!(v.is_some());
+    }
+
+    #[test]
+    fn multiple_windows_routed_correctly() {
+        let mut e = small_engine();
+        // Window 0: level 100; window 1: level 900.
+        for i in 0..30 {
+            e.ingest(tup(i, i as f64, 100.0));
+        }
+        for i in 100..130 {
+            e.ingest(tup(i, (i - 100) as f64, 900.0));
+        }
+        let v0 = e
+            .query(&QueryTuple::new(Timestamp::from_secs(50), Point::origin()))
+            .unwrap();
+        let v1 = e
+            .query(&QueryTuple::new(Timestamp::from_secs(150), Point::origin()))
+            .unwrap();
+        assert!(v0 < 300.0, "{v0}");
+        assert!(v1 > 700.0, "{v1}");
+    }
+
+    #[test]
+    fn retention_evicts_old_windows() {
+        let mut e = LiveEngine::new(LiveConfig {
+            window_secs: 100,
+            retention_windows: Some(2),
+            ..LiveConfig::default()
+        });
+        for w in 0..6i64 {
+            for i in 0..5 {
+                e.ingest(tup(w * 100 + i, i as f64, 400.0));
+            }
+        }
+        // Newest window is 5; horizon = 3 → windows 0..3 evicted.
+        assert_eq!(e.window_count(), 3);
+        assert!(e.stats().windows_evicted >= 3);
+        // Ancient late arrival is dropped outright.
+        let before = e.window_count();
+        e.ingest(tup(10, 0.0, 400.0));
+        assert_eq!(e.window_count(), before);
+    }
+
+    #[test]
+    fn naive_method_available_live() {
+        let mut e = small_engine();
+        for i in 0..10 {
+            e.ingest(tup(i, i as f64, 500.0));
+        }
+        let v = e
+            .query_with(
+                &QueryTuple::new(Timestamp::from_secs(5), Point::new(3.0, 0.0)),
+                QueryMethod::Naive,
+            )
+            .unwrap();
+        assert!((v - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_ingest_keeps_window_sorted() {
+        let mut e = small_engine();
+        e.ingest(tup(50, 0.0, 1.0));
+        e.ingest(tup(10, 0.0, 2.0));
+        e.ingest(tup(30, 0.0, 3.0));
+        let state = e.windows.get(&0).unwrap();
+        let times: Vec<i64> = state.tuples.iter().map(|t| t.time.as_secs()).collect();
+        assert_eq!(times, vec![10, 30, 50]);
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's approximation-error metric.
+
+use enviro_data::Pollutant;
+
+/// Approximation error of a model on a tuple set: "the average percentage
+/// error compared to the normal range of `s_i` in the environment
+/// (pollutant specific)" — footnote 1 of the paper.
+///
+/// Concretely: `mean(|ŝ_i − s_i|) / normal_range_width(pollutant) × 100`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproximationError {
+    mean_abs: f64,
+    percent: f64,
+    count: usize,
+}
+
+impl ApproximationError {
+    /// Computes the error over `(prediction, actual)` pairs.
+    ///
+    /// An empty iterator yields a zero error over zero samples (a region
+    /// with no residuals violates no threshold).
+    pub fn compute<I>(pairs: I, pollutant: Pollutant) -> Self
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        let mut sum_abs = 0.0;
+        let mut count = 0usize;
+        for (pred, actual) in pairs {
+            sum_abs += (pred - actual).abs();
+            count += 1;
+        }
+        let mean_abs = if count == 0 { 0.0 } else { sum_abs / count as f64 };
+        let percent = mean_abs / pollutant.normal_range_width() * 100.0;
+        Self {
+            mean_abs,
+            percent,
+            count,
+        }
+    }
+
+    /// Mean absolute error in the pollutant unit.
+    #[inline]
+    pub fn mean_abs(&self) -> f64 {
+        self.mean_abs
+    }
+
+    /// The error as a percentage of the pollutant's normal range — the
+    /// quantity compared against the threshold `τ_n`.
+    #[inline]
+    pub fn percent(&self) -> f64 {
+        self.percent
+    }
+
+    /// Number of samples the error was computed over.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// `true` if the error violates the threshold `tau_percent`.
+    #[inline]
+    pub fn exceeds(&self, tau_percent: f64) -> bool {
+        self.percent > tau_percent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let e = ApproximationError::compute(std::iter::empty(), Pollutant::Co2);
+        assert_eq!(e.percent(), 0.0);
+        assert_eq!(e.count(), 0);
+        assert!(!e.exceeds(0.0));
+    }
+
+    #[test]
+    fn mean_abs_is_average_of_absolute_residuals() {
+        let e = ApproximationError::compute(
+            vec![(10.0, 12.0), (10.0, 7.0)], // residuals 2 and 3
+            Pollutant::Co2,
+        );
+        assert_eq!(e.mean_abs(), 2.5);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn percent_uses_pollutant_range() {
+        // CO normal range width = 30; residual 3 → 10 %.
+        let e = ApproximationError::compute(vec![(0.0, 3.0)], Pollutant::Co);
+        assert!((e.percent() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exceeds_is_strict() {
+        // CO2 normal range width = 1150; residual 11.5 → exactly 1 %.
+        let e = ApproximationError::compute(vec![(0.0, 11.5)], Pollutant::Co2);
+        assert!(e.exceeds(0.5));
+        assert!(!e.exceeds(1.0)); // equal is not exceeding
+        assert!(!e.exceeds(2.0));
+    }
+
+    #[test]
+    fn sign_of_residual_does_not_matter() {
+        let over = ApproximationError::compute(vec![(10.0, 5.0)], Pollutant::Co2);
+        let under = ApproximationError::compute(vec![(5.0, 10.0)], Pollutant::Co2);
+        assert_eq!(over.percent(), under.percent());
+    }
+}

@@ -1,0 +1,277 @@
+//! Spatio-temporal linear regression over standardized features.
+
+use enviro_data::{RawTuple, Timestamp};
+use enviro_geo::Point;
+use enviro_linalg::{lstsq_ridge, Matrix};
+
+/// Fitting policy shared by all region models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitConfig {
+    /// Below this many tuples a region gets a mean model instead of a
+    /// regression (4 coefficients need comfortably more than 4 points).
+    pub min_points_for_regression: usize,
+    /// Relative ridge strength: the solver uses `λ = ridge_alpha · n` on
+    /// standardized features.
+    ///
+    /// Bus-trajectory windows are nearly one-dimensional: the spatial slope
+    /// *orthogonal* to the track is unidentifiable, and plain OLS would fit
+    /// it to GPS noise — harmless on the track, catastrophic when a query
+    /// extrapolates a few hundred meters off-corridor. Sample-scaled ridge
+    /// shrinks exactly those unidentified directions (Gram eigenvalue ≪
+    /// λ·n) to zero while biasing well-identified slopes by only
+    /// ≈ `ridge_alpha` relative.
+    pub ridge_alpha: f64,
+    /// Minimum spatial spread (meters, standard deviation) for a coordinate
+    /// to earn a slope. A region whose lateral extent is only GPS noise
+    /// (~5 m) must not fit a lateral gradient: standardization would
+    /// amplify that noise-slope 100× for a query a few hundred meters
+    /// off-track.
+    pub min_spatial_spread_m: f64,
+    /// Minimum temporal spread (seconds) for the time feature to earn a
+    /// slope.
+    pub min_time_spread_s: f64,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self {
+            min_points_for_regression: 8,
+            ridge_alpha: 1e-4,
+            min_spatial_spread_m: 10.0,
+            min_time_spread_s: 30.0,
+        }
+    }
+}
+
+/// A fitted linear model `s = β₀ + β₁·x̃ + β₂·ỹ + β₃·t̃`.
+///
+/// Features are *standardized* (centered on the training mean, scaled by
+/// the training spread) before fitting — raw city coordinates (10³ m) and
+/// timestamps (10⁶ s) would otherwise produce a catastrophically
+/// ill-conditioned Gram matrix. The standardization constants are part of
+/// the model and travel with it over the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Coefficients `[β₀, β₁, β₂, β₃]` over `[1, x̃, ỹ, t̃]`.
+    pub beta: [f64; 4],
+    /// Feature centers `(cx, cy, ct)`.
+    pub center: (f64, f64, f64),
+    /// Feature scales `(sx, sy, st)`. A scale of `f64::INFINITY` marks a
+    /// *degenerate* dimension (training spread below the identifiability
+    /// floor): its standardized feature is always 0 and the model carries
+    /// no slope for it.
+    pub scale: (f64, f64, f64),
+    /// Plausible output interval, derived from the training values (extended
+    /// by 10 % of their span). Predictions are clamped into it: a local
+    /// model may interpolate and gently extrapolate, but never invent
+    /// values far outside what its region ever observed.
+    pub value_range: (f64, f64),
+}
+
+/// Prediction-time clamp on standardized features: a local region model is
+/// only trusted a few standard deviations beyond its training support;
+/// farther out it saturates instead of extrapolating linearly.
+const FEATURE_CLAMP: f64 = 4.0;
+
+#[inline]
+fn feature(v: f64, center: f64, scale: f64) -> f64 {
+    // Degenerate dimensions have scale = ∞ → feature 0.
+    ((v - center) / scale).clamp(-FEATURE_CLAMP, FEATURE_CLAMP)
+}
+
+impl LinearModel {
+    /// Number of `f64` values needed to reconstruct the model
+    /// (4 β + 3 centers + 3 scales + 2 value bounds).
+    pub const COEFFICIENT_COUNT: usize = 12;
+
+    /// Fits the model by ridge regression on standardized features (see
+    /// [`FitConfig::ridge_alpha`] for why ridge is not merely a fallback).
+    /// Returns `None` when no finite coefficients exist (non-finite inputs).
+    pub fn fit(tuples: &[RawTuple], config: &FitConfig) -> Option<LinearModel> {
+        let n = tuples.len();
+        if n < 4 {
+            return None;
+        }
+        // Standardization constants.
+        let nf = n as f64;
+        let cx = tuples.iter().map(|t| t.pos.x).sum::<f64>() / nf;
+        let cy = tuples.iter().map(|t| t.pos.y).sum::<f64>() / nf;
+        let ct = tuples.iter().map(|t| t.time.as_secs_f64()).sum::<f64>() / nf;
+        let spread = |f: &dyn Fn(&RawTuple) -> f64, c: f64, floor: f64| -> f64 {
+            let var = tuples.iter().map(|t| (f(t) - c).powi(2)).sum::<f64>() / nf;
+            let sd = var.sqrt();
+            // Below the identifiability floor the dimension is degenerate.
+            if sd < floor {
+                f64::INFINITY
+            } else {
+                sd
+            }
+        };
+        let sx = spread(&|t| t.pos.x, cx, config.min_spatial_spread_m);
+        let sy = spread(&|t| t.pos.y, cy, config.min_spatial_spread_m);
+        let st = spread(
+            &|t| t.time.as_secs_f64(),
+            ct,
+            config.min_time_spread_s,
+        );
+
+        let mut design = Vec::with_capacity(n * 4);
+        for t in tuples {
+            design.push(1.0);
+            design.push(feature(t.pos.x, cx, sx));
+            design.push(feature(t.pos.y, cy, sy));
+            design.push(feature(t.time.as_secs_f64(), ct, st));
+        }
+        let a = Matrix::from_rows(n, 4, design);
+        let b: Vec<f64> = tuples.iter().map(|t| t.value).collect();
+        let lambda = (config.ridge_alpha * n as f64).max(f64::MIN_POSITIVE);
+        let beta_vec = lstsq_ridge(&a, &b, lambda).ok()?;
+        let beta = [beta_vec[0], beta_vec[1], beta_vec[2], beta_vec[3]];
+        if !beta.iter().all(|v| v.is_finite()) {
+            return None;
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &b {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let margin = (hi - lo) * 0.1;
+        Some(LinearModel {
+            beta,
+            center: (cx, cy, ct),
+            scale: (sx, sy, st),
+            value_range: (lo - margin, hi + margin),
+        })
+    }
+
+    /// Evaluates the model at `(time, pos)`.
+    ///
+    /// Standardized features are clamped to ±4 σ of the training support:
+    /// a region model describes its neighbourhood and saturates — rather
+    /// than extrapolating a straight line — far outside it.
+    #[inline]
+    pub fn predict(&self, time: Timestamp, pos: &Point) -> f64 {
+        let (cx, cy, ct) = self.center;
+        let (sx, sy, st) = self.scale;
+        let raw = self.beta[0]
+            + self.beta[1] * feature(pos.x, cx, sx)
+            + self.beta[2] * feature(pos.y, cy, sy)
+            + self.beta[3] * feature(time.as_secs_f64(), ct, st);
+        raw.clamp(self.value_range.0, self.value_range.1)
+    }
+
+    /// Serializes the model to its wire coefficients (see
+    /// [`LinearModel::COEFFICIENT_COUNT`]).
+    pub fn to_coefficients(&self) -> [f64; Self::COEFFICIENT_COUNT] {
+        [
+            self.beta[0],
+            self.beta[1],
+            self.beta[2],
+            self.beta[3],
+            self.center.0,
+            self.center.1,
+            self.center.2,
+            self.scale.0,
+            self.scale.1,
+            self.scale.2,
+            self.value_range.0,
+            self.value_range.1,
+        ]
+    }
+
+    /// Reconstructs a model from wire coefficients.
+    pub fn from_coefficients(c: &[f64; Self::COEFFICIENT_COUNT]) -> LinearModel {
+        LinearModel {
+            beta: [c[0], c[1], c[2], c[3]],
+            center: (c[4], c[5], c[6]),
+            scale: (c[7], c[8], c[9]),
+            value_range: (c[10], c[11]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup(t: i64, x: f64, y: f64, v: f64) -> RawTuple {
+        RawTuple::new(Timestamp::from_secs(t), Point::new(x, y), v)
+    }
+
+    /// Grid of samples from an exact plane with a time trend. Times are
+    /// decoupled from positions (pseudo-random order) so the design matrix
+    /// has full rank and OLS applies.
+    fn planar_tuples() -> Vec<RawTuple> {
+        let mut out = Vec::new();
+        for i in 0..5i64 {
+            for j in 0..5i64 {
+                let (x, y) = (i as f64 * 100.0, j as f64 * 100.0);
+                let t = ((i * 5 + j) * 7919) % 1500; // decorrelated from (x, y)
+                out.push(tup(t, x, y, 400.0 + 0.1 * x - 0.05 * y + 0.01 * t as f64));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_exact_plane_with_time() {
+        let tuples = planar_tuples();
+        let m = LinearModel::fit(&tuples, &FitConfig::default()).unwrap();
+        // Ridge biases the fit by ~ridge_alpha relative; tolerance reflects
+        // that.
+        for t in &tuples {
+            let pred = m.predict(t.time, &t.pos);
+            assert!((pred - t.value).abs() < 0.5, "{pred} vs {}", t.value);
+        }
+    }
+
+    #[test]
+    fn extrapolates_the_plane() {
+        let m = LinearModel::fit(&planar_tuples(), &FitConfig::default()).unwrap();
+        let pred = m.predict(Timestamp::from_secs(600), &Point::new(250.0, 150.0));
+        let want = 400.0 + 0.1 * 250.0 - 0.05 * 150.0 + 0.01 * 600.0;
+        assert!((pred - want).abs() < 1.0, "{pred} vs {want}");
+    }
+
+    #[test]
+    fn fit_needs_at_least_four_points() {
+        let tuples = vec![tup(0, 0.0, 0.0, 1.0); 3];
+        assert!(LinearModel::fit(&tuples, &FitConfig::default()).is_none());
+    }
+
+    #[test]
+    fn handles_huge_raw_coordinates() {
+        // Unstandardized, x ~ 1e6 and t ~ 1e6 would wreck conditioning.
+        let tuples: Vec<RawTuple> = (0..50)
+            .map(|i| {
+                let x = 1.0e6 + i as f64;
+                let y = -2.0e6 + (i * i % 13) as f64;
+                tup(1_000_000 + i * 60, x, y, 500.0 + (i % 7) as f64)
+            })
+            .collect();
+        let m = LinearModel::fit(&tuples, &FitConfig::default()).unwrap();
+        let pred = m.predict(tuples[10].time, &tuples[10].pos);
+        assert!(pred.is_finite());
+        assert!((pred - tuples[10].value).abs() < 50.0);
+    }
+
+    #[test]
+    fn coefficients_roundtrip() {
+        let m = LinearModel::fit(&planar_tuples(), &FitConfig::default()).unwrap();
+        let back = LinearModel::from_coefficients(&m.to_coefficients());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn constant_data_gives_constant_model() {
+        // x and t are collinear here (a bus moving at constant speed), so
+        // the fit falls back to ridge; the on-trajectory prediction must
+        // still be the constant, up to the regularization bias.
+        let tuples: Vec<RawTuple> = (0..10).map(|i| tup(i, i as f64, 0.0, 33.0)).collect();
+        let m = LinearModel::fit(&tuples, &FitConfig::default());
+        if let Some(m) = m {
+            let pred = m.predict(Timestamp::from_secs(4), &Point::new(4.0, 0.0));
+            assert!((pred - 33.0).abs() < 0.1, "{pred}");
+        }
+    }
+}

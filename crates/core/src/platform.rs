@@ -1,0 +1,172 @@
+//! The EnviroMeter platform facade.
+//!
+//! One object exposing everything the demo's three surfaces need: point
+//! queries and continuous queries (Android app + web "query" modes),
+//! heatmaps (web "heatmap" mode), and route recording (Android app).
+
+use crate::cluster::AdKmnConfig;
+use crate::cover::ModelCover;
+use crate::heatmap::{Heatmap, HeatmapBuilder};
+use crate::query::{QueryEngine, QueryMethod};
+use crate::route::Route;
+use enviro_data::{Dataset, QueryTuple, Timestamp, WindowSpec};
+use enviro_geo::BoundingBox;
+
+/// The EnviroMeter platform: a windowed, model-backed query service over a
+/// community-sensed dataset.
+#[derive(Debug)]
+pub struct EnviroMeter {
+    engine: QueryEngine,
+    extent: BoundingBox,
+}
+
+impl EnviroMeter {
+    /// Stands up the platform.
+    ///
+    /// * `dataset` — the raw community-sensed tuples.
+    /// * `spec` — how tuples are windowed for model learning.
+    /// * `adkmn` — the adaptive-modeling configuration (τ_n etc.).
+    /// * `radius` — the radius `r` used by the raw-data query methods.
+    pub fn new(
+        dataset: Dataset,
+        spec: WindowSpec,
+        adkmn: AdKmnConfig,
+        radius: f64,
+    ) -> Self {
+        let extent = dataset.bounds();
+        Self {
+            engine: QueryEngine::new(dataset, spec, adkmn, radius),
+            extent,
+        }
+    }
+
+    /// The underlying query engine.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The spatial extent of the sensed data.
+    pub fn extent(&self) -> BoundingBox {
+        self.extent
+    }
+
+    /// Answers a single point query (web "point query" mode).
+    pub fn point_query(&self, q: &QueryTuple, method: QueryMethod) -> Option<f64> {
+        self.engine.query(q, method)
+    }
+
+    /// Answers a continuous query — one value per trajectory point (web
+    /// "continuous query" mode; Query 1 of the paper).
+    pub fn continuous_query(
+        &self,
+        trajectory: &[QueryTuple],
+        method: QueryMethod,
+    ) -> Vec<Option<f64>> {
+        self.engine.continuous_query(trajectory, method)
+    }
+
+    /// The model cover in force at time `t` — what the model-cache protocol
+    /// ships to phones. `None` for an empty dataset.
+    pub fn cover_at(&self, t: Timestamp) -> Option<&ModelCover> {
+        self.engine.cover_for_time(t)
+    }
+
+    /// Renders the heatmap of the cover in force at `t` over the sensed
+    /// extent (web "heatmap" mode). `None` when no data exists.
+    pub fn heatmap(&self, t: Timestamp, cols: u32, rows: u32) -> Option<Heatmap> {
+        let cover = self.cover_at(t)?;
+        HeatmapBuilder::new(cols, rows).build(cover, self.extent.padded(100.0), t)
+    }
+
+    /// Records a route: runs the trajectory through `method` and returns the
+    /// per-point readings ready for the summary screen (Android app).
+    pub fn record_route(&self, trajectory: &[QueryTuple], method: QueryMethod) -> Route {
+        let mut route = Route::new(self.engine.dataset().pollutant());
+        for q in trajectory {
+            route.record(*q, self.engine.query(q, method));
+        }
+        route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enviro_data::{LausanneSim, SimConfig};
+    use enviro_geo::Point;
+
+    fn platform() -> (EnviroMeter, LausanneSim) {
+        let sim = LausanneSim::lausanne(SimConfig {
+            duration_secs: 4 * 3_600,
+            seed: 5,
+            ..SimConfig::default()
+        });
+        let p = EnviroMeter::new(
+            sim.generate(),
+            WindowSpec::ByDuration(2 * 3_600),
+            AdKmnConfig::default(),
+            1_000.0,
+        );
+        (p, sim)
+    }
+
+    #[test]
+    fn point_query_all_methods() {
+        let (p, sim) = platform();
+        let q = sim.query_workload(1, 100.0, 3)[0];
+        // Model cover always answers; raw methods may or may not find
+        // tuples in radius but must not panic.
+        assert!(p.point_query(&q, QueryMethod::ModelCover).is_some());
+        for m in QueryMethod::ALL {
+            let _ = p.point_query(&q, m);
+        }
+    }
+
+    #[test]
+    fn continuous_query_returns_per_point_values() {
+        let (p, sim) = platform();
+        let traj = sim.continuous_trajectory(30, 60, 4);
+        let vals = p.continuous_query(&traj, QueryMethod::ModelCover);
+        assert_eq!(vals.len(), 30);
+        assert!(vals.iter().all(|v| v.is_some()));
+    }
+
+    #[test]
+    fn cover_at_respects_windows() {
+        let (p, _) = platform();
+        let c0 = p.cover_at(Timestamp::from_secs(100)).unwrap();
+        let c1 = p.cover_at(Timestamp::from_secs(3 * 3_600)).unwrap();
+        assert_ne!(c0.window_id, c1.window_id);
+    }
+
+    #[test]
+    fn heatmap_renders() {
+        let (p, _) = platform();
+        let hm = p.heatmap(Timestamp::from_secs(600), 20, 15).unwrap();
+        assert_eq!(hm.values.len(), 20 * 15);
+        let ppm = hm.to_ppm();
+        assert!(ppm.starts_with(b"P6\n20 15\n255\n"));
+    }
+
+    #[test]
+    fn route_recording_end_to_end() {
+        let (p, sim) = platform();
+        let traj = sim.continuous_trajectory(20, 60, 8);
+        let route = p.record_route(&traj, QueryMethod::ModelCover);
+        assert_eq!(route.len(), 20);
+        let s = route.summary();
+        assert_eq!(s.answered, 20);
+        let avg = s.average.unwrap();
+        assert!((100.0..3_000.0).contains(&avg), "implausible average {avg}");
+    }
+
+    #[test]
+    fn extent_covers_all_samples() {
+        let (p, _) = platform();
+        let extent = p.extent();
+        for t in p.engine().dataset().tuples() {
+            assert!(extent.contains(&t.pos));
+        }
+        let _ = Point::origin();
+    }
+}

@@ -1,0 +1,427 @@
+//! The windowed query engine: lazy per-window structures + dispatch.
+
+use crate::cluster::AdKmnConfig;
+use crate::cover::{CoverBuilder, ModelCover};
+use crate::query::{
+    CoverProcessor, IdwConfig, IdwProcessor, IndexKind, IndexedProcessor, NaiveProcessor,
+    PointQueryProcessor, QueryMethod,
+};
+use enviro_data::{Dataset, QueryTuple, RawTuple, Timestamp, WindowSpec, Windows};
+use std::sync::OnceLock;
+
+/// Precomputed placement of one window inside the dataset's tuple vector.
+#[derive(Debug, Clone, Copy)]
+struct WindowMeta {
+    id: u64,
+    start: usize,
+    end: usize,
+    first_time: Timestamp,
+    valid_until: Timestamp,
+}
+
+/// The EnviroMeter server's query engine (Figure 3): owns the raw tuples,
+/// decomposes them into windows, lazily materializes the per-window
+/// structure each method needs (model cover, R-tree, VP-tree, grid) and
+/// caches it — the `model_cover` table of Figure 1.
+#[derive(Debug)]
+pub struct QueryEngine {
+    dataset: Dataset,
+    spec: WindowSpec,
+    builder: CoverBuilder,
+    radius: f64,
+    windows: Vec<WindowMeta>,
+    /// Per-window lazily built covers; `OnceLock` keeps the hot query path
+    /// lock-free after the first build.
+    covers: Vec<OnceLock<ModelCover>>,
+    /// Per-window, per-kind lazily built indexes
+    /// (order: R-tree, VP-tree, kd-tree, grid).
+    indexes: Vec<[OnceLock<IndexedProcessor>; 4]>,
+    /// Per-window lazily built IDW processors (extension method).
+    idw: Vec<OnceLock<IdwProcessor>>,
+}
+
+fn kind_slot(kind: IndexKind) -> usize {
+    match kind {
+        IndexKind::RTree => 0,
+        IndexKind::VpTree => 1,
+        IndexKind::KdTree => 2,
+        IndexKind::Grid => 3,
+    }
+}
+
+impl QueryEngine {
+    /// Creates an engine over `dataset` with the given windowing, Ad-KMN
+    /// configuration and raw-data query radius `radius` (meters).
+    pub fn new(
+        dataset: Dataset,
+        spec: WindowSpec,
+        adkmn: AdKmnConfig,
+        radius: f64,
+    ) -> Self {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut windows = Vec::new();
+        let mut offset = 0usize;
+        for w in Windows::new(&dataset, spec) {
+            windows.push(WindowMeta {
+                id: w.id,
+                start: offset,
+                end: offset + w.len(),
+                first_time: w.tuples.first().map(|t| t.time).unwrap_or(Timestamp::ZERO),
+                valid_until: w.valid_until,
+            });
+            offset += w.len();
+        }
+        let covers = (0..windows.len()).map(|_| OnceLock::new()).collect();
+        let indexes = (0..windows.len())
+            .map(|_| [OnceLock::new(), OnceLock::new(), OnceLock::new(), OnceLock::new()])
+            .collect();
+        let idw = (0..windows.len()).map(|_| OnceLock::new()).collect();
+        Self {
+            dataset,
+            spec,
+            builder: CoverBuilder::new(adkmn),
+            radius,
+            windows,
+            covers,
+            indexes,
+            idw,
+        }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The window specification.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// The raw-data query radius `r` in meters.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of windows in the dataset.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The index of the window responsible for time `t`.
+    ///
+    /// Queries before the first window are served by the first; queries
+    /// after the last by the last (the freshest available data) — a query
+    /// must always be answerable from *some* window. `None` only for an
+    /// empty dataset.
+    pub fn window_index_for(&self, t: Timestamp) -> Option<usize> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        // partition_point: first window whose first_time > t.
+        let idx = self.windows.partition_point(|w| w.first_time <= t);
+        Some(idx.saturating_sub(1))
+    }
+
+    /// The tuples of window `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range.
+    pub fn window_tuples(&self, idx: usize) -> &[RawTuple] {
+        let w = &self.windows[idx];
+        &self.dataset.tuples()[w.start..w.end]
+    }
+
+    /// The model cover of window `idx`, building and caching it on first
+    /// use (the paper's lazy model creation).
+    pub fn cover(&self, idx: usize) -> &ModelCover {
+        self.covers[idx].get_or_init(|| {
+            let meta = self.windows[idx];
+            let window = enviro_data::Window {
+                id: meta.id,
+                tuples: self.window_tuples(idx),
+                valid_until: meta.valid_until,
+            };
+            self.builder.build(&window, self.dataset.pollutant())
+        })
+    }
+
+    /// The model cover responsible for time `t` (`None` on empty dataset).
+    pub fn cover_for_time(&self, t: Timestamp) -> Option<&ModelCover> {
+        self.window_index_for(t).map(|i| self.cover(i))
+    }
+
+    /// The indexed processor of `kind` for window `idx`, cached.
+    pub fn indexed(&self, idx: usize, kind: IndexKind) -> &IndexedProcessor {
+        self.indexes[idx][kind_slot(kind)].get_or_init(|| {
+            IndexedProcessor::build(kind, self.window_tuples(idx), self.radius)
+        })
+    }
+
+    /// The IDW processor for window `idx`, cached.
+    pub fn idw(&self, idx: usize) -> &IdwProcessor {
+        self.idw[idx].get_or_init(|| {
+            IdwProcessor::build(self.window_tuples(idx), IdwConfig::default())
+        })
+    }
+
+    /// Eagerly builds every per-window structure for `method`, so that a
+    /// subsequent timed query loop measures pure query cost (the evaluation
+    /// regime of Figure 6a).
+    pub fn prepare(&self, method: QueryMethod) {
+        for idx in 0..self.windows.len() {
+            match method {
+                QueryMethod::Naive => {}
+                QueryMethod::ModelCover => {
+                    let _ = self.cover(idx);
+                }
+                QueryMethod::RTree => {
+                    let _ = self.indexed(idx, IndexKind::RTree);
+                }
+                QueryMethod::VpTree => {
+                    let _ = self.indexed(idx, IndexKind::VpTree);
+                }
+                QueryMethod::KdTree => {
+                    let _ = self.indexed(idx, IndexKind::KdTree);
+                }
+                QueryMethod::Grid => {
+                    let _ = self.indexed(idx, IndexKind::Grid);
+                }
+                QueryMethod::Idw => {
+                    let _ = self.idw(idx);
+                }
+            }
+        }
+    }
+
+    /// Like [`QueryEngine::prepare`], but builds window structures on
+    /// `threads` worker threads. Safe because every per-window slot is an
+    /// independent `OnceLock`; useful when standing up paper-scale datasets
+    /// (hundreds of windows) for evaluation.
+    pub fn prepare_parallel(&self, method: QueryMethod, threads: usize) {
+        let threads = threads.max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= self.windows.len() {
+                        break;
+                    }
+                    match method {
+                        QueryMethod::Naive => {}
+                        QueryMethod::ModelCover => {
+                            let _ = self.cover(idx);
+                        }
+                        QueryMethod::RTree => {
+                            let _ = self.indexed(idx, IndexKind::RTree);
+                        }
+                        QueryMethod::VpTree => {
+                            let _ = self.indexed(idx, IndexKind::VpTree);
+                        }
+                        QueryMethod::KdTree => {
+                            let _ = self.indexed(idx, IndexKind::KdTree);
+                        }
+                        QueryMethod::Grid => {
+                            let _ = self.indexed(idx, IndexKind::Grid);
+                        }
+                        QueryMethod::Idw => {
+                            let _ = self.idw(idx);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Answers one point query with the chosen method.
+    pub fn query(&self, q: &QueryTuple, method: QueryMethod) -> Option<f64> {
+        let idx = self.window_index_for(q.time)?;
+        match method {
+            QueryMethod::Naive => {
+                NaiveProcessor::new(self.window_tuples(idx), self.radius).interpolate(q)
+            }
+            QueryMethod::RTree => self.indexed(idx, IndexKind::RTree).interpolate(q),
+            QueryMethod::VpTree => self.indexed(idx, IndexKind::VpTree).interpolate(q),
+            QueryMethod::KdTree => self.indexed(idx, IndexKind::KdTree).interpolate(q),
+            QueryMethod::Grid => self.indexed(idx, IndexKind::Grid).interpolate(q),
+            QueryMethod::Idw => self.idw(idx).interpolate(q),
+            QueryMethod::ModelCover => {
+                CoverProcessor::new(self.cover(idx)).interpolate(q)
+            }
+        }
+    }
+
+    /// Answers a continuous query (a whole trajectory) with one method.
+    pub fn continuous_query(
+        &self,
+        trajectory: &[QueryTuple],
+        method: QueryMethod,
+    ) -> Vec<Option<f64>> {
+        trajectory.iter().map(|q| self.query(q, method)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enviro_data::{LausanneSim, Pollutant, SimConfig};
+    use enviro_geo::Point;
+
+    fn small_engine() -> (QueryEngine, LausanneSim) {
+        let sim = LausanneSim::lausanne(SimConfig {
+            duration_secs: 4 * 3_600,
+            sampling_interval_secs: 60,
+            seed: 99,
+            ..SimConfig::default()
+        });
+        let engine = QueryEngine::new(
+            sim.generate(),
+            WindowSpec::ByCount(120),
+            AdKmnConfig::default(),
+            1_000.0,
+        );
+        (engine, sim)
+    }
+
+    #[test]
+    fn window_layout_covers_dataset() {
+        let (engine, _) = small_engine();
+        let total: usize = (0..engine.window_count())
+            .map(|i| engine.window_tuples(i).len())
+            .sum();
+        assert_eq!(total, engine.dataset().len());
+        // 4 h × 60 s × 2 buses = 480 tuples → 4 windows of 120.
+        assert_eq!(engine.window_count(), 4);
+    }
+
+    #[test]
+    fn window_index_for_times() {
+        let (engine, _) = small_engine();
+        // The first tuple of window 1 starts at 3600 s (120 tuples / 2
+        // buses × 60 s).
+        assert_eq!(engine.window_index_for(Timestamp::from_secs(0)), Some(0));
+        assert_eq!(
+            engine.window_index_for(Timestamp::from_secs(3_599)),
+            Some(0)
+        );
+        assert_eq!(
+            engine.window_index_for(Timestamp::from_secs(3_600)),
+            Some(1)
+        );
+        // Far future → last window.
+        assert_eq!(
+            engine.window_index_for(Timestamp::from_days(40)),
+            Some(3)
+        );
+        // Before epoch → first window.
+        assert_eq!(
+            engine.window_index_for(Timestamp::from_secs(-5)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn empty_dataset_engine() {
+        let engine = QueryEngine::new(
+            Dataset::new(Pollutant::Co2),
+            WindowSpec::ByCount(10),
+            AdKmnConfig::default(),
+            100.0,
+        );
+        assert_eq!(engine.window_count(), 0);
+        assert_eq!(engine.window_index_for(Timestamp::ZERO), None);
+        let q = QueryTuple::new(Timestamp::ZERO, Point::origin());
+        for m in QueryMethod::ALL {
+            assert_eq!(engine.query(&q, m), None, "{m}");
+        }
+    }
+
+    #[test]
+    fn covers_are_cached() {
+        let (engine, _) = small_engine();
+        let a = engine.cover(0) as *const _;
+        let b = engine.cover(0) as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indexes_are_cached_per_kind() {
+        let (engine, _) = small_engine();
+        let a = engine.indexed(1, IndexKind::RTree) as *const _;
+        let b = engine.indexed(1, IndexKind::RTree) as *const _;
+        let c = engine.indexed(1, IndexKind::VpTree);
+        assert_eq!(a, b);
+        assert_eq!(c.kind(), IndexKind::VpTree);
+    }
+
+    #[test]
+    fn raw_methods_agree_everywhere() {
+        let (engine, sim) = small_engine();
+        for q in sim.query_workload(60, 300.0, 7) {
+            let naive = engine.query(&q, QueryMethod::Naive);
+            for m in [QueryMethod::RTree, QueryMethod::VpTree, QueryMethod::Grid] {
+                let got = engine.query(&q, m);
+                match (naive, got) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{m}"),
+                    other => panic!("{m}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_cover_answers_sensible_values() {
+        let (engine, sim) = small_engine();
+        let queries = sim.query_workload(40, 200.0, 8);
+        let mut answered = 0;
+        for q in &queries {
+            if let Some(v) = engine.query(q, QueryMethod::ModelCover) {
+                answered += 1;
+                // CO2 around Lausanne: generously 200..2000 ppm.
+                assert!((100.0..3_000.0).contains(&v), "implausible {v}");
+            }
+        }
+        assert_eq!(answered, queries.len(), "cover answers every query");
+    }
+
+    #[test]
+    fn continuous_query_length_matches() {
+        let (engine, sim) = small_engine();
+        let traj = sim.continuous_trajectory(25, 30, 5);
+        let vals = engine.continuous_query(&traj, QueryMethod::ModelCover);
+        assert_eq!(vals.len(), 25);
+    }
+
+    #[test]
+    fn prepare_parallel_equals_sequential() {
+        let (seq_engine, sim) = small_engine();
+        seq_engine.prepare(QueryMethod::ModelCover);
+        let par_engine = QueryEngine::new(
+            sim.generate(),
+            WindowSpec::ByCount(120),
+            AdKmnConfig::default(),
+            1_000.0,
+        );
+        par_engine.prepare_parallel(QueryMethod::ModelCover, 4);
+        for q in sim.query_workload(50, 200.0, 99) {
+            assert_eq!(
+                seq_engine.query(&q, QueryMethod::ModelCover),
+                par_engine.query(&q, QueryMethod::ModelCover)
+            );
+        }
+    }
+
+    #[test]
+    fn prepare_populates_caches() {
+        let (engine, _) = small_engine();
+        engine.prepare(QueryMethod::ModelCover);
+        assert!(engine.covers.iter().all(|c| c.get().is_some()));
+        engine.prepare(QueryMethod::VpTree);
+        assert!(engine
+            .indexes
+            .iter()
+            .all(|slots| slots[kind_slot(IndexKind::VpTree)].get().is_some()));
+    }
+}

@@ -1,0 +1,93 @@
+//! Continuous query processing — the three methods of §2.2 behind one trait.
+//!
+//! *Query 1 (Continuous Value Query)*: a mobile object `v_q` transmits query
+//! tuples `q_l = (t_l, x_l, y_l)`; the platform interpolates the sensor
+//! value `ŝ_l` at each position. The paper proposes and compares:
+//!
+//! * [`NaiveProcessor`] — exhaustive scan of the window for tuples within
+//!   radius `r`, answer = their average;
+//! * [`IndexedProcessor`] — same semantics, but the radius search goes
+//!   through a metric-space index (R-tree, VP-tree, or grid);
+//! * [`CoverProcessor`] — nearest cluster centroid `µ*`, answer = its model
+//!   `M*` evaluated at the query point.
+//!
+//! [`QueryEngine`] hosts all methods over a windowed dataset, building and
+//! caching per-window structures lazily (the `model_cover` table of
+//! Figure 1).
+
+mod cover_proc;
+mod engine;
+mod idw;
+mod indexed;
+mod naive;
+
+pub use cover_proc::CoverProcessor;
+pub use engine::QueryEngine;
+pub use idw::{IdwConfig, IdwProcessor};
+pub use indexed::{IndexKind, IndexedProcessor};
+pub use naive::NaiveProcessor;
+
+use enviro_data::QueryTuple;
+
+/// The query-processing methods evaluated in the paper (plus the grid-index
+/// ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryMethod {
+    /// Exhaustive window scan + average within radius `r`.
+    Naive,
+    /// R-tree radius search + average.
+    RTree,
+    /// VP-tree radius search + average.
+    VpTree,
+    /// k-d tree radius search + average (extension; not in the paper).
+    KdTree,
+    /// Uniform-grid radius search + average (ablation; not in the paper).
+    Grid,
+    /// Inverse-distance-weighted k-NN interpolation (extension; not in the
+    /// paper).
+    Idw,
+    /// Ad-KMN model cover: nearest centroid's model.
+    ModelCover,
+}
+
+impl QueryMethod {
+    /// All methods, in the order the figures report them.
+    pub const ALL: [QueryMethod; 7] = [
+        QueryMethod::ModelCover,
+        QueryMethod::VpTree,
+        QueryMethod::RTree,
+        QueryMethod::KdTree,
+        QueryMethod::Grid,
+        QueryMethod::Idw,
+        QueryMethod::Naive,
+    ];
+
+    /// Stable display name (matches the paper's figure legends).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryMethod::Naive => "naive",
+            QueryMethod::RTree => "R-tree",
+            QueryMethod::VpTree => "VP-tree",
+            QueryMethod::KdTree => "kd-tree",
+            QueryMethod::Grid => "grid",
+            QueryMethod::Idw => "IDW",
+            QueryMethod::ModelCover => "Ad-KMN",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A point-query processor: one method bound to one window's data.
+pub trait PointQueryProcessor {
+    /// Interpolates the sensor value at the query tuple, or `None` when the
+    /// method has no data to answer from (e.g. no tuple within `r`).
+    fn interpolate(&self, q: &QueryTuple) -> Option<f64>;
+
+    /// The method implemented by this processor.
+    fn method(&self) -> QueryMethod;
+}

@@ -1,0 +1,220 @@
+//! Route recording — the Android application's flagship feature (§3).
+//!
+//! "The application has the ability to record routes. After a route has been
+//! recorded, the user can view it on a map. In addition, the application
+//! presents the average pollution level through the route", plus an OSHA
+//! advisory and a green→red marker per point.
+
+use enviro_data::{Pollutant, QueryTuple, SafetyLevel};
+
+/// One recorded route point: the query tuple and the interpolated value (if
+/// the platform could answer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutePoint {
+    /// Where and when the user was.
+    pub query: QueryTuple,
+    /// The interpolated pollution value at that point.
+    pub value: Option<f64>,
+}
+
+/// A recorded route with per-point pollution readings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// The monitored pollutant.
+    pub pollutant: Pollutant,
+    /// The recorded points, in travel order.
+    pub points: Vec<RoutePoint>,
+}
+
+/// The route summary screen: average level, OSHA classification, advisory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteSummary {
+    /// Mean of the answered per-point values (`None` if nothing was
+    /// answered).
+    pub average: Option<f64>,
+    /// OSHA classification of the average.
+    pub level: Option<SafetyLevel>,
+    /// The informative text shown to the user.
+    pub advisory: String,
+    /// Points recorded / answered.
+    pub recorded: usize,
+    /// Number of points with a value.
+    pub answered: usize,
+    /// Wall-clock duration of the recording, seconds (first to last point).
+    pub duration_secs: i64,
+    /// Cumulative exposure dose: average concentration × duration, in
+    /// `unit·hours` (e.g. ppm·h for CO₂). The quantity occupational limits
+    /// are written against.
+    pub dose: Option<f64>,
+}
+
+impl Route {
+    /// Creates an empty route recorder for `pollutant`.
+    pub fn new(pollutant: Pollutant) -> Self {
+        Self {
+            pollutant,
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends one recorded point.
+    pub fn record(&mut self, query: QueryTuple, value: Option<f64>) {
+        self.points.push(RoutePoint { query, value });
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when nothing is recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The marker color of each point on the map (green → red), `None` for
+    /// unanswered points (drawn grey in the UI).
+    pub fn marker_colors(&self) -> Vec<Option<(u8, u8, u8)>> {
+        self.points
+            .iter()
+            .map(|p| {
+                p.value
+                    .map(|v| self.pollutant.classify(v).color())
+            })
+            .collect()
+    }
+
+    /// Computes the summary screen.
+    pub fn summary(&self) -> RouteSummary {
+        let answered: Vec<f64> = self.points.iter().filter_map(|p| p.value).collect();
+        let average = if answered.is_empty() {
+            None
+        } else {
+            Some(answered.iter().sum::<f64>() / answered.len() as f64)
+        };
+        let level = average.map(|v| self.pollutant.classify(v));
+        let duration_secs = match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.query.time - a.query.time,
+            _ => 0,
+        };
+        let dose = average.map(|avg| avg * duration_secs as f64 / 3_600.0);
+        let advisory = match (average, level) {
+            (Some(avg), Some(lvl)) => format!(
+                "Average {} along the route: {:.0} {} — {}.",
+                self.pollutant,
+                avg,
+                self.pollutant.unit(),
+                lvl.advisory()
+            ),
+            _ => "No pollution data available along this route.".to_string(),
+        };
+        RouteSummary {
+            average,
+            level,
+            advisory,
+            recorded: self.points.len(),
+            answered: answered.len(),
+            duration_secs,
+            dose,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enviro_data::Timestamp;
+    use enviro_geo::Point;
+
+    fn q(secs: i64) -> QueryTuple {
+        QueryTuple::new(Timestamp::from_secs(secs), Point::new(secs as f64, 0.0))
+    }
+
+    #[test]
+    fn empty_route_summary() {
+        let r = Route::new(Pollutant::Co2);
+        let s = r.summary();
+        assert_eq!(s.average, None);
+        assert_eq!(s.level, None);
+        assert_eq!(s.recorded, 0);
+        assert!(s.advisory.contains("No pollution data"));
+    }
+
+    #[test]
+    fn average_over_answered_points_only() {
+        let mut r = Route::new(Pollutant::Co2);
+        r.record(q(0), Some(400.0));
+        r.record(q(60), None);
+        r.record(q(120), Some(600.0));
+        let s = r.summary();
+        assert_eq!(s.average, Some(500.0));
+        assert_eq!(s.recorded, 3);
+        assert_eq!(s.answered, 2);
+    }
+
+    #[test]
+    fn safe_average_is_green() {
+        let mut r = Route::new(Pollutant::Co2);
+        r.record(q(0), Some(420.0));
+        let s = r.summary();
+        assert_eq!(s.level, Some(SafetyLevel::Safe));
+        assert!(s.advisory.contains("acceptable"));
+        assert!(s.advisory.contains("ppm"));
+    }
+
+    #[test]
+    fn hazardous_average_is_red() {
+        let mut r = Route::new(Pollutant::Co2);
+        r.record(q(0), Some(40_000.0));
+        let s = r.summary();
+        assert_eq!(s.level, Some(SafetyLevel::Hazardous));
+        assert!(s.advisory.contains("hazardous"));
+    }
+
+    #[test]
+    fn marker_colors_align_with_points() {
+        let mut r = Route::new(Pollutant::Co2);
+        r.record(q(0), Some(400.0)); // safe → green-dominant
+        r.record(q(60), None); // grey (None)
+        r.record(q(120), Some(31_000.0)); // hazardous → red-dominant
+        let colors = r.marker_colors();
+        assert_eq!(colors.len(), 3);
+        let (r0, g0, _) = colors[0].unwrap();
+        assert!(g0 > r0);
+        assert!(colors[1].is_none());
+        let (r2, g2, _) = colors[2].unwrap();
+        assert!(r2 > g2);
+    }
+
+    #[test]
+    fn dose_is_average_times_duration() {
+        let mut r = Route::new(Pollutant::Co2);
+        // 30 minutes at a constant 600 ppm → 300 ppm·h.
+        for i in 0..31 {
+            r.record(q(i * 60), Some(600.0));
+        }
+        let s = r.summary();
+        assert_eq!(s.duration_secs, 1_800);
+        let dose = s.dose.unwrap();
+        assert!((dose - 300.0).abs() < 1e-9, "{dose}");
+    }
+
+    #[test]
+    fn single_point_route_has_zero_dose() {
+        let mut r = Route::new(Pollutant::Co2);
+        r.record(q(0), Some(500.0));
+        let s = r.summary();
+        assert_eq!(s.duration_secs, 0);
+        assert_eq!(s.dose, Some(0.0));
+    }
+
+    #[test]
+    fn record_preserves_order() {
+        let mut r = Route::new(Pollutant::Co2);
+        for i in 0..5 {
+            r.record(q(i * 10), Some(i as f64));
+        }
+        let times: Vec<i64> = r.points.iter().map(|p| p.query.time.as_secs()).collect();
+        assert_eq!(times, vec![0, 10, 20, 30, 40]);
+    }
+}

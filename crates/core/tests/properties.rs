@@ -1,0 +1,158 @@
+//! Property-based tests for the core algorithms: whatever the data looks
+//! like, the structural invariants of clustering, covers and query
+//! processing must hold.
+
+use enviro_data::{Pollutant, QueryTuple, RawTuple, Timestamp, Window};
+use enviro_geo::Point;
+use enviro_meter::{
+    AdKmn, AdKmnConfig, CoverBuilder, FitConfig, KMeans, KMeansConfig, NaiveProcessor,
+    PointQueryProcessor, RegionModel,
+};
+use proptest::prelude::*;
+
+fn arb_tuples(max: usize) -> impl Strategy<Value = Vec<RawTuple>> {
+    prop::collection::vec(
+        (0i64..100_000, -5_000.0..5_000.0f64, -5_000.0..5_000.0f64, 100.0..2_000.0f64),
+        0..max,
+    )
+    .prop_map(|v| {
+        let mut tuples: Vec<RawTuple> = v
+            .into_iter()
+            .map(|(t, x, y, s)| RawTuple::new(Timestamp::from_secs(t), Point::new(x, y), s))
+            .collect();
+        tuples.sort_by_key(|t| t.time);
+        tuples
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmeans_assignment_is_nearest_centroid(
+        pts in prop::collection::vec((-1e4..1e4f64, -1e4..1e4f64), 1..80),
+        k in 1usize..8,
+    ) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let c = KMeans::fit(&points, k, &KMeansConfig::default());
+        prop_assert_eq!(c.assignment.len(), points.len());
+        for (p, &a) in points.iter().zip(&c.assignment) {
+            let d_assigned = c.centroids[a].distance_sq(p);
+            for other in &c.centroids {
+                prop_assert!(d_assigned <= other.distance_sq(p) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn adkmn_result_invariants(tuples in arb_tuples(120)) {
+        let cfg = AdKmnConfig {
+            max_models: 12,
+            max_rounds: 6,
+            ..AdKmnConfig::default()
+        };
+        let r = AdKmn::new(cfg.clone()).run(&tuples, Pollutant::Co2);
+        // Alignment.
+        prop_assert_eq!(r.centroids.len(), r.models.len());
+        prop_assert_eq!(r.centroids.len(), r.errors.len());
+        prop_assert_eq!(r.assignment.len(), tuples.len());
+        // Bounds.
+        prop_assert!(r.centroids.len() <= cfg.max_models.max(cfg.initial_k));
+        prop_assert!(r.rounds <= cfg.max_rounds);
+        prop_assert!(r.assignment.iter().all(|&a| a < r.centroids.len().max(1)));
+        // Everything finite.
+        prop_assert!(r.centroids.iter().all(Point::is_finite));
+    }
+
+    #[test]
+    fn cover_interpolation_is_nearest_region_prediction(tuples in arb_tuples(100)) {
+        let window = Window {
+            id: 0,
+            tuples: &tuples,
+            valid_until: Timestamp::from_secs(200_000),
+        };
+        let cover = CoverBuilder::new(AdKmnConfig::default()).build(&window, Pollutant::Co2);
+        prop_assert_eq!(cover.is_empty(), tuples.is_empty());
+        let q = Point::new(123.0, -456.0);
+        let t = Timestamp::from_secs(50_000);
+        match (cover.interpolate(t, &q), cover.nearest_region(&q)) {
+            (Some(v), Some((_, region))) => {
+                prop_assert_eq!(v, region.model.predict(t, &q));
+                prop_assert!(v.is_finite());
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "inconsistent cover: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn cover_population_sums_to_window_size(tuples in arb_tuples(100)) {
+        let window = Window {
+            id: 0,
+            tuples: &tuples,
+            valid_until: Timestamp::from_secs(200_000),
+        };
+        let cover = CoverBuilder::new(AdKmnConfig::default()).build(&window, Pollutant::Co2);
+        let total: usize = cover.regions.iter().map(|r| r.population).sum();
+        prop_assert_eq!(total, tuples.len());
+        prop_assert!(cover.regions.iter().all(|r| r.population > 0));
+    }
+
+    #[test]
+    fn linear_model_predictions_stay_in_training_range(tuples in arb_tuples(80)) {
+        prop_assume!(tuples.len() >= 8);
+        if let Some(model) = RegionModel::fit(&tuples, &FitConfig::default()) {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for t in &tuples {
+                lo = lo.min(t.value);
+                hi = hi.max(t.value);
+            }
+            let margin = (hi - lo) * 0.1 + 1e-9;
+            // Anywhere — even absurdly far away — the prediction must stay
+            // inside the (extended) training value range.
+            for q in [
+                Point::new(0.0, 0.0),
+                Point::new(1.0e6, -1.0e6),
+                Point::new(-4.2e7, 9.9e7),
+            ] {
+                let v = model.predict(Timestamp::from_secs(123), &q);
+                prop_assert!(v >= lo - margin && v <= hi + margin, "{v} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_answer_is_within_neighbourhood_value_range(
+        tuples in arb_tuples(80),
+        qx in -5_000.0..5_000.0f64,
+        qy in -5_000.0..5_000.0f64,
+    ) {
+        let proc = NaiveProcessor::new(&tuples, 1_000.0);
+        let q = QueryTuple::new(Timestamp::from_secs(0), Point::new(qx, qy));
+        if let Some(v) = proc.interpolate(&q) {
+            let in_radius: Vec<f64> = tuples
+                .iter()
+                .filter(|t| t.pos.distance(&q.pos) <= 1_000.0)
+                .map(|t| t.value)
+                .collect();
+            prop_assert!(!in_radius.is_empty());
+            let lo = in_radius.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = in_radius.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_respects_caps(tuples in arb_tuples(100), n_seeds in 1usize..20) {
+        let cfg = AdKmnConfig {
+            max_models: 6,
+            ..AdKmnConfig::default()
+        };
+        let seeds: Vec<Point> = (0..n_seeds)
+            .map(|i| Point::new(i as f64 * 100.0, -(i as f64) * 50.0))
+            .collect();
+        let r = AdKmn::new(cfg).run_seeded(&tuples, Pollutant::Co2, &seeds);
+        prop_assert!(r.model_count() <= 6);
+        prop_assert_eq!(r.assignment.len(), tuples.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! [`DeepSize`] implementations for the data model.
+
+use crate::{Dataset, QueryTuple, RawTuple, Timestamp};
+use enviro_memsize::DeepSize;
+
+impl DeepSize for Timestamp {
+    #[inline]
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+impl DeepSize for RawTuple {
+    #[inline]
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+impl DeepSize for QueryTuple {
+    #[inline]
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+impl DeepSize for Dataset {
+    fn heap_size(&self) -> usize {
+        // Report the allocated buffer, not just occupied slots — the same
+        // quantity Pympler reports for a Python list.
+        std::mem::size_of_val(self.tuples())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pollutant;
+    use enviro_geo::Point;
+
+    #[test]
+    fn raw_tuple_is_flat() {
+        let t = RawTuple::new(Timestamp::ZERO, Point::origin(), 1.0);
+        assert_eq!(t.heap_size(), 0);
+        assert_eq!(t.deep_size_of(), std::mem::size_of::<RawTuple>());
+    }
+
+    #[test]
+    fn dataset_scales_with_tuples() {
+        let small = Dataset::from_tuples(
+            Pollutant::Co2,
+            vec![RawTuple::new(Timestamp::ZERO, Point::origin(), 1.0)],
+        )
+        .unwrap();
+        let big = Dataset::from_tuples(
+            Pollutant::Co2,
+            (0..100)
+                .map(|i| RawTuple::new(Timestamp::from_secs(i), Point::origin(), 1.0))
+                .collect(),
+        )
+        .unwrap();
+        assert!(big.heap_size() >= 100 * std::mem::size_of::<RawTuple>());
+        assert!(big.heap_size() > small.heap_size());
+    }
+}

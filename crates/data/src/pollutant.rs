@@ -1,0 +1,265 @@
+//! Pollutant catalogue: units, normal ranges, and OSHA safety bands.
+//!
+//! The paper's approximation error is "the average percentage error compared
+//! to the *normal range* of `s_i` in the environment (pollutant specific)"
+//! (footnote 1), and the demo app classifies route points "from green (safe)
+//! to red (hazardous CO₂ levels)" against OSHA guidelines. Both facts live
+//! here.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A pollutant monitored by the community sensor network.
+///
+/// The OpenSense buses carry sensors for several species; the paper's
+/// evaluation focuses on CO₂ but the platform is pollutant-generic
+/// ("the sensor value could be any of the pollutants that are typically
+/// monitored").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pollutant {
+    /// Carbon dioxide, in parts per million (ppm). The paper's evaluation
+    /// pollutant.
+    #[default]
+    Co2,
+    /// Carbon monoxide, in ppm.
+    Co,
+    /// Nitrogen dioxide, in parts per billion (ppb).
+    No2,
+    /// Ozone, in ppb.
+    O3,
+    /// Coarse particulate matter (PM₁₀), in µg/m³.
+    Pm10,
+    /// Fine particulate matter (PM₂.₅), in µg/m³.
+    Pm25,
+}
+
+/// Safety classification of a concentration against occupational guidelines,
+/// rendered green → red in the demo UIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SafetyLevel {
+    /// Typical ambient levels; shown green.
+    Safe,
+    /// Elevated but below the 8-hour exposure limit; shown yellow.
+    Moderate,
+    /// Above the 8-hour time-weighted-average limit; shown orange.
+    Unhealthy,
+    /// Above the short-term exposure limit; shown red.
+    Hazardous,
+}
+
+impl Pollutant {
+    /// All catalogued pollutants.
+    pub const ALL: [Pollutant; 6] = [
+        Pollutant::Co2,
+        Pollutant::Co,
+        Pollutant::No2,
+        Pollutant::O3,
+        Pollutant::Pm10,
+        Pollutant::Pm25,
+    ];
+
+    /// Measurement unit for reporting.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Pollutant::Co2 | Pollutant::Co => "ppm",
+            Pollutant::No2 | Pollutant::O3 => "ppb",
+            Pollutant::Pm10 | Pollutant::Pm25 => "µg/m³",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pollutant::Co2 => "CO2",
+            Pollutant::Co => "CO",
+            Pollutant::No2 => "NO2",
+            Pollutant::O3 => "O3",
+            Pollutant::Pm10 => "PM10",
+            Pollutant::Pm25 => "PM2.5",
+        }
+    }
+
+    /// The environmental *normal range* `(lo, hi)` of the pollutant — the
+    /// span of concentrations ordinarily observed **outdoors in the
+    /// environment** (the paper's footnote 1). The width `hi - lo` is the
+    /// denominator of the paper's approximation-error percentage.
+    ///
+    /// Note this is deliberately the *ambient* span, not the much wider
+    /// occupational-exposure span used by [`Pollutant::classify`]: τ_n is a
+    /// modeling-fidelity knob, and a denominator of thousands of ppm would
+    /// let a 2 % threshold tolerate ~100 ppm of error — coarser than the
+    /// phenomenon itself.
+    pub fn normal_range(&self) -> (f64, f64) {
+        match self {
+            // Outdoor urban CO₂: clean-air ~350 up to heavy-traffic ~1500.
+            Pollutant::Co2 => (350.0, 1_500.0),
+            // Outdoor CO: clean air <1 up to severe congestion ~30 ppm.
+            Pollutant::Co => (0.0, 30.0),
+            Pollutant::No2 => (0.0, 200.0),
+            Pollutant::O3 => (0.0, 150.0),
+            Pollutant::Pm10 => (0.0, 150.0),
+            Pollutant::Pm25 => (0.0, 75.0),
+        }
+    }
+
+    /// Width of the normal range; strictly positive for every pollutant.
+    pub fn normal_range_width(&self) -> f64 {
+        let (lo, hi) = self.normal_range();
+        hi - lo
+    }
+
+    /// Classifies a concentration into an OSHA-style safety band.
+    ///
+    /// Thresholds follow OSHA guidance where it exists (CO₂: 5000 ppm 8-hour
+    /// TWA, 30 000 ppm STEL; CO: 50 ppm TWA, 200 ppm ceiling) and common
+    /// air-quality-index breakpoints otherwise.
+    pub fn classify(&self, value: f64) -> SafetyLevel {
+        let (moderate, unhealthy, hazardous) = match self {
+            Pollutant::Co2 => (1_000.0, 5_000.0, 30_000.0),
+            Pollutant::Co => (9.0, 50.0, 200.0),
+            Pollutant::No2 => (53.0, 100.0, 360.0),
+            Pollutant::O3 => (54.0, 70.0, 164.0),
+            Pollutant::Pm10 => (54.0, 154.0, 354.0),
+            Pollutant::Pm25 => (12.0, 35.4, 150.4),
+        };
+        if value >= hazardous {
+            SafetyLevel::Hazardous
+        } else if value >= unhealthy {
+            SafetyLevel::Unhealthy
+        } else if value >= moderate {
+            SafetyLevel::Moderate
+        } else {
+            SafetyLevel::Safe
+        }
+    }
+}
+
+impl fmt::Display for Pollutant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Pollutant {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "CO2" => Ok(Pollutant::Co2),
+            "CO" => Ok(Pollutant::Co),
+            "NO2" => Ok(Pollutant::No2),
+            "O3" => Ok(Pollutant::O3),
+            "PM10" => Ok(Pollutant::Pm10),
+            "PM2.5" | "PM25" => Ok(Pollutant::Pm25),
+            other => Err(format!("unknown pollutant: {other:?}")),
+        }
+    }
+}
+
+impl SafetyLevel {
+    /// An RGB color on the demo UI's green → red scale.
+    pub fn color(&self) -> (u8, u8, u8) {
+        match self {
+            SafetyLevel::Safe => (0, 170, 0),
+            SafetyLevel::Moderate => (230, 200, 0),
+            SafetyLevel::Unhealthy => (240, 130, 0),
+            SafetyLevel::Hazardous => (200, 0, 0),
+        }
+    }
+
+    /// The advisory text shown in the route summary of the Android app.
+    pub fn advisory(&self) -> &'static str {
+        match self {
+            SafetyLevel::Safe => "acceptable according to OSHA guidelines",
+            SafetyLevel::Moderate => "elevated; acceptable for short exposure",
+            SafetyLevel::Unhealthy => "above the OSHA 8-hour exposure limit",
+            SafetyLevel::Hazardous => "hazardous; above the short-term exposure limit",
+        }
+    }
+}
+
+impl fmt::Display for SafetyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SafetyLevel::Safe => "safe",
+            SafetyLevel::Moderate => "moderate",
+            SafetyLevel::Unhealthy => "unhealthy",
+            SafetyLevel::Hazardous => "hazardous",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_ranges_are_positive_width() {
+        for p in Pollutant::ALL {
+            assert!(p.normal_range_width() > 0.0, "{p}");
+        }
+    }
+
+    #[test]
+    fn co2_classification_follows_osha() {
+        let p = Pollutant::Co2;
+        assert_eq!(p.classify(420.0), SafetyLevel::Safe);
+        assert_eq!(p.classify(999.9), SafetyLevel::Safe);
+        assert_eq!(p.classify(1_000.0), SafetyLevel::Moderate);
+        assert_eq!(p.classify(5_000.0), SafetyLevel::Unhealthy);
+        assert_eq!(p.classify(30_000.0), SafetyLevel::Hazardous);
+    }
+
+    #[test]
+    fn classification_is_monotone_in_value() {
+        for p in Pollutant::ALL {
+            let mut last = SafetyLevel::Safe;
+            for v in [0.0, 5.0, 50.0, 500.0, 5_000.0, 50_000.0] {
+                let lvl = p.classify(v);
+                assert!(lvl >= last, "{p} at {v}");
+                last = lvl;
+            }
+        }
+    }
+
+    #[test]
+    fn safety_levels_are_ordered() {
+        assert!(SafetyLevel::Safe < SafetyLevel::Moderate);
+        assert!(SafetyLevel::Moderate < SafetyLevel::Unhealthy);
+        assert!(SafetyLevel::Unhealthy < SafetyLevel::Hazardous);
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for p in Pollutant::ALL {
+            let parsed: Pollutant = p.name().parse().expect("parse back");
+            assert_eq!(parsed, p);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("co2".parse::<Pollutant>().unwrap(), Pollutant::Co2);
+        assert_eq!(" pm2.5 ".parse::<Pollutant>().unwrap(), Pollutant::Pm25);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("SO2".parse::<Pollutant>().is_err());
+    }
+
+    #[test]
+    fn colors_go_green_to_red() {
+        let (r0, g0, _) = SafetyLevel::Safe.color();
+        let (r3, g3, _) = SafetyLevel::Hazardous.color();
+        assert!(g0 > r0, "safe is green-dominant");
+        assert!(r3 > g3, "hazardous is red-dominant");
+    }
+
+    #[test]
+    fn units_are_stable() {
+        assert_eq!(Pollutant::Co2.unit(), "ppm");
+        assert_eq!(Pollutant::Pm25.unit(), "µg/m³");
+    }
+}

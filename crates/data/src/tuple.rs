@@ -1,0 +1,176 @@
+//! Raw tuples and query tuples — the paper's `b_i` and `q_l` records.
+
+use enviro_geo::Point;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in time, in whole seconds since the epoch of the deployment.
+///
+/// The paper treats time as a scalar `t_i`; EnviroMeter stores it as an
+/// integer second count (the OpenSense sampling interval is 60 s, so
+/// sub-second resolution buys nothing) and converts to `f64` only inside the
+/// regression models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// The deployment epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Builds a timestamp from whole hours.
+    #[inline]
+    pub const fn from_hours(hours: i64) -> Self {
+        Timestamp(hours * 3_600)
+    }
+
+    /// Builds a timestamp from whole days.
+    #[inline]
+    pub const fn from_days(days: i64) -> Self {
+        Timestamp(days * 86_400)
+    }
+
+    /// Seconds since the deployment epoch.
+    #[inline]
+    pub const fn as_secs(&self) -> i64 {
+        self.0
+    }
+
+    /// Seconds as a float, for use inside regression features.
+    #[inline]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64
+    }
+
+    /// The hour-of-day in `[0, 24)`, used by the diurnal field component.
+    #[inline]
+    pub fn hour_of_day(&self) -> f64 {
+        (self.0.rem_euclid(86_400)) as f64 / 3_600.0
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = i64;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.0.div_euclid(86_400);
+        let rem = self.0.rem_euclid(86_400);
+        let h = rem / 3_600;
+        let m = (rem % 3_600) / 60;
+        let s = rem % 60;
+        write!(f, "d{d}+{h:02}:{m:02}:{s:02}")
+    }
+}
+
+/// A raw sensor tuple `b_i = (t_i, x_i, y_i, s_i)`: one reading produced by
+/// a community sensor at a time and position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawTuple {
+    /// Sampling time `t_i`.
+    pub time: Timestamp,
+    /// Sampling position `(x_i, y_i)` in the projected metric plane.
+    pub pos: Point,
+    /// The sensed value `s_i`, in the pollutant's unit.
+    pub value: f64,
+}
+
+impl RawTuple {
+    /// Creates a raw tuple.
+    #[inline]
+    pub const fn new(time: Timestamp, pos: Point, value: f64) -> Self {
+        Self { time, pos, value }
+    }
+
+    /// Returns `true` if position and value are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.pos.is_finite() && self.value.is_finite()
+    }
+}
+
+/// A query tuple `q_l = (t_l, x_l, y_l)`: a mobile object asking for the
+/// interpolated sensor value at its current position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryTuple {
+    /// Query time `t_l`.
+    pub time: Timestamp,
+    /// Query position `(x_l, y_l)`.
+    pub pos: Point,
+}
+
+impl QueryTuple {
+    /// Creates a query tuple.
+    #[inline]
+    pub const fn new(time: Timestamp, pos: Point) -> Self {
+        Self { time, pos }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_constructors_agree() {
+        assert_eq!(Timestamp::from_hours(2), Timestamp::from_secs(7_200));
+        assert_eq!(Timestamp::from_days(1), Timestamp::from_hours(24));
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(100);
+        assert_eq!(t + 50, Timestamp::from_secs(150));
+        assert_eq!(Timestamp::from_secs(150) - t, 50);
+    }
+
+    #[test]
+    fn hour_of_day_wraps() {
+        assert_eq!(Timestamp::from_hours(0).hour_of_day(), 0.0);
+        assert_eq!(Timestamp::from_hours(25).hour_of_day(), 1.0);
+        assert_eq!(Timestamp::from_secs(86_400 + 1_800).hour_of_day(), 0.5);
+    }
+
+    #[test]
+    fn hour_of_day_negative_times() {
+        // One hour before the epoch is 23:00 of the previous day.
+        assert_eq!(Timestamp::from_hours(-1).hour_of_day(), 23.0);
+    }
+
+    #[test]
+    fn timestamps_order_by_value() {
+        assert!(Timestamp::from_secs(1) < Timestamp::from_secs(2));
+    }
+
+    #[test]
+    fn display_formats_days_and_time() {
+        let t = Timestamp::from_secs(86_400 + 3_661);
+        assert_eq!(t.to_string(), "d1+01:01:01");
+    }
+
+    #[test]
+    fn raw_tuple_finiteness() {
+        let ok = RawTuple::new(Timestamp::ZERO, Point::new(1.0, 2.0), 400.0);
+        assert!(ok.is_finite());
+        let bad = RawTuple::new(Timestamp::ZERO, Point::new(1.0, 2.0), f64::NAN);
+        assert!(!bad.is_finite());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the window decomposition `W_c`: every tuple lands in
+//! exactly one window, in order, under both specs.
+
+use enviro_data::{Dataset, Pollutant, RawTuple, Timestamp, WindowSpec, Windows};
+use enviro_geo::Point;
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec((0i64..1_000_000, -1e4..1e4f64, 0.0..2_000.0f64), 0..200).prop_map(
+        |v| {
+            Dataset::from_tuples(
+                Pollutant::Co2,
+                v.into_iter()
+                    .map(|(t, x, s)| {
+                        RawTuple::new(Timestamp::from_secs(t), Point::new(x, -x), s)
+                    })
+                    .collect(),
+            )
+            .expect("finite tuples")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn by_count_partitions_exactly(ds in arb_dataset(), n in 1usize..50) {
+        let windows: Vec<_> = Windows::new(&ds, WindowSpec::ByCount(n)).collect();
+        let total: usize = windows.iter().map(|w| w.len()).sum();
+        prop_assert_eq!(total, ds.len());
+        // Every window except the last is exactly n tuples.
+        for w in windows.iter().rev().skip(1) {
+            prop_assert_eq!(w.len(), n);
+        }
+        // Ids are consecutive from 0.
+        for (i, w) in windows.iter().enumerate() {
+            prop_assert_eq!(w.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn by_duration_respects_boundaries(ds in arb_dataset(), secs in 1i64..100_000) {
+        let spec = WindowSpec::ByDuration(secs);
+        let windows: Vec<_> = Windows::new(&ds, spec).collect();
+        let total: usize = windows.iter().map(|w| w.len()).sum();
+        prop_assert_eq!(total, ds.len());
+        for w in &windows {
+            prop_assert!(!w.is_empty(), "duration windows skip empty ranges");
+            for t in w.tuples {
+                // Every tuple's time falls inside [id*secs, (id+1)*secs).
+                prop_assert_eq!(t.time.as_secs().div_euclid(secs) as u64, w.id);
+                prop_assert!(t.time < w.valid_until);
+            }
+        }
+        // Window ids strictly increase.
+        for pair in windows.windows(2) {
+            prop_assert!(pair[0].id < pair[1].id);
+            prop_assert!(pair[0].valid_until <= pair[1].valid_until);
+        }
+    }
+
+    #[test]
+    fn window_id_at_agrees_with_decomposition(ds in arb_dataset(), secs in 1i64..100_000) {
+        let spec = WindowSpec::ByDuration(secs);
+        for w in Windows::new(&ds, spec) {
+            for t in w.tuples {
+                prop_assert_eq!(spec.window_id_at(t.time), Some(w.id));
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Spatial primitives for the EnviroMeter platform.
+//!
+//! Community-sensed data is indexed by *position*: every raw tuple carries a
+//! coordinate, every query is anchored at a coordinate, and every model in a
+//! model cover is responsible for a spatial sub-region. This crate provides
+//! the small, allocation-free geometric vocabulary shared by all other
+//! EnviroMeter crates:
+//!
+//! * [`Point`] — a position in a projected, metric plane (meters).
+//! * [`GeoPoint`] — a WGS-84 latitude/longitude pair, with great-circle
+//!   distance ([`GeoPoint::haversine_distance`]).
+//! * [`LocalProjection`] — an equirectangular local east/north projection that
+//!   maps lat/lon to meters around a reference origin (adequate at city
+//!   scale, which is exactly the paper's granularity: "city or state").
+//! * [`BoundingBox`] — axis-aligned rectangles used by the R-tree.
+//! * [`Grid`] — a uniform cell decomposition used by the grid index and the
+//!   heatmap service.
+//! * [`polyline`] — arc-length utilities for bus routes and recorded tracks.
+//!
+//! All distances are Euclidean in the projected plane unless stated
+//! otherwise; the paper's radius-`r` queries ("a radius r of 1 km") are
+//! metric-plane disks.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bbox;
+pub mod grid;
+mod memsize_impls;
+pub mod point;
+pub mod polyline;
+pub mod projection;
+
+pub use bbox::BoundingBox;
+pub use grid::{CellId, Grid};
+pub use point::{GeoPoint, Point};
+pub use polyline::Polyline;
+pub use projection::LocalProjection;
+
+/// Mean Earth radius in meters (IUGG value), used by the haversine formula.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;

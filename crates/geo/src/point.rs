@@ -1,0 +1,250 @@
+//! Points in the projected metric plane and on the WGS-84 ellipsoid.
+
+use crate::EARTH_RADIUS_M;
+
+/// A position in a local, projected, metric plane.
+///
+/// Coordinates are in meters east (`x`) and north (`y`) of a projection
+/// origin (see [`crate::LocalProjection`]). `Point` is the coordinate type
+/// used throughout query processing: raw tuples, query tuples, cluster
+/// centroids and index entries all carry a `Point`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Meters east of the projection origin.
+    pub x: f64,
+    /// Meters north of the projection origin.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from east/north offsets in meters.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin of the projected plane.
+    #[inline]
+    pub const fn origin() -> Self {
+        Self { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Point::distance`]; prefer it for nearest-neighbour
+    /// comparisons where the monotone transform does not matter.
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    #[inline]
+    pub fn manhattan_distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Component-wise midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation from `self` towards `other`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`; values outside `[0, 1]`
+    /// extrapolate along the segment.
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Translates the point by `(dx, dy)` meters.
+    #[inline]
+    pub fn translated(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+/// A WGS-84 geographic coordinate (decimal degrees).
+///
+/// The community sensors report GPS fixes; [`crate::LocalProjection`]
+/// converts them into the metric [`Point`] plane for query processing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in decimal degrees, positive north. Valid range `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in decimal degrees, positive east. Valid range `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a geographic coordinate from latitude/longitude degrees.
+    #[inline]
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        Self { lat, lon }
+    }
+
+    /// Returns `true` if the coordinate lies in the valid WGS-84 ranges.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.lat.is_finite()
+            && self.lon.is_finite()
+            && (-90.0..=90.0).contains(&self.lat)
+            && (-180.0..=180.0).contains(&self.lon)
+    }
+
+    /// Great-circle distance to `other` in meters (haversine formula).
+    pub fn haversine_distance(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat * 0.5).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon * 0.5).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAUSANNE: GeoPoint = GeoPoint::new(46.5197, 6.6323);
+    const GENEVA: GeoPoint = GeoPoint::new(46.2044, 6.1432);
+
+    #[test]
+    fn distance_is_zero_for_identical_points() {
+        let p = Point::new(3.5, -2.0);
+        assert_eq!(p.distance(&p), 0.0);
+    }
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-4.0, 7.5);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn manhattan_dominates_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(a.manhattan_distance(&b) >= a.distance(&b));
+        assert_eq!(a.manhattan_distance(&b), 7.0);
+    }
+
+    #[test]
+    fn midpoint_is_equidistant() {
+        let a = Point::new(-2.0, 1.0);
+        let b = Point::new(6.0, 5.0);
+        let m = a.midpoint(&b);
+        assert!((a.distance(&m) - b.distance(&m)).abs() < 1e-9);
+        assert_eq!(m, Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -10.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, -5.0));
+    }
+
+    #[test]
+    fn translated_shifts_coordinates() {
+        let p = Point::new(1.0, 2.0).translated(-3.0, 0.5);
+        assert_eq!(p, Point::new(-2.0, 2.5));
+    }
+
+    #[test]
+    fn is_finite_rejects_nan_and_inf() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn tuple_conversions_roundtrip() {
+        let p: Point = (1.5, -2.5).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, -2.5));
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        assert_eq!(LAUSANNE.haversine_distance(&LAUSANNE), 0.0);
+    }
+
+    #[test]
+    fn haversine_lausanne_geneva_plausible() {
+        // Straight-line distance Lausanne–Geneva is ~50 km.
+        let d = LAUSANNE.haversine_distance(&GENEVA);
+        assert!((45_000.0..55_000.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        assert!(
+            (LAUSANNE.haversine_distance(&GENEVA) - GENEVA.haversine_distance(&LAUSANNE)).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn haversine_one_degree_latitude() {
+        // One degree of latitude is ~111.2 km everywhere.
+        let a = GeoPoint::new(46.0, 6.0);
+        let b = GeoPoint::new(47.0, 6.0);
+        let d = a.haversine_distance(&b);
+        assert!((110_000.0..112_500.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn geo_point_validity() {
+        assert!(LAUSANNE.is_valid());
+        assert!(!GeoPoint::new(91.0, 0.0).is_valid());
+        assert!(!GeoPoint::new(0.0, 181.0).is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 0.0).is_valid());
+    }
+}

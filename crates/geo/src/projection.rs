@@ -1,0 +1,122 @@
+//! Local equirectangular projection between WGS-84 and the metric plane.
+
+use crate::{GeoPoint, Point, EARTH_RADIUS_M};
+
+/// An equirectangular local east/north projection anchored at an origin.
+///
+/// At city scale (tens of kilometers) an equirectangular projection with the
+/// cosine of the origin latitude as the east-scale factor is accurate to a
+/// few meters — far below GPS noise and below the paper's 1 km query radius.
+/// EnviroMeter projects every GPS fix once, on ingestion, and performs all
+/// query processing in the metric plane.
+///
+/// ```
+/// use enviro_geo::{GeoPoint, LocalProjection};
+///
+/// let proj = LocalProjection::new(GeoPoint::new(46.5197, 6.6323)); // Lausanne
+/// let p = proj.project(&GeoPoint::new(46.5297, 6.6323));
+/// assert!((p.y - 1_112.0).abs() < 5.0); // ~1.11 km north
+/// assert!(p.x.abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalProjection {
+    origin: GeoPoint,
+    /// Meters per degree of longitude at the origin latitude.
+    meters_per_deg_lon: f64,
+    /// Meters per degree of latitude.
+    meters_per_deg_lat: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection centered on `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        let meters_per_deg = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+        Self {
+            origin,
+            meters_per_deg_lat: meters_per_deg,
+            meters_per_deg_lon: meters_per_deg * origin.lat.to_radians().cos(),
+        }
+    }
+
+    /// A projection centered on Lausanne, Switzerland — the city of the
+    /// OpenSense deployment evaluated in the paper.
+    pub fn lausanne() -> Self {
+        Self::new(GeoPoint::new(46.5197, 6.6323))
+    }
+
+    /// The geographic origin of the projection.
+    #[inline]
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects a geographic coordinate into the metric plane.
+    #[inline]
+    pub fn project(&self, g: &GeoPoint) -> Point {
+        Point::new(
+            (g.lon - self.origin.lon) * self.meters_per_deg_lon,
+            (g.lat - self.origin.lat) * self.meters_per_deg_lat,
+        )
+    }
+
+    /// Inverse projection from the metric plane back to WGS-84.
+    #[inline]
+    pub fn unproject(&self, p: &Point) -> GeoPoint {
+        GeoPoint::new(
+            self.origin.lat + p.y / self.meters_per_deg_lat,
+            self.origin.lon + p.x / self.meters_per_deg_lon,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_projects_to_zero() {
+        let proj = LocalProjection::lausanne();
+        let p = proj.project(&proj.origin());
+        assert!(p.x.abs() < 1e-9 && p.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let proj = LocalProjection::lausanne();
+        let g = GeoPoint::new(46.53, 6.64);
+        let back = proj.unproject(&proj.project(&g));
+        assert!((back.lat - g.lat).abs() < 1e-12);
+        assert!((back.lon - g.lon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planar_distance_matches_haversine_at_city_scale() {
+        let proj = LocalProjection::lausanne();
+        let a = GeoPoint::new(46.5197, 6.6323);
+        let b = GeoPoint::new(46.5400, 6.6600); // ~3 km away
+        let planar = proj.project(&a).distance(&proj.project(&b));
+        let sphere = a.haversine_distance(&b);
+        let rel_err = (planar - sphere).abs() / sphere;
+        assert!(rel_err < 1e-3, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn east_axis_shrinks_with_latitude() {
+        let equator = LocalProjection::new(GeoPoint::new(0.0, 0.0));
+        let north = LocalProjection::new(GeoPoint::new(60.0, 0.0));
+        let g_eq = GeoPoint::new(0.0, 1.0);
+        let g_no = GeoPoint::new(60.0, 1.0);
+        let x_eq = equator.project(&g_eq).x;
+        let x_no = north.project(&g_no).x;
+        // cos(60°) = 0.5: one degree of longitude is half as long at 60°N.
+        assert!((x_no / x_eq - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn north_displacement_is_latitude_only() {
+        let proj = LocalProjection::lausanne();
+        let p = proj.project(&GeoPoint::new(46.5197 + 0.01, 6.6323));
+        assert!(p.x.abs() < 1e-9);
+        assert!(p.y > 1_000.0 && p.y < 1_200.0);
+    }
+}

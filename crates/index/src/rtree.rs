@@ -1,0 +1,772 @@
+//! A Guttman R-tree with quadratic split and STR bulk loading.
+//!
+//! This is the `pyrtree` stand-in for the paper's *metric space indexing*
+//! baseline. Points are stored in leaves; every node keeps the tight
+//! bounding box of its subtree. Radius queries descend only into nodes whose
+//! box intersects the query disk; k-NN uses best-first search with the
+//! `mindist` lower bound.
+
+use crate::{Entry, Neighbor, SpatialIndex};
+use enviro_geo::{BoundingBox, Point};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Default maximum number of entries/children per node.
+pub const DEFAULT_MAX_ENTRIES: usize = 8;
+
+/// An R-tree over point [`Entry`]s.
+///
+/// ```
+/// use enviro_geo::Point;
+/// use enviro_index::{Entry, RTree, SpatialIndex};
+///
+/// let entries: Vec<Entry> = (0..100)
+///     .map(|i| Entry::new(Point::new(i as f64, 0.0), i))
+///     .collect();
+/// let tree = RTree::bulk_load(entries);
+/// assert_eq!(tree.within_radius(&Point::new(10.0, 0.0), 2.5).len(), 5);
+/// assert_eq!(tree.nearest(&Point::new(42.4, 0.0), 1)[0].entry.id, 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RTree {
+    root: Option<Node>,
+    len: usize,
+    max_entries: usize,
+    min_entries: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        bbox: BoundingBox,
+        entries: Vec<Entry>,
+    },
+    Inner {
+        bbox: BoundingBox,
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn bbox(&self) -> &BoundingBox {
+        match self {
+            Node::Leaf { bbox, .. } | Node::Inner { bbox, .. } => bbox,
+        }
+    }
+
+    fn recompute_bbox(&mut self) {
+        match self {
+            Node::Leaf { bbox, entries } => {
+                *bbox = BoundingBox::from_points(entries.iter().map(|e| e.pos));
+            }
+            Node::Inner { bbox, children } => {
+                *bbox = children
+                    .iter()
+                    .fold(BoundingBox::empty(), |b, c| b.union(c.bbox()));
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Inner { children, .. } => {
+                1 + children.first().map_or(0, Node::depth)
+            }
+        }
+    }
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_ENTRIES)
+    }
+}
+
+impl RTree {
+    /// Creates an empty tree with the given node capacity (`max_entries ≥ 4`;
+    /// `min_entries = max_entries / 2`).
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "R-tree needs max_entries >= 4");
+        Self {
+            root: None,
+            len: 0,
+            max_entries,
+            min_entries: max_entries / 2,
+        }
+    }
+
+    /// Bulk loads a tree using sort-tile-recursive (STR) packing — the fast
+    /// path for the per-window index builds of the evaluation.
+    pub fn bulk_load(mut entries: Vec<Entry>) -> Self {
+        Self::bulk_load_with_capacity(DEFAULT_MAX_ENTRIES, &mut entries)
+    }
+
+    /// STR bulk load with an explicit node capacity.
+    pub fn bulk_load_with_capacity(max_entries: usize, entries: &mut [Entry]) -> Self {
+        assert!(max_entries >= 4, "R-tree needs max_entries >= 4");
+        let mut tree = Self::new(max_entries);
+        if entries.is_empty() {
+            return tree;
+        }
+        tree.len = entries.len();
+        // Build leaf level with STR tiling.
+        let mut leaves = str_pack_leaves(entries, max_entries);
+        // Pack upper levels until a single root remains.
+        while leaves.len() > 1 {
+            leaves = str_pack_inner(leaves, max_entries);
+        }
+        tree.root = leaves.pop();
+        tree
+    }
+
+    /// The node capacity this tree was built with.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// The bounding box of all indexed points.
+    pub fn bounds(&self) -> BoundingBox {
+        self.root
+            .as_ref()
+            .map_or(BoundingBox::empty(), |r| *r.bbox())
+    }
+
+    /// Tree height in levels (0 when empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::depth)
+    }
+
+    /// Inserts one entry (Guttman insert with quadratic split).
+    pub fn insert(&mut self, entry: Entry) {
+        assert!(entry.pos.is_finite(), "cannot index a non-finite position");
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::Leaf {
+                    bbox: BoundingBox::from_point(entry.pos),
+                    entries: vec![entry],
+                });
+            }
+            Some(mut root) => {
+                if let Some(sibling) =
+                    insert_rec(&mut root, entry, self.max_entries, self.min_entries)
+                {
+                    // Root split: grow the tree by one level.
+                    let bbox = root.bbox().union(sibling.bbox());
+                    self.root = Some(Node::Inner {
+                        bbox,
+                        children: vec![root, sibling],
+                    });
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    /// Collects every entry whose position lies inside `query` (inclusive).
+    pub fn range(&self, query: &BoundingBox) -> Vec<Entry> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            range_rec(root, query, &mut out);
+        }
+        out
+    }
+
+    /// Checks the R-tree structural invariants; used by tests.
+    ///
+    /// Verifies (a) every node's box tightly bounds its subtree, (b) no node
+    /// exceeds the capacity and none is empty (STR packing legitimately
+    /// leaves the rightmost path under the minimum fill, so only the upper
+    /// bound is enforced), and (c) all leaves sit at the same depth. Returns
+    /// a description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let Some(root) = &self.root else {
+            return if self.len == 0 {
+                Ok(())
+            } else {
+                Err("empty tree with non-zero len".into())
+            };
+        };
+        let mut leaf_depths = Vec::new();
+        let counted = check_rec(root, 1, self.max_entries, &mut leaf_depths)?;
+        if counted != self.len {
+            return Err(format!("len {} but counted {counted}", self.len));
+        }
+        if leaf_depths.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!("leaves at differing depths: {leaf_depths:?}"));
+        }
+        Ok(())
+    }
+}
+
+impl SpatialIndex for RTree {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn for_each_within(&self, center: &Point, radius: f64, visit: &mut dyn FnMut(&Entry)) {
+        let Some(root) = &self.root else { return };
+        let r2 = radius * radius;
+        radius_rec(root, center, radius, r2, visit);
+    }
+
+    fn nearest(&self, center: &Point, k: usize) -> Vec<Neighbor> {
+        let Some(root) = &self.root else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        // Best-first search over a min-heap keyed by mindist.
+        #[derive(Debug)]
+        enum Item<'a> {
+            Node(&'a Node),
+            Point(Entry),
+        }
+        struct HeapEntry<'a> {
+            dist: f64,
+            seq: u32,
+            item: Item<'a>,
+        }
+        impl PartialEq for HeapEntry<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist && self.seq == other.seq
+            }
+        }
+        impl Eq for HeapEntry<'_> {}
+        impl PartialOrd for HeapEntry<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for HeapEntry<'_> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Reverse for a min-heap; tie-break by seq (ids) for
+                // deterministic output.
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .expect("finite distances")
+                    .then(other.seq.cmp(&self.seq))
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: root.bbox().min_distance(center),
+            seq: 0,
+            item: Item::Node(root),
+        });
+        let mut out = Vec::with_capacity(k.min(self.len));
+        while let Some(HeapEntry { dist, item, .. }) = heap.pop() {
+            match item {
+                Item::Point(entry) => {
+                    out.push(Neighbor {
+                        entry,
+                        distance: dist,
+                    });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(Node::Leaf { entries, .. }) => {
+                    for e in entries {
+                        heap.push(HeapEntry {
+                            dist: e.pos.distance(center),
+                            seq: e.id,
+                            item: Item::Point(*e),
+                        });
+                    }
+                }
+                Item::Node(Node::Inner { children, .. }) => {
+                    for c in children {
+                        heap.push(HeapEntry {
+                            dist: c.bbox().min_distance(center),
+                            seq: 0,
+                            item: Item::Node(c),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn range_rec(node: &Node, query: &BoundingBox, out: &mut Vec<Entry>) {
+    if !node.bbox().intersects(query) {
+        return;
+    }
+    match node {
+        Node::Leaf { entries, .. } => {
+            out.extend(entries.iter().filter(|e| query.contains(&e.pos)));
+        }
+        Node::Inner { children, .. } => {
+            for c in children {
+                range_rec(c, query, out);
+            }
+        }
+    }
+}
+
+fn radius_rec(
+    node: &Node,
+    center: &Point,
+    radius: f64,
+    r2: f64,
+    visit: &mut dyn FnMut(&Entry),
+) {
+    if !node.bbox().intersects_circle(center, radius) {
+        return;
+    }
+    match node {
+        Node::Leaf { entries, .. } => {
+            for e in entries {
+                if e.pos.distance_sq(center) <= r2 {
+                    visit(e);
+                }
+            }
+        }
+        Node::Inner { children, .. } => {
+            for c in children {
+                radius_rec(c, center, radius, r2, visit);
+            }
+        }
+    }
+}
+
+/// Recursive insert; returns a split-off sibling when the child overflowed.
+fn insert_rec(node: &mut Node, entry: Entry, max: usize, min: usize) -> Option<Node> {
+    match node {
+        Node::Leaf { bbox, entries } => {
+            entries.push(entry);
+            *bbox = bbox.expanded(entry.pos);
+            if entries.len() <= max {
+                None
+            } else {
+                let (a, b) = quadratic_split_entries(std::mem::take(entries), min);
+                let (bb_a, ents_a) = a;
+                let (bb_b, ents_b) = b;
+                *bbox = bb_a;
+                *entries = ents_a;
+                Some(Node::Leaf {
+                    bbox: bb_b,
+                    entries: ents_b,
+                })
+            }
+        }
+        Node::Inner { bbox, children } => {
+            // Choose the child needing least enlargement (ties: smaller area).
+            let idx = children
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let ea = a.bbox().enlargement(entry.pos);
+                    let eb = b.bbox().enlargement(entry.pos);
+                    ea.partial_cmp(&eb)
+                        .expect("finite")
+                        .then(
+                            a.bbox()
+                                .area()
+                                .partial_cmp(&b.bbox().area())
+                                .expect("finite"),
+                        )
+                })
+                .map(|(i, _)| i)
+                .expect("inner nodes are never empty");
+            let split = insert_rec(&mut children[idx], entry, max, min);
+            *bbox = bbox.expanded(entry.pos);
+            if let Some(sibling) = split {
+                children.push(sibling);
+                if children.len() > max {
+                    let (a, b) = quadratic_split_children(std::mem::take(children), min);
+                    let (bb_a, ch_a) = a;
+                    let (bb_b, ch_b) = b;
+                    *bbox = bb_a;
+                    *children = ch_a;
+                    return Some(Node::Inner {
+                        bbox: bb_b,
+                        children: ch_b,
+                    });
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Guttman's quadratic split over leaf entries.
+fn quadratic_split_entries(
+    entries: Vec<Entry>,
+    min: usize,
+) -> ((BoundingBox, Vec<Entry>), (BoundingBox, Vec<Entry>)) {
+    split_generic(
+        entries,
+        min,
+        |e| BoundingBox::from_point(e.pos),
+    )
+}
+
+/// Guttman's quadratic split over inner-node children.
+fn quadratic_split_children(
+    children: Vec<Node>,
+    min: usize,
+) -> ((BoundingBox, Vec<Node>), (BoundingBox, Vec<Node>)) {
+    split_generic(children, min, |c| *c.bbox())
+}
+
+/// Shared quadratic-split machinery: pick the pair of items wasting the most
+/// area as seeds, then greedily assign the rest by least enlargement,
+/// honouring the minimum-fill constraint.
+fn split_generic<T>(
+    mut items: Vec<T>,
+    min: usize,
+    bbox_of: impl Fn(&T) -> BoundingBox,
+) -> ((BoundingBox, Vec<T>), (BoundingBox, Vec<T>)) {
+    debug_assert!(items.len() >= 2);
+    // Seed selection: the pair whose combined box wastes the most area.
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let bi = bbox_of(&items[i]);
+            let bj = bbox_of(&items[j]);
+            let waste = bi.union(&bj).area() - bi.area() - bj.area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    // Remove seeds (larger index first to keep the smaller valid).
+    let item_b = items.swap_remove(seed_b);
+    let item_a = items.swap_remove(seed_a);
+    let mut bb_a = bbox_of(&item_a);
+    let mut bb_b = bbox_of(&item_b);
+    let mut group_a = vec![item_a];
+    let mut group_b = vec![item_b];
+    let total = items.len() + 2;
+    while let Some(next) = items.pop() {
+        // Minimum-fill: if one group must take all remaining items, do so.
+        let remaining = items.len() + 1;
+        if group_a.len() + remaining <= min {
+            bb_a = bb_a.union(&bbox_of(&next));
+            group_a.push(next);
+            continue;
+        }
+        if group_b.len() + remaining <= min {
+            bb_b = bb_b.union(&bbox_of(&next));
+            group_b.push(next);
+            continue;
+        }
+        let nb = bbox_of(&next);
+        let grow_a = bb_a.union(&nb).area() - bb_a.area();
+        let grow_b = bb_b.union(&nb).area() - bb_b.area();
+        if grow_a < grow_b || (grow_a == grow_b && group_a.len() <= group_b.len()) {
+            bb_a = bb_a.union(&nb);
+            group_a.push(next);
+        } else {
+            bb_b = bb_b.union(&nb);
+            group_b.push(next);
+        }
+    }
+    debug_assert_eq!(group_a.len() + group_b.len(), total);
+    ((bb_a, group_a), (bb_b, group_b))
+}
+
+/// STR leaf packing: sort by x, tile into vertical slabs (a multiple of
+/// `cap` wide, so leaves never straddle slabs), sort each slab by y, chop
+/// into leaves of `cap` entries.
+fn str_pack_leaves(entries: &mut [Entry], cap: usize) -> Vec<Node> {
+    let n = entries.len();
+    let leaf_count = n.div_ceil(cap);
+    let slab_count = (leaf_count as f64).sqrt().ceil() as usize;
+    let slab_size = slab_count * cap;
+    entries.sort_by(|a, b| a.pos.x.partial_cmp(&b.pos.x).expect("finite"));
+    for slab in entries.chunks_mut(slab_size) {
+        slab.sort_by(|a, b| a.pos.y.partial_cmp(&b.pos.y).expect("finite"));
+    }
+    entries
+        .chunks(cap)
+        .map(|chunk| {
+            let mut leaf = Node::Leaf {
+                bbox: BoundingBox::empty(),
+                entries: chunk.to_vec(),
+            };
+            leaf.recompute_bbox();
+            leaf
+        })
+        .collect()
+}
+
+/// STR packing of one upper level: the same tiling over child-box centers.
+fn str_pack_inner(mut nodes: Vec<Node>, cap: usize) -> Vec<Node> {
+    let n = nodes.len();
+    let parent_count = n.div_ceil(cap);
+    let slab_count = (parent_count as f64).sqrt().ceil() as usize;
+    let slab_size = slab_count * cap;
+    nodes.sort_by(|a, b| {
+        a.bbox()
+            .center()
+            .x
+            .partial_cmp(&b.bbox().center().x)
+            .expect("finite")
+    });
+    let mut start = 0;
+    while start < n {
+        let end = (start + slab_size).min(n);
+        nodes[start..end].sort_by(|a, b| {
+            a.bbox()
+                .center()
+                .y
+                .partial_cmp(&b.bbox().center().y)
+                .expect("finite")
+        });
+        start = end;
+    }
+    // Slab width is a multiple of cap, so cap-sized chunks never straddle a
+    // slab boundary; consume the nodes without cloning subtrees.
+    let mut parents = Vec::with_capacity(parent_count);
+    let mut iter = nodes.into_iter();
+    loop {
+        let children: Vec<Node> = iter.by_ref().take(cap).collect();
+        if children.is_empty() {
+            break;
+        }
+        let mut parent = Node::Inner {
+            bbox: BoundingBox::empty(),
+            children,
+        };
+        parent.recompute_bbox();
+        parents.push(parent);
+    }
+    parents
+}
+
+fn check_rec(
+    node: &Node,
+    depth: usize,
+    max: usize,
+    leaf_depths: &mut Vec<usize>,
+) -> Result<usize, String> {
+    match node {
+        Node::Leaf { bbox, entries } => {
+            if entries.is_empty() {
+                return Err("empty leaf".into());
+            }
+            if entries.len() > max {
+                return Err(format!("leaf occupancy {} over capacity", entries.len()));
+            }
+            let tight = BoundingBox::from_points(entries.iter().map(|e| e.pos));
+            if tight != *bbox {
+                return Err("leaf bbox not tight".into());
+            }
+            leaf_depths.push(depth);
+            Ok(entries.len())
+        }
+        Node::Inner { bbox, children } => {
+            if children.is_empty() {
+                return Err("empty inner node".into());
+            }
+            if children.len() > max {
+                return Err(format!("inner occupancy {} over capacity", children.len()));
+            }
+            let tight = children
+                .iter()
+                .fold(BoundingBox::empty(), |b, c| b.union(c.bbox()));
+            if tight != *bbox {
+                return Err("inner bbox not tight".into());
+            }
+            let mut count = 0;
+            for c in children {
+                count += check_rec(c, depth + 1, max, leaf_depths)?;
+            }
+            Ok(count)
+        }
+    }
+}
+
+impl enviro_memsize::DeepSize for RTree {
+    fn heap_size(&self) -> usize {
+        fn node_heap(node: &Node) -> usize {
+            match node {
+                Node::Leaf { entries, .. } => {
+                    entries.capacity() * std::mem::size_of::<Entry>()
+                }
+                Node::Inner { children, .. } => {
+                    children.capacity() * std::mem::size_of::<Node>()
+                        + children.iter().map(node_heap).sum::<usize>()
+                }
+            }
+        }
+        // The root is stored inline in the Option (no Box), so only its
+        // owned buffers count.
+        self.root.as_ref().map_or(0, node_heap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute_force_nearest, brute_force_within};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_entries(n: usize, seed: u64) -> Vec<Entry> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                Entry::new(
+                    Point::new(rng.gen_range(-1000.0..1000.0), rng.gen_range(-1000.0..1000.0)),
+                    i as u32,
+                )
+            })
+            .collect()
+    }
+
+    fn sorted_ids(entries: &[Entry]) -> Vec<u32> {
+        let mut ids: Vec<u32> = entries.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = RTree::default();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.within_radius(&Point::origin(), 100.0).is_empty());
+        assert!(t.nearest(&Point::origin(), 3).is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut t = RTree::default();
+        for e in random_entries(100, 1) {
+            t.insert(e);
+        }
+        assert_eq!(t.len(), 100);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_radius_matches_brute_force() {
+        let entries = random_entries(300, 2);
+        let mut t = RTree::new(5);
+        for e in &entries {
+            t.insert(*e);
+        }
+        t.check_invariants().unwrap();
+        for (i, r) in [(0, 50.0), (1, 200.0), (2, 700.0), (3, 0.0)] {
+            let center = Point::new(i as f64 * 100.0 - 150.0, 50.0);
+            let got = t.within_radius(&center, r);
+            let want = brute_force_within(&entries, &center, r);
+            assert_eq!(sorted_ids(&got), sorted_ids(&want), "radius {r}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_radius_matches_brute_force() {
+        let entries = random_entries(500, 3);
+        let t = RTree::bulk_load(entries.clone());
+        assert_eq!(t.len(), 500);
+        t.check_invariants().unwrap();
+        let center = Point::new(10.0, -20.0);
+        for r in [0.0, 30.0, 150.0, 2_000.0] {
+            let got = t.within_radius(&center, r);
+            let want = brute_force_within(&entries, &center, r);
+            assert_eq!(sorted_ids(&got), sorted_ids(&want), "radius {r}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_small_inputs() {
+        for n in [0usize, 1, 2, 7, 8, 9] {
+            let entries = random_entries(n, 10 + n as u64);
+            let t = RTree::bulk_load(entries.clone());
+            assert_eq!(t.len(), n, "n={n}");
+            t.check_invariants().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            let got = t.within_radius(&Point::origin(), 1e6);
+            assert_eq!(got.len(), n);
+        }
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let entries = random_entries(200, 4);
+        let t = RTree::bulk_load(entries.clone());
+        let q = BoundingBox::new(Point::new(-200.0, -300.0), Point::new(250.0, 100.0));
+        let got = t.range(&q);
+        let want: Vec<Entry> = entries.iter().filter(|e| q.contains(&e.pos)).copied().collect();
+        assert_eq!(sorted_ids(&got), sorted_ids(&want));
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let entries = random_entries(400, 5);
+        let t = RTree::bulk_load(entries.clone());
+        let center = Point::new(123.0, -77.0);
+        for k in [1, 5, 17, 400, 500] {
+            let got = t.nearest(&center, k);
+            let want = brute_force_nearest(&entries, &center, k);
+            assert_eq!(got.len(), want.len(), "k={k}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.entry.id, w.entry.id, "k={k}");
+                assert!((g.distance - w.distance).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_on_inserted_tree() {
+        let entries = random_entries(150, 6);
+        let mut t = RTree::new(4);
+        for e in &entries {
+            t.insert(*e);
+        }
+        let got = t.nearest(&Point::origin(), 10);
+        let want = brute_force_nearest(&entries, &Point::origin(), 10);
+        let got_ids: Vec<u32> = got.iter().map(|n| n.entry.id).collect();
+        let want_ids: Vec<u32> = want.iter().map(|n| n.entry.id).collect();
+        assert_eq!(got_ids, want_ids);
+    }
+
+    #[test]
+    fn duplicate_positions_are_kept() {
+        let p = Point::new(5.0, 5.0);
+        let mut t = RTree::new(4);
+        for id in 0..20 {
+            t.insert(Entry::new(p, id));
+        }
+        assert_eq!(t.len(), 20);
+        t.check_invariants().unwrap();
+        assert_eq!(t.within_radius(&p, 0.0).len(), 20);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let t = RTree::bulk_load(random_entries(1_000, 7));
+        // With cap 8: 1000 points → 125 leaves → ~16 inner → 2 → 1. Height ≈ 4.
+        assert!(t.height() >= 3 && t.height() <= 5, "height {}", t.height());
+    }
+
+    #[test]
+    fn bounds_covers_all_points() {
+        let entries = random_entries(64, 8);
+        let t = RTree::bulk_load(entries.clone());
+        let b = t.bounds();
+        for e in &entries {
+            assert!(b.contains(&e.pos));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn insert_rejects_nan() {
+        let mut t = RTree::default();
+        t.insert(Entry::new(Point::new(f64::NAN, 0.0), 0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests: every index must agree with the brute-force scan.
+
+use enviro_geo::Point;
+use enviro_index::{
+    brute_force_nearest, brute_force_within, Entry, GridIndex, KdTree, RTree, SpatialIndex,
+    VpTree,
+};
+use proptest::prelude::*;
+
+fn arb_entries(max: usize) -> impl Strategy<Value = Vec<Entry>> {
+    prop::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 0..max).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Entry::new(Point::new(x, y), i as u32))
+            .collect()
+    })
+}
+
+fn ids(entries: &[Entry]) -> Vec<u32> {
+    let mut v: Vec<u32> = entries.iter().map(|e| e.id).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_bulk_radius_equals_brute_force(
+        entries in arb_entries(120),
+        cx in -600.0..600.0f64,
+        cy in -600.0..600.0f64,
+        r in 0.0..800.0f64,
+    ) {
+        let tree = RTree::bulk_load(entries.clone());
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        let center = Point::new(cx, cy);
+        prop_assert_eq!(
+            ids(&tree.within_radius(&center, r)),
+            ids(&brute_force_within(&entries, &center, r))
+        );
+    }
+
+    #[test]
+    fn rtree_insert_radius_equals_brute_force(
+        entries in arb_entries(80),
+        cx in -600.0..600.0f64,
+        cy in -600.0..600.0f64,
+        r in 0.0..800.0f64,
+    ) {
+        let mut tree = RTree::new(4);
+        for e in &entries {
+            tree.insert(*e);
+        }
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        let center = Point::new(cx, cy);
+        prop_assert_eq!(
+            ids(&tree.within_radius(&center, r)),
+            ids(&brute_force_within(&entries, &center, r))
+        );
+    }
+
+    #[test]
+    fn vptree_radius_equals_brute_force(
+        entries in arb_entries(120),
+        cx in -600.0..600.0f64,
+        cy in -600.0..600.0f64,
+        r in 0.0..800.0f64,
+    ) {
+        let tree = VpTree::build(entries.clone());
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        let center = Point::new(cx, cy);
+        prop_assert_eq!(
+            ids(&tree.within_radius(&center, r)),
+            ids(&brute_force_within(&entries, &center, r))
+        );
+    }
+
+    #[test]
+    fn kdtree_radius_equals_brute_force(
+        entries in arb_entries(120),
+        cx in -600.0..600.0f64,
+        cy in -600.0..600.0f64,
+        r in 0.0..800.0f64,
+    ) {
+        let tree = KdTree::build(entries.clone());
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        let center = Point::new(cx, cy);
+        prop_assert_eq!(
+            ids(&tree.within_radius(&center, r)),
+            ids(&brute_force_within(&entries, &center, r))
+        );
+    }
+
+    #[test]
+    fn grid_radius_equals_brute_force(
+        entries in arb_entries(120),
+        cx in -600.0..600.0f64,
+        cy in -600.0..600.0f64,
+        r in 0.0..800.0f64,
+        cell in 5.0..200.0f64,
+    ) {
+        let idx = GridIndex::build(&entries, cell);
+        let center = Point::new(cx, cy);
+        prop_assert_eq!(
+            ids(&idx.within_radius(&center, r)),
+            ids(&brute_force_within(&entries, &center, r))
+        );
+    }
+
+    #[test]
+    fn knn_distances_agree_across_indexes(
+        entries in arb_entries(100),
+        cx in -600.0..600.0f64,
+        cy in -600.0..600.0f64,
+        k in 1usize..12,
+    ) {
+        let center = Point::new(cx, cy);
+        let want: Vec<f64> = brute_force_nearest(&entries, &center, k)
+            .iter()
+            .map(|n| n.distance)
+            .collect();
+        let rtree = RTree::bulk_load(entries.clone());
+        let vptree = VpTree::build(entries.clone());
+        let kdtree = KdTree::build(entries.clone());
+        let grid = GridIndex::build(&entries, 50.0);
+        for (name, got) in [
+            ("rtree", rtree.nearest(&center, k)),
+            ("vptree", vptree.nearest(&center, k)),
+            ("kdtree", kdtree.nearest(&center, k)),
+            ("grid", grid.nearest(&center, k)),
+        ] {
+            prop_assert_eq!(got.len(), want.len(), "{} count", name);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.distance - w).abs() < 1e-9, "{}: {} vs {}", name, g.distance, w);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_results_sorted_by_distance(
+        entries in arb_entries(100),
+        k in 1usize..20,
+    ) {
+        let center = Point::origin();
+        let rtree = RTree::bulk_load(entries.clone());
+        let vptree = VpTree::build(entries);
+        for nn in [rtree.nearest(&center, k), vptree.nearest(&center, k)] {
+            for w in nn.windows(2) {
+                prop_assert!(w[0].distance <= w[1].distance);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Small dense linear algebra for EnviroMeter's per-region regression models.
+//!
+//! The model cover fits one linear model per sub-region; each fit is a tiny
+//! least-squares problem (design matrices of 3–5 columns, tens to hundreds of
+//! rows). Pulling in a full BLAS stack for 4×4 systems would be absurd, so
+//! this crate provides exactly what the models need:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the handful of
+//!   operations regression requires (`Aᵀ·A`, `Aᵀ·b`, multiply, transpose).
+//! * [`cholesky_solve`] — an SPD solver for the normal equations.
+//! * [`gaussian_solve`] — partial-pivoting Gaussian elimination fallback for
+//!   general square systems.
+//! * [`lstsq`] / [`lstsq_ridge`] — ordinary and ridge least squares built on
+//!   the two solvers.
+//!
+//! Degenerate inputs are first-class: bus trajectories are nearly collinear,
+//! so rank-deficient design matrices are the *common* case, reported as
+//! [`LinalgError::NotSpd`] / [`LinalgError::Singular`] and handled upstream
+//! by ridge regularization or a mean model.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod matrix;
+pub mod solve;
+
+pub use matrix::Matrix;
+pub use solve::{cholesky_solve, gaussian_solve, lstsq, lstsq_ridge, LinalgError};

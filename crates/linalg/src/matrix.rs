@@ -1,0 +1,308 @@
+//! Row-major dense matrices.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+///
+/// Sized for regression work: design matrices with a handful of columns.
+/// Storage is a single contiguous `Vec<f64>`; element `(r, c)` lives at
+/// `r * cols + c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// The Gram matrix `Aᵀ·A` — the left side of the normal equations.
+    ///
+    /// Computed directly (symmetric accumulation) without materializing the
+    /// transpose.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut out = Matrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let a = row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    out[(i, j)] += a * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out[(j, i)] = out[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// `Aᵀ·b` — the right side of the normal equations.
+    pub fn t_matvec(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, b.len(), "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &scale) in b.iter().enumerate() {
+            if scale == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(r)) {
+                *o += a * scale;
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element (∞-norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// `true` if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:>10.4}")).collect();
+            writeln!(f, "[{}]", cells.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2x3() -> Matrix {
+        Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let m = m2x3();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let i = Matrix::identity(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_swaps_dims_and_entries() {
+        let t = m2x3().transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t[(2, 0)], 3.0);
+        assert_eq!(t[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let m = m2x3();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m2x3();
+        let b = Matrix::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_with_identity() {
+        let a = m2x3();
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn gram_equals_explicit_ata() {
+        let a = m2x3();
+        let explicit = a.transpose().matmul(&a);
+        let g = a.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, -2.0, 0.5, 3.0, -1.0, 4.0]);
+        let g = a.gram();
+        assert_eq!(g[(0, 1)], g[(1, 0)]);
+    }
+
+    #[test]
+    fn t_matvec_equals_explicit() {
+        let a = m2x3();
+        let b = vec![2.0, -1.0];
+        let explicit = a.transpose().matvec(&b);
+        assert_eq!(a.t_matvec(&b), explicit);
+    }
+
+    #[test]
+    fn matvec_known_result() {
+        let m = m2x3();
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn max_abs_and_is_finite() {
+        let m = Matrix::from_rows(1, 3, vec![-5.0, 2.0, 4.0]);
+        assert_eq!(m.max_abs(), 5.0);
+        assert!(m.is_finite());
+        let bad = Matrix::from_rows(1, 1, vec![f64::NAN]);
+        assert!(!bad.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn from_rows_wrong_len_panics() {
+        Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dim_mismatch_panics() {
+        let a = m2x3();
+        let b = m2x3();
+        let _ = a.matmul(&b);
+    }
+}

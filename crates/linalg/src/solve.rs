@@ -1,0 +1,335 @@
+//! Linear solvers and least squares.
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// Failure modes of the solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not symmetric positive definite (Cholesky pivot ≤ 0) —
+    /// for normal equations this means a rank-deficient design matrix.
+    NotSpd,
+    /// Gaussian elimination found no usable pivot: the system is singular
+    /// (or numerically indistinguishable from singular).
+    Singular,
+    /// Operand dimensions do not form a valid system.
+    DimensionMismatch,
+    /// A non-finite value (NaN/∞) appeared in the inputs.
+    NonFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinalgError::NotSpd => "matrix is not symmetric positive definite",
+            LinalgError::Singular => "matrix is singular",
+            LinalgError::DimensionMismatch => "operand dimensions do not match",
+            LinalgError::NonFinite => "non-finite value in input",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solves `A·x = b` for symmetric positive-definite `A` via Cholesky
+/// decomposition (`A = L·Lᵀ`, then two triangular solves).
+///
+/// This is the fast path for the normal equations `AᵀA·β = Aᵀb`. Only the
+/// lower triangle of `a` is read.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    if !a.is_finite() || !b.iter().all(|v| v.is_finite()) {
+        return Err(LinalgError::NonFinite);
+    }
+    // Decompose: L is lower triangular, row-major in `l`.
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                // Pivot tolerance relative to the matrix scale.
+                let tol = 1e-12 * a.max_abs().max(1.0);
+                if sum <= tol {
+                    return Err(LinalgError::NotSpd);
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L·y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back solve Lᵀ·x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Solves `A·x = b` for general square `A` via Gaussian elimination with
+/// partial pivoting.
+pub fn gaussian_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    if !a.is_finite() || !b.iter().all(|v| v.is_finite()) {
+        return Err(LinalgError::NonFinite);
+    }
+    // Augmented working copy.
+    let mut m = vec![0.0; n * (n + 1)];
+    for r in 0..n {
+        m[r * (n + 1)..r * (n + 1) + n].copy_from_slice(a.row(r));
+        m[r * (n + 1) + n] = b[r];
+    }
+    let w = n + 1;
+    let tol = 1e-12 * a.max_abs().max(1.0);
+    for col in 0..n {
+        // Partial pivot: the row with the largest |entry| in this column.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                m[r1 * w + col]
+                    .abs()
+                    .partial_cmp(&m[r2 * w + col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty range");
+        if m[pivot_row * w + col].abs() <= tol {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for k in 0..w {
+                m.swap(col * w + k, pivot_row * w + k);
+            }
+        }
+        let pivot = m[col * w + col];
+        for r in (col + 1)..n {
+            let factor = m[r * w + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..w {
+                m[r * w + k] -= factor * m[col * w + k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut sum = m[r * w + n];
+        for k in (r + 1)..n {
+            sum -= m[r * w + k] * x[k];
+        }
+        x[r] = sum / m[r * w + r];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: minimizes `‖A·β − b‖₂` via the normal equations.
+///
+/// Requires `A` to have full column rank; returns [`LinalgError::NotSpd`]
+/// otherwise (callers fall back to [`lstsq_ridge`] or a mean model).
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    if a.rows() < a.cols() {
+        // Underdetermined: the Gram matrix cannot be positive definite.
+        return Err(LinalgError::NotSpd);
+    }
+    cholesky_solve(&a.gram(), &a.t_matvec(b))
+}
+
+/// Ridge (Tikhonov-regularized) least squares:
+/// minimizes `‖A·β − b‖₂² + λ·‖β‖₂²`.
+///
+/// For any `λ > 0` the system `(AᵀA + λI)·β = Aᵀb` is SPD regardless of the
+/// rank of `A`, so this always succeeds on finite inputs. This is the
+/// standard rescue for collinear bus-trajectory windows.
+pub fn lstsq_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    if lambda.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(LinalgError::NotSpd);
+    }
+    let mut gram = a.gram();
+    for i in 0..gram.rows() {
+        gram[(i, i)] += lambda;
+    }
+    cholesky_solve(&gram, &a.t_matvec(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] → x = [1.75, 1.5]
+        let a = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let x = cholesky_solve(&a, &[10.0, 8.0]).unwrap();
+        assert_close(&x, &[1.75, 1.5], 1e-12);
+    }
+
+    #[test]
+    fn cholesky_identity_returns_rhs() {
+        let x = cholesky_solve(&Matrix::identity(3), &[1.0, -2.0, 3.0]).unwrap();
+        assert_close(&x, &[1.0, -2.0, 3.0], 1e-15);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(cholesky_solve(&a, &[1.0, 1.0]), Err(LinalgError::NotSpd));
+    }
+
+    #[test]
+    fn cholesky_rejects_rank_deficient() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(cholesky_solve(&a, &[2.0, 2.0]), Err(LinalgError::NotSpd));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_finite() {
+        let a = Matrix::from_rows(1, 1, vec![f64::NAN]);
+        assert_eq!(cholesky_solve(&a, &[1.0]), Err(LinalgError::NonFinite));
+    }
+
+    #[test]
+    fn cholesky_dimension_mismatch() {
+        let a = Matrix::identity(2);
+        assert_eq!(cholesky_solve(&a, &[1.0]), Err(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn gaussian_solves_general_system() {
+        // Non-symmetric: [[0,2],[3,1]] x = [4, 5] → x = [1, 2]
+        let a = Matrix::from_rows(2, 2, vec![0.0, 2.0, 3.0, 1.0]);
+        let x = gaussian_solve(&a, &[4.0, 5.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn gaussian_needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(3, 3, vec![0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0]);
+        let x = gaussian_solve(&a, &[2.0, 2.0, 2.0]).unwrap();
+        assert_close(&x, &[1.0, 1.0, 1.0], 1e-12);
+    }
+
+    #[test]
+    fn gaussian_rejects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(gaussian_solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn gaussian_agrees_with_cholesky_on_spd() {
+        let a = Matrix::from_rows(3, 3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0]);
+        let b = [1.0, 2.0, 3.0];
+        let x1 = cholesky_solve(&a, &b).unwrap();
+        let x2 = gaussian_solve(&a, &b).unwrap();
+        assert_close(&x1, &x2, 1e-10);
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_line() {
+        // y = 2 + 3x sampled exactly.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let a = Matrix::from_rows(4, 2, xs.iter().flat_map(|&x| [1.0, x]).collect());
+        let b: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x).collect();
+        let beta = lstsq(&a, &b).unwrap();
+        assert_close(&beta, &[2.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    fn lstsq_minimizes_residual_on_noisy_data() {
+        // Overdetermined noisy fit: residual must be orthogonal to columns.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [1.1, 2.9, 5.2, 6.8, 9.1];
+        let a = Matrix::from_rows(5, 2, xs.iter().flat_map(|&x| [1.0, x]).collect());
+        let beta = lstsq(&a, &ys).unwrap();
+        let fitted = a.matvec(&beta);
+        let resid: Vec<f64> = ys.iter().zip(&fitted).map(|(y, f)| y - f).collect();
+        let ortho = a.t_matvec(&resid);
+        for v in ortho {
+            assert!(v.abs() < 1e-9, "residual not orthogonal: {v}");
+        }
+    }
+
+    #[test]
+    fn lstsq_rejects_underdetermined() {
+        let a = Matrix::from_rows(1, 2, vec![1.0, 1.0]);
+        assert_eq!(lstsq(&a, &[1.0]), Err(LinalgError::NotSpd));
+    }
+
+    #[test]
+    fn lstsq_rejects_collinear_columns() {
+        // Second column = 2 × first column.
+        let a = Matrix::from_rows(3, 2, vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(lstsq(&a, &[1.0, 1.0, 1.0]), Err(LinalgError::NotSpd));
+    }
+
+    #[test]
+    fn ridge_handles_collinear_columns() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        let beta = lstsq_ridge(&a, &[3.0, 3.0, 3.0], 1e-6).unwrap();
+        // Fitted values should still be ≈ 3.
+        let fitted = a.matvec(&beta);
+        assert_close(&fitted, &[3.0, 3.0, 3.0], 1e-3);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero_with_large_lambda() {
+        let a = Matrix::from_rows(3, 1, vec![1.0, 1.0, 1.0]);
+        let small = lstsq_ridge(&a, &[4.0, 4.0, 4.0], 1e-9).unwrap()[0];
+        let big = lstsq_ridge(&a, &[4.0, 4.0, 4.0], 1e3).unwrap()[0];
+        assert!((small - 4.0).abs() < 1e-6);
+        assert!(big.abs() < small.abs());
+    }
+
+    #[test]
+    fn ridge_requires_positive_lambda() {
+        let a = Matrix::identity(2);
+        assert!(lstsq_ridge(&a, &[1.0, 1.0], 0.0).is_err());
+        assert!(lstsq_ridge(&a, &[1.0, 1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn ridge_matches_ols_for_tiny_lambda_on_well_posed() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let a = Matrix::from_rows(4, 2, xs.iter().flat_map(|&x| [1.0, x]).collect());
+        let b: Vec<f64> = xs.iter().map(|&x| 1.0 - 0.5 * x).collect();
+        let ols = lstsq(&a, &b).unwrap();
+        let ridge = lstsq_ridge(&a, &b, 1e-12).unwrap();
+        assert_close(&ols, &ridge, 1e-6);
+    }
+}

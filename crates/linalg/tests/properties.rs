@@ -1,0 +1,113 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use enviro_linalg::{cholesky_solve, gaussian_solve, lstsq_ridge, Matrix};
+use proptest::prelude::*;
+
+fn small_val() -> impl Strategy<Value = f64> {
+    -10.0..10.0
+}
+
+/// Strategy: a random matrix `B` (n×n) turned into the SPD matrix
+/// `B·Bᵀ + εI`.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(small_val(), n * n).prop_map(move |data| {
+        let b = Matrix::from_rows(n, n, data);
+        let mut spd = b.matmul(&b.transpose());
+        for i in 0..n {
+            spd[(i, i)] += 1.0; // guarantee positive definiteness
+        }
+        spd
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_solution_satisfies_system(
+        a in spd_matrix(3),
+        b in prop::collection::vec(small_val(), 3),
+    ) {
+        let x = cholesky_solve(&a, &b).expect("SPD by construction");
+        let back = a.matvec(&x);
+        for (lhs, rhs) in back.iter().zip(&b) {
+            prop_assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn gaussian_agrees_with_cholesky(
+        a in spd_matrix(4),
+        b in prop::collection::vec(small_val(), 4),
+    ) {
+        let x1 = cholesky_solve(&a, &b).expect("SPD");
+        let x2 = gaussian_solve(&a, &b).expect("nonsingular");
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        d1 in prop::collection::vec(small_val(), 4),
+        d2 in prop::collection::vec(small_val(), 4),
+        d3 in prop::collection::vec(small_val(), 4),
+    ) {
+        let a = Matrix::from_rows(2, 2, d1);
+        let b = Matrix::from_rows(2, 2, d2);
+        let c = Matrix::from_rows(2, 2, d3);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (u, v) in left.data().iter().zip(right.data()) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_of_product_reverses(
+        d1 in prop::collection::vec(small_val(), 6),
+        d2 in prop::collection::vec(small_val(), 6),
+    ) {
+        let a = Matrix::from_rows(2, 3, d1);
+        let b = Matrix::from_rows(3, 2, d2);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (u, v) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gram_is_positive_semidefinite_diag(
+        data in prop::collection::vec(small_val(), 12),
+    ) {
+        let a = Matrix::from_rows(4, 3, data);
+        let g = a.gram();
+        for i in 0..3 {
+            prop_assert!(g[(i, i)] >= -1e-12, "negative diagonal {}", g[(i, i)]);
+        }
+    }
+
+    #[test]
+    fn ridge_always_solves_finite_inputs(
+        data in prop::collection::vec(small_val(), 12),
+        b in prop::collection::vec(small_val(), 4),
+    ) {
+        let a = Matrix::from_rows(4, 3, data);
+        let beta = lstsq_ridge(&a, &b, 1e-6).expect("ridge is always SPD");
+        prop_assert!(beta.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ridge_residual_not_worse_than_zero_model(
+        data in prop::collection::vec(small_val(), 12),
+        b in prop::collection::vec(small_val(), 4),
+    ) {
+        let a = Matrix::from_rows(4, 3, data);
+        let beta = lstsq_ridge(&a, &b, 1e-9).expect("solvable");
+        let fitted = a.matvec(&beta);
+        let rss: f64 = b.iter().zip(&fitted).map(|(y, f)| (y - f).powi(2)).sum();
+        let tss: f64 = b.iter().map(|y| y * y).sum();
+        // With negligible regularization, LS fit can't be (materially) worse
+        // than the zero vector.
+        prop_assert!(rss <= tss + 1e-6, "rss {rss} > tss {tss}");
+    }
+}

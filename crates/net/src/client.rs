@@ -1,0 +1,301 @@
+//! The two mobile clients of the bandwidth evaluation (§2.3, Figure 7b).
+
+use crate::codec::WireCodec;
+use crate::link::{LinkUsage, SimulatedLink};
+use crate::protocol::{Request, Response};
+use crate::server::EnviroServer;
+use enviro_data::QueryTuple;
+use enviro_meter::ModelCover;
+
+/// The outcome of running one continuous query session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Interpolated value per query tuple (in trajectory order).
+    pub values: Vec<Option<f64>>,
+    /// Link usage totals (bytes include protocol overhead).
+    pub usage: LinkUsage,
+    /// Total virtual time to complete the continuous query, in seconds.
+    pub elapsed_secs: f64,
+    /// Number of server round-trips performed.
+    pub server_exchanges: usize,
+}
+
+/// The baseline technique: one server round-trip per query tuple — "simply
+/// responds to each query tuple with the interpolated sensor value ŝ_l,
+/// without caching the models".
+#[derive(Debug)]
+pub struct BaselineClient<C: WireCodec> {
+    codec: C,
+}
+
+impl<C: WireCodec> BaselineClient<C> {
+    /// Creates the client with its codec (must match the server's).
+    pub fn new(codec: C) -> Self {
+        Self { codec }
+    }
+
+    /// Runs a continuous query against `server` over `link`.
+    pub fn run(
+        &self,
+        server: &EnviroServer<C>,
+        trajectory: &[QueryTuple],
+        link: &mut SimulatedLink,
+    ) -> SessionStats {
+        let start = link.clock_secs();
+        let mut values = Vec::with_capacity(trajectory.len());
+        let mut exchanges = 0usize;
+        for q in trajectory {
+            let req = self.codec.encode_request(&Request::Query {
+                time: q.time,
+                pos: q.pos,
+            });
+            let resp_bytes = server
+                .handle_bytes(&req)
+                .expect("server rejects its own codec's request");
+            link.exchange(req.len(), resp_bytes.len());
+            exchanges += 1;
+            let value = match self
+                .codec
+                .decode_response(&resp_bytes)
+                .expect("server sends well-formed responses")
+            {
+                Response::Value { value } => Some(value),
+                Response::NoData => None,
+                Response::Cover(_) => None, // protocol misuse; treat as miss
+            };
+            values.push(value);
+        }
+        SessionStats {
+            values,
+            usage: link.usage(),
+            elapsed_secs: link.clock_secs() - start,
+            server_exchanges: exchanges,
+        }
+    }
+}
+
+/// The model-cache technique: download `(t_n, µ, M)` once, answer locally
+/// while `t_l ≤ t_n`, refresh only on expiry.
+///
+/// One production refinement over the paper's sketch: when a refresh
+/// returns a cover that is *already expired* for the requested time, the
+/// server simply has nothing newer (sensing gap, end of deployment). The
+/// client then serves from the stale cover without hammering the server on
+/// every subsequent tuple, and resumes refreshing once a fetch yields a
+/// live horizon again.
+#[derive(Debug)]
+pub struct ModelCacheClient<C: WireCodec> {
+    codec: C,
+    cached: Option<ModelCover>,
+    /// Set when the last refresh proved the server has no fresher cover.
+    server_exhausted: bool,
+}
+
+impl<C: WireCodec> ModelCacheClient<C> {
+    /// Creates the client with an empty cache.
+    pub fn new(codec: C) -> Self {
+        Self {
+            codec,
+            cached: None,
+            server_exhausted: false,
+        }
+    }
+
+    /// The currently cached cover, if any.
+    pub fn cached_cover(&self) -> Option<&ModelCover> {
+        self.cached.as_ref()
+    }
+
+    /// Runs a continuous query against `server` over `link`.
+    pub fn run(
+        &mut self,
+        server: &EnviroServer<C>,
+        trajectory: &[QueryTuple],
+        link: &mut SimulatedLink,
+    ) -> SessionStats {
+        let start = link.clock_secs();
+        let pollutant = server.platform().engine().dataset().pollutant();
+        let mut values = Vec::with_capacity(trajectory.len());
+        let mut exchanges = 0usize;
+        for q in trajectory {
+            // The §2.3 check: is the cached cover still valid at t_l?
+            let valid = self
+                .cached
+                .as_ref()
+                .is_some_and(|c| c.is_valid_at(q.time));
+            if !valid && !self.server_exhausted {
+                let req = self
+                    .codec
+                    .encode_request(&Request::ModelRequest { time: q.time });
+                let resp_bytes = server
+                    .handle_bytes(&req)
+                    .expect("server rejects its own codec's request");
+                link.exchange(req.len(), resp_bytes.len());
+                exchanges += 1;
+                match self
+                    .codec
+                    .decode_response(&resp_bytes)
+                    .expect("server sends well-formed responses")
+                {
+                    Response::Cover(wire) => {
+                        let cover = wire.into_cover(pollutant);
+                        // A cover already expired for t_l means the server
+                        // has nothing fresher: serve stale, stop refreshing.
+                        self.server_exhausted = !cover.is_valid_at(q.time);
+                        self.cached = Some(cover);
+                    }
+                    _ => {
+                        self.cached = None;
+                        self.server_exhausted = true;
+                    }
+                }
+            }
+            values.push(
+                self.cached
+                    .as_ref()
+                    .and_then(|c| c.interpolate(q.time, &q.pos)),
+            );
+        }
+        SessionStats {
+            values,
+            usage: link.usage(),
+            elapsed_secs: link.clock_secs() - start,
+            server_exchanges: exchanges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::BinaryCodec;
+    use crate::link::LinkProfile;
+    use enviro_data::{LausanneSim, SimConfig, WindowSpec};
+    use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+
+    fn setup() -> (EnviroServer<BinaryCodec>, LausanneSim) {
+        let sim = LausanneSim::lausanne(SimConfig {
+            duration_secs: 4 * 3_600,
+            seed: 13,
+            ..SimConfig::default()
+        });
+        let platform = EnviroMeter::new(
+            sim.generate(),
+            WindowSpec::ByDuration(2 * 3_600),
+            AdKmnConfig::default(),
+            1_000.0,
+        );
+        (
+            EnviroServer::new(platform, BinaryCodec, QueryMethod::ModelCover),
+            sim,
+        )
+    }
+
+    #[test]
+    fn baseline_one_exchange_per_tuple() {
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(50, 60, 1);
+        let mut link = SimulatedLink::new(LinkProfile::GPRS);
+        let stats = BaselineClient::new(BinaryCodec).run(&server, &traj, &mut link);
+        assert_eq!(stats.server_exchanges, 50);
+        assert_eq!(stats.values.len(), 50);
+        assert!(stats.values.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn model_cache_fetches_once_within_validity() {
+        let (server, sim) = setup();
+        // 50 tuples × 60 s = 50 min, well inside one 2 h window.
+        let traj = sim.continuous_trajectory(50, 60, 2);
+        let mut link = SimulatedLink::new(LinkProfile::GPRS);
+        let mut client = ModelCacheClient::new(BinaryCodec);
+        let stats = client.run(&server, &traj, &mut link);
+        // At most 2 fetches (trajectory may straddle one window boundary).
+        assert!(stats.server_exchanges <= 2, "{}", stats.server_exchanges);
+        assert!(client.cached_cover().is_some());
+        assert!(stats.values.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn model_cache_refreshes_on_expiry() {
+        let (server, sim) = setup();
+        // 120 tuples × 120 s = 4 h: crosses the 2 h window boundary.
+        let traj = sim.continuous_trajectory(120, 120, 3);
+        let mut link = SimulatedLink::new(LinkProfile::GPRS);
+        let mut client = ModelCacheClient::new(BinaryCodec);
+        let stats = client.run(&server, &traj, &mut link);
+        assert!(stats.server_exchanges >= 2, "{}", stats.server_exchanges);
+        assert!(stats.server_exchanges < 10);
+    }
+
+    #[test]
+    fn model_cache_saves_bandwidth_and_time() {
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(100, 30, 4);
+
+        let mut base_link = SimulatedLink::new(LinkProfile::GPRS);
+        let base = BaselineClient::new(BinaryCodec).run(&server, &traj, &mut base_link);
+
+        let mut cache_link = SimulatedLink::new(LinkProfile::GPRS);
+        let cache =
+            ModelCacheClient::new(BinaryCodec).run(&server, &traj, &mut cache_link);
+
+        assert!(
+            cache.usage.sent_bytes * 10 < base.usage.sent_bytes,
+            "sent: cache {} vs base {}",
+            cache.usage.sent_bytes,
+            base.usage.sent_bytes
+        );
+        assert!(
+            cache.usage.received_bytes < base.usage.received_bytes,
+            "received: cache {} vs base {}",
+            cache.usage.received_bytes,
+            base.usage.received_bytes
+        );
+        assert!(
+            cache.elapsed_secs * 10.0 < base.elapsed_secs,
+            "time: cache {} vs base {}",
+            cache.elapsed_secs,
+            base.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn both_clients_agree_on_values() {
+        // Both techniques evaluate the same model cover; answers must match.
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(40, 60, 5);
+        let mut l1 = SimulatedLink::new(LinkProfile::IDEAL);
+        let base = BaselineClient::new(BinaryCodec).run(&server, &traj, &mut l1);
+        let mut l2 = SimulatedLink::new(LinkProfile::IDEAL);
+        let cache = ModelCacheClient::new(BinaryCodec).run(&server, &traj, &mut l2);
+        for (i, (a, b)) in base.values.iter().zip(&cache.values).enumerate() {
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert!((x - y).abs() < 1e-9, "tuple {i}: {x} vs {y}")
+                }
+                (None, None) => {}
+                other => panic!("tuple {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_platform_yields_no_values() {
+        let platform = EnviroMeter::new(
+            enviro_data::Dataset::new(enviro_data::Pollutant::Co2),
+            WindowSpec::ByCount(10),
+            AdKmnConfig::default(),
+            500.0,
+        );
+        let server = EnviroServer::new(platform, BinaryCodec, QueryMethod::ModelCover);
+        let traj = vec![QueryTuple::new(
+            enviro_data::Timestamp::ZERO,
+            enviro_geo::Point::origin(),
+        )];
+        let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut client = ModelCacheClient::new(BinaryCodec);
+        let stats = client.run(&server, &traj, &mut link);
+        assert_eq!(stats.values, vec![None]);
+    }
+}

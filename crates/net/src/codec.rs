@@ -1,0 +1,590 @@
+//! Wire codecs with byte-exact accounting.
+//!
+//! Figure 7(b) counts the bytes a phone transmits and receives, so the wire
+//! format is explicit rather than delegated to a serialization framework.
+//! Two codecs implement the same [`WireCodec`] trait:
+//!
+//! * [`BinaryCodec`] — the production format: little-endian fixed layouts,
+//!   one tag byte per message, varint-free (message sizes are dominated by
+//!   `f64` payloads; length prefixes are `u32`).
+//! * [`TextCodec`] — a verbose human-readable format standing in for the
+//!   JSON-over-HTTP encodings typical of 2013 mobile backends; the
+//!   `abl-codec` ablation quantifies what the binary layout saves.
+
+use crate::protocol::{Request, Response, WireCover, WireModel, WireRegion};
+use bytes::{Buf, BufMut};
+use enviro_data::Timestamp;
+use enviro_geo::Point;
+use enviro_meter::LinearModel;
+
+/// Errors produced while decoding a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// An unknown message/model tag was encountered.
+    BadTag(u8),
+    /// The payload failed validation (e.g. non-finite floats, bad text).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("message truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t:#04x}"),
+            CodecError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bidirectional message codec.
+pub trait WireCodec {
+    /// Codec name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Encodes a request into bytes.
+    fn encode_request(&self, req: &Request) -> Vec<u8>;
+
+    /// Decodes a request.
+    fn decode_request(&self, bytes: &[u8]) -> Result<Request, CodecError>;
+
+    /// Encodes a response into bytes.
+    fn encode_response(&self, resp: &Response) -> Vec<u8>;
+
+    /// Decodes a response.
+    fn decode_response(&self, bytes: &[u8]) -> Result<Response, CodecError>;
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+/// The compact binary codec (production format).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryCodec;
+
+const TAG_QUERY: u8 = 0x01;
+const TAG_MODEL_REQUEST: u8 = 0x02;
+const TAG_VALUE: u8 = 0x81;
+const TAG_NO_DATA: u8 = 0x82;
+const TAG_COVER: u8 = 0x83;
+const MODEL_MEAN: u8 = 0x01;
+const MODEL_LINEAR: u8 = 0x02;
+
+impl WireCodec for BinaryCodec {
+    fn name(&self) -> &'static str {
+        "binary"
+    }
+
+    fn encode_request(&self, req: &Request) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match req {
+            Request::Query { time, pos } => {
+                out.put_u8(TAG_QUERY);
+                out.put_i64_le(time.as_secs());
+                out.put_f64_le(pos.x);
+                out.put_f64_le(pos.y);
+            }
+            Request::ModelRequest { time } => {
+                out.put_u8(TAG_MODEL_REQUEST);
+                out.put_i64_le(time.as_secs());
+            }
+        }
+        out
+    }
+
+    fn decode_request(&self, mut bytes: &[u8]) -> Result<Request, CodecError> {
+        let tag = take_u8(&mut bytes)?;
+        match tag {
+            TAG_QUERY => {
+                let time = Timestamp::from_secs(take_i64(&mut bytes)?);
+                let x = take_f64(&mut bytes)?;
+                let y = take_f64(&mut bytes)?;
+                ensure_empty(bytes)?;
+                Ok(Request::Query {
+                    time,
+                    pos: Point::new(x, y),
+                })
+            }
+            TAG_MODEL_REQUEST => {
+                let time = Timestamp::from_secs(take_i64(&mut bytes)?);
+                ensure_empty(bytes)?;
+                Ok(Request::ModelRequest { time })
+            }
+            other => Err(CodecError::BadTag(other)),
+        }
+    }
+
+    fn encode_response(&self, resp: &Response) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match resp {
+            Response::Value { value } => {
+                out.put_u8(TAG_VALUE);
+                out.put_f64_le(*value);
+            }
+            Response::NoData => out.put_u8(TAG_NO_DATA),
+            Response::Cover(cover) => {
+                out.put_u8(TAG_COVER);
+                out.put_i64_le(cover.valid_until.as_secs());
+                out.put_u32_le(cover.regions.len() as u32);
+                for r in &cover.regions {
+                    out.put_f64_le(r.centroid.x);
+                    out.put_f64_le(r.centroid.y);
+                    match &r.model {
+                        WireModel::Mean(v) => {
+                            out.put_u8(MODEL_MEAN);
+                            out.put_f64_le(*v);
+                        }
+                        WireModel::Linear(coeffs) => {
+                            out.put_u8(MODEL_LINEAR);
+                            for c in coeffs {
+                                out.put_f64_le(*c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn decode_response(&self, mut bytes: &[u8]) -> Result<Response, CodecError> {
+        let tag = take_u8(&mut bytes)?;
+        match tag {
+            TAG_VALUE => {
+                let value = take_f64(&mut bytes)?;
+                ensure_empty(bytes)?;
+                Ok(Response::Value { value })
+            }
+            TAG_NO_DATA => {
+                ensure_empty(bytes)?;
+                Ok(Response::NoData)
+            }
+            TAG_COVER => {
+                let valid_until = Timestamp::from_secs(take_i64(&mut bytes)?);
+                let n = take_u32(&mut bytes)? as usize;
+                // Guard against absurd lengths before allocating.
+                if n > 1_000_000 {
+                    return Err(CodecError::Malformed(format!("{n} regions")));
+                }
+                let mut regions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let cx = take_f64(&mut bytes)?;
+                    let cy = take_f64(&mut bytes)?;
+                    let model = match take_u8(&mut bytes)? {
+                        MODEL_MEAN => WireModel::Mean(take_f64(&mut bytes)?),
+                        MODEL_LINEAR => {
+                            let mut coeffs = [0.0; LinearModel::COEFFICIENT_COUNT];
+                            for c in &mut coeffs {
+                                *c = take_f64(&mut bytes)?;
+                            }
+                            WireModel::Linear(coeffs)
+                        }
+                        other => return Err(CodecError::BadTag(other)),
+                    };
+                    regions.push(WireRegion {
+                        centroid: Point::new(cx, cy),
+                        model,
+                    });
+                }
+                ensure_empty(bytes)?;
+                Ok(Response::Cover(WireCover {
+                    valid_until,
+                    regions,
+                }))
+            }
+            other => Err(CodecError::BadTag(other)),
+        }
+    }
+}
+
+fn take_u8(bytes: &mut &[u8]) -> Result<u8, CodecError> {
+    if bytes.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(bytes.get_u8())
+}
+
+fn take_u32(bytes: &mut &[u8]) -> Result<u32, CodecError> {
+    if bytes.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(bytes.get_u32_le())
+}
+
+fn take_i64(bytes: &mut &[u8]) -> Result<i64, CodecError> {
+    if bytes.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(bytes.get_i64_le())
+}
+
+fn take_f64(bytes: &mut &[u8]) -> Result<f64, CodecError> {
+    if bytes.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(bytes.get_f64_le())
+}
+
+fn ensure_empty(bytes: &[u8]) -> Result<(), CodecError> {
+    if bytes.is_empty() {
+        Ok(())
+    } else {
+        Err(CodecError::Malformed(format!(
+            "{} trailing bytes",
+            bytes.len()
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text codec (ablation)
+// ---------------------------------------------------------------------------
+
+/// A verbose line-oriented text codec, standing in for JSON-over-HTTP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextCodec;
+
+impl WireCodec for TextCodec {
+    fn name(&self) -> &'static str {
+        "text"
+    }
+
+    fn encode_request(&self, req: &Request) -> Vec<u8> {
+        match req {
+            Request::Query { time, pos } => format!(
+                "REQUEST query time={} x={:.6} y={:.6}\n",
+                time.as_secs(),
+                pos.x,
+                pos.y
+            ),
+            Request::ModelRequest { time } => {
+                format!("REQUEST model-request time={}\n", time.as_secs())
+            }
+        }
+        .into_bytes()
+    }
+
+    fn decode_request(&self, bytes: &[u8]) -> Result<Request, CodecError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| CodecError::Malformed(e.to_string()))?;
+        let mut parts = text.split_whitespace();
+        expect_token(&mut parts, "REQUEST")?;
+        match parts.next() {
+            Some("query") => {
+                let time = Timestamp::from_secs(kv_i64(&mut parts, "time")?);
+                let x = kv_f64(&mut parts, "x")?;
+                let y = kv_f64(&mut parts, "y")?;
+                Ok(Request::Query {
+                    time,
+                    pos: Point::new(x, y),
+                })
+            }
+            Some("model-request") => {
+                let time = Timestamp::from_secs(kv_i64(&mut parts, "time")?);
+                Ok(Request::ModelRequest { time })
+            }
+            other => Err(CodecError::Malformed(format!("bad verb {other:?}"))),
+        }
+    }
+
+    fn encode_response(&self, resp: &Response) -> Vec<u8> {
+        match resp {
+            Response::Value { value } => format!("RESPONSE value s={value:.9}\n"),
+            Response::NoData => "RESPONSE no-data\n".to_string(),
+            Response::Cover(cover) => {
+                let mut out = format!(
+                    "RESPONSE cover valid-until={} regions={}\n",
+                    cover.valid_until.as_secs(),
+                    cover.regions.len()
+                );
+                for r in &cover.regions {
+                    match &r.model {
+                        WireModel::Mean(v) => out.push_str(&format!(
+                            "region cx={:.6} cy={:.6} model=mean coeffs={v:.9}\n",
+                            r.centroid.x, r.centroid.y
+                        )),
+                        WireModel::Linear(cs) => {
+                            let coeffs: Vec<String> =
+                                cs.iter().map(|c| format!("{c:.9}")).collect();
+                            out.push_str(&format!(
+                                "region cx={:.6} cy={:.6} model=linear coeffs={}\n",
+                                r.centroid.x,
+                                r.centroid.y,
+                                coeffs.join(",")
+                            ));
+                        }
+                    }
+                }
+                out
+            }
+        }
+        .into_bytes()
+    }
+
+    fn decode_response(&self, bytes: &[u8]) -> Result<Response, CodecError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| CodecError::Malformed(e.to_string()))?;
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| CodecError::Malformed("empty response".into()))?;
+        let mut parts = header.split_whitespace();
+        expect_token(&mut parts, "RESPONSE")?;
+        match parts.next() {
+            Some("value") => {
+                let value = kv_f64(&mut parts, "s")?;
+                Ok(Response::Value { value })
+            }
+            Some("no-data") => Ok(Response::NoData),
+            Some("cover") => {
+                let valid_until = Timestamp::from_secs(kv_i64(&mut parts, "valid-until")?);
+                let n = kv_i64(&mut parts, "regions")? as usize;
+                let mut regions = Vec::with_capacity(n.min(4096));
+                for line in lines {
+                    let mut p = line.split_whitespace();
+                    expect_token(&mut p, "region")?;
+                    let cx = kv_f64(&mut p, "cx")?;
+                    let cy = kv_f64(&mut p, "cy")?;
+                    let kind = kv_str(&mut p, "model")?;
+                    let coeffs = kv_str(&mut p, "coeffs")?;
+                    let model = match kind {
+                        "mean" => WireModel::Mean(coeffs.parse().map_err(|_| {
+                            CodecError::Malformed(format!("bad mean {coeffs:?}"))
+                        })?),
+                        "linear" => {
+                            let vals: Result<Vec<f64>, _> =
+                                coeffs.split(',').map(str::parse).collect();
+                            let vals = vals.map_err(|_| {
+                                CodecError::Malformed("bad linear coeffs".into())
+                            })?;
+                            if vals.len() != LinearModel::COEFFICIENT_COUNT {
+                                return Err(CodecError::Malformed(format!(
+                                    "expected {} coeffs, got {}",
+                                    LinearModel::COEFFICIENT_COUNT,
+                                    vals.len()
+                                )));
+                            }
+                            let mut arr = [0.0; LinearModel::COEFFICIENT_COUNT];
+                            arr.copy_from_slice(&vals);
+                            WireModel::Linear(arr)
+                        }
+                        other => {
+                            return Err(CodecError::Malformed(format!(
+                                "bad model kind {other:?}"
+                            )))
+                        }
+                    };
+                    regions.push(WireRegion {
+                        centroid: Point::new(cx, cy),
+                        model,
+                    });
+                }
+                if regions.len() != n {
+                    return Err(CodecError::Malformed(format!(
+                        "declared {n} regions, got {}",
+                        regions.len()
+                    )));
+                }
+                Ok(Response::Cover(WireCover {
+                    valid_until,
+                    regions,
+                }))
+            }
+            other => Err(CodecError::Malformed(format!("bad verb {other:?}"))),
+        }
+    }
+}
+
+fn expect_token<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    want: &str,
+) -> Result<(), CodecError> {
+    match parts.next() {
+        Some(t) if t == want => Ok(()),
+        other => Err(CodecError::Malformed(format!(
+            "expected {want:?}, got {other:?}"
+        ))),
+    }
+}
+
+fn kv_str<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    key: &str,
+) -> Result<&'a str, CodecError> {
+    let token = parts
+        .next()
+        .ok_or_else(|| CodecError::Malformed(format!("missing {key}")))?;
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| CodecError::Malformed(format!("expected {key}=…, got {token:?}")))
+}
+
+fn kv_f64<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    key: &str,
+) -> Result<f64, CodecError> {
+    kv_str(parts, key)?
+        .parse()
+        .map_err(|_| CodecError::Malformed(format!("bad float for {key}")))
+}
+
+fn kv_i64<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    key: &str,
+) -> Result<i64, CodecError> {
+    kv_str(parts, key)?
+        .parse()
+        .map_err(|_| CodecError::Malformed(format!("bad int for {key}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cover() -> WireCover {
+        WireCover {
+            valid_until: Timestamp::from_secs(7_200),
+            regions: vec![
+                WireRegion {
+                    centroid: Point::new(100.0, -50.0),
+                    model: WireModel::Mean(421.5),
+                },
+                WireRegion {
+                    centroid: Point::new(-300.25, 900.125),
+                    model: WireModel::Linear([
+                        400.0, 1.5, -2.25, 0.125, 10.0, 20.0, 30.0, 1.0, 2.0, 3.0,
+                        350.0, 900.0,
+                    ]),
+                },
+            ],
+        }
+    }
+
+    fn codecs() -> Vec<Box<dyn WireCodec>> {
+        vec![Box::new(BinaryCodec), Box::new(TextCodec)]
+    }
+
+    #[test]
+    fn request_roundtrip_all_codecs() {
+        let reqs = [
+            Request::Query {
+                time: Timestamp::from_secs(12_345),
+                pos: Point::new(1.5, -2.25),
+            },
+            Request::ModelRequest {
+                time: Timestamp::from_secs(99),
+            },
+        ];
+        for codec in codecs() {
+            for req in &reqs {
+                let bytes = codec.encode_request(req);
+                let back = codec.decode_request(&bytes).unwrap();
+                assert_eq!(&back, req, "{}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_codecs() {
+        let resps = [
+            Response::Value { value: 456.789 },
+            Response::NoData,
+            Response::Cover(sample_cover()),
+        ];
+        for codec in codecs() {
+            for resp in &resps {
+                let bytes = codec.encode_response(resp);
+                let back = codec.decode_response(&bytes).unwrap();
+                assert_eq!(&back, resp, "{}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_query_is_25_bytes() {
+        // tag(1) + time(8) + x(8) + y(8): the payload Figure 7(b) charges
+        // per baseline query.
+        let bytes = BinaryCodec.encode_request(&Request::Query {
+            time: Timestamp::ZERO,
+            pos: Point::origin(),
+        });
+        assert_eq!(bytes.len(), 25);
+    }
+
+    #[test]
+    fn binary_value_is_9_bytes() {
+        let bytes = BinaryCodec.encode_response(&Response::Value { value: 1.0 });
+        assert_eq!(bytes.len(), 9);
+    }
+
+    #[test]
+    fn binary_cover_size_formula() {
+        // tag(1) + t_n(8) + count(4) + per region: centroid(16) + model tag(1)
+        // + coeffs (8 or 80).
+        let bytes = BinaryCodec.encode_response(&Response::Cover(sample_cover()));
+        assert_eq!(
+            bytes.len(),
+            1 + 8 + 4 + (16 + 1 + 8) + (16 + 1 + 8 * LinearModel::COEFFICIENT_COUNT)
+        );
+    }
+
+    #[test]
+    fn text_codec_is_larger_than_binary() {
+        let resp = Response::Cover(sample_cover());
+        let bin = BinaryCodec.encode_response(&resp).len();
+        let txt = TextCodec.encode_response(&resp).len();
+        assert!(txt > bin, "text {txt} <= binary {bin}");
+    }
+
+    #[test]
+    fn binary_rejects_truncated() {
+        let bytes = BinaryCodec.encode_response(&Response::Cover(sample_cover()));
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(
+                BinaryCodec.decode_response(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_tag() {
+        assert_eq!(
+            BinaryCodec.decode_request(&[0xFF]),
+            Err(CodecError::BadTag(0xFF))
+        );
+    }
+
+    #[test]
+    fn binary_rejects_trailing_garbage() {
+        let mut bytes = BinaryCodec.encode_response(&Response::NoData);
+        bytes.push(0x00);
+        assert!(matches!(
+            BinaryCodec.decode_response(&bytes),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn text_rejects_malformed() {
+        assert!(TextCodec.decode_request(b"HELLO world\n").is_err());
+        assert!(TextCodec
+            .decode_response(b"RESPONSE cover valid-until=0 regions=2\n")
+            .is_err());
+        assert!(TextCodec.decode_response(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_absurd_region_count() {
+        let mut bytes = Vec::new();
+        bytes.put_u8(0x83);
+        bytes.put_i64_le(0);
+        bytes.put_u32_le(u32::MAX);
+        assert!(BinaryCodec.decode_response(&bytes).is_err());
+    }
+}

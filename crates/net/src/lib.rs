@@ -1,0 +1,41 @@
+//! EnviroMeter's mobile data protocol (§2.3 of the paper).
+//!
+//! Smartphones reach the EnviroMeter server over GPRS/3G. Bandwidth and
+//! battery are scarce, so the paper proposes **model-cache**: instead of one
+//! round-trip per query tuple (the *baseline*), the phone downloads the
+//! current model cover `(t_n, µ, M)` once and answers queries locally until
+//! the cover expires.
+//!
+//! This crate provides everything Figure 7(b) measures:
+//!
+//! * [`protocol`] — the request/response message types.
+//! * [`codec`] — a compact fixed-layout binary codec (and a verbose text
+//!   codec for the ablation), with byte-exact size accounting.
+//! * [`link`] — a deterministic simulated cellular link: virtual clock,
+//!   per-direction throughput, round-trip latency, and per-message protocol
+//!   overhead (TCP/IP headers over a PDP context).
+//! * [`server`] — the EnviroMeter server endpoint: decodes requests,
+//!   consults the [`enviro_meter::EnviroMeter`] platform, encodes responses.
+//! * [`client`] — [`client::BaselineClient`] and
+//!   [`client::ModelCacheClient`] running Query 1 trajectories end-to-end,
+//!   with [`client::SessionStats`] capturing bytes sent/received and elapsed
+//!   (virtual) time.
+//! * [`transport`] — an in-process channel transport
+//!   (server on its own thread) demonstrating the full deployment shape.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod codec;
+pub mod link;
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use client::{BaselineClient, ModelCacheClient, SessionStats};
+pub use codec::{BinaryCodec, TextCodec, WireCodec};
+pub use link::{LinkProfile, SimulatedLink};
+pub use protocol::{Request, Response, WireCover, WireRegion};
+pub use server::EnviroServer;
+pub use transport::ChannelTransport;

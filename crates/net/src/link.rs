@@ -1,0 +1,316 @@
+//! A deterministic simulated cellular link.
+//!
+//! The paper measures "the total number of bytes transmitted and received by
+//! the mobile device, and the total time to complete the query" over GPRS/3G
+//! data services. This module models such a link with a **virtual clock**:
+//! no sleeping, no sockets — a request/response exchange advances simulated
+//! time by latency plus serialization time and charges every message its
+//! payload plus a fixed protocol overhead (TCP/IP + RLC headers of a
+//! cellular PDP context).
+
+/// Static characteristics of a cellular bearer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Human-readable profile name.
+    pub name: &'static str,
+    /// Round-trip latency in seconds (uplink grant + core network).
+    pub rtt_secs: f64,
+    /// Uplink throughput in bits per second.
+    pub uplink_bps: f64,
+    /// Downlink throughput in bits per second.
+    pub downlink_bps: f64,
+    /// Fixed per-message overhead in bytes (TCP/IP/PPP headers).
+    pub per_message_overhead_bytes: usize,
+    /// Probability that one transmission attempt (either direction) is
+    /// lost and must be retransmitted after a timeout. 0 for the standard
+    /// profiles; see [`LinkProfile::with_loss`].
+    pub loss_probability: f64,
+}
+
+impl LinkProfile {
+    /// A 2013-era GPRS bearer: ~700 ms RTT, 40/80 kbps up/down.
+    pub const GPRS: LinkProfile = LinkProfile {
+        name: "GPRS",
+        rtt_secs: 0.7,
+        uplink_bps: 40_000.0,
+        downlink_bps: 80_000.0,
+        per_message_overhead_bytes: 78,
+        loss_probability: 0.0,
+    };
+
+    /// A 2013-era 3G (UMTS/HSPA) bearer: ~200 ms RTT, 384 kbps / 2 Mbps.
+    pub const THREE_G: LinkProfile = LinkProfile {
+        name: "3G",
+        rtt_secs: 0.2,
+        uplink_bps: 384_000.0,
+        downlink_bps: 2_000_000.0,
+        per_message_overhead_bytes: 78,
+        loss_probability: 0.0,
+    };
+
+    /// An ideal link with zero latency/overhead and infinite throughput —
+    /// isolates payload-byte accounting in tests.
+    pub const IDEAL: LinkProfile = LinkProfile {
+        name: "ideal",
+        rtt_secs: 0.0,
+        uplink_bps: f64::INFINITY,
+        downlink_bps: f64::INFINITY,
+        per_message_overhead_bytes: 0,
+        loss_probability: 0.0,
+    };
+
+    /// This profile with per-attempt loss probability `p` (a moving phone
+    /// on a congested cell). Lost attempts are detected by timeout
+    /// (2 × RTT) and retransmitted, costing their bytes again.
+    pub fn with_loss(self, p: f64) -> LinkProfile {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        LinkProfile {
+            loss_probability: p,
+            ..self
+        }
+    }
+}
+
+/// Running totals of one device's link usage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkUsage {
+    /// Bytes transmitted by the device (payload + overhead).
+    pub sent_bytes: usize,
+    /// Bytes received by the device (payload + overhead).
+    pub received_bytes: usize,
+    /// Messages sent.
+    pub messages_sent: usize,
+    /// Messages received.
+    pub messages_received: usize,
+}
+
+/// Retransmission timeout, as a multiple of the bearer RTT.
+const RETRANSMIT_TIMEOUT_RTTS: f64 = 2.0;
+
+/// Transfer direction, from the device's point of view.
+#[derive(Debug, Clone, Copy)]
+enum Direction {
+    Up,
+    Down,
+}
+
+/// A simulated bearer with a virtual clock.
+///
+/// ```
+/// use enviro_net::{LinkProfile, SimulatedLink};
+///
+/// let mut link = SimulatedLink::new(LinkProfile::GPRS);
+/// link.exchange(25, 9); // one query round-trip
+/// assert_eq!(link.usage().sent_bytes, 25 + 78); // payload + headers
+/// assert!(link.clock_secs() > 0.7); // at least one RTT
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatedLink {
+    profile: LinkProfile,
+    clock_secs: f64,
+    usage: LinkUsage,
+    /// Deterministic loss process (only consulted when the profile has a
+    /// non-zero loss probability).
+    rng: rand::rngs::StdRng,
+    /// Retransmissions performed so far.
+    retransmissions: usize,
+}
+
+impl SimulatedLink {
+    /// Creates an idle link at virtual time zero (loss seed 0).
+    pub fn new(profile: LinkProfile) -> Self {
+        Self::with_seed(profile, 0)
+    }
+
+    /// Creates an idle link with an explicit loss-process seed.
+    pub fn with_seed(profile: LinkProfile, seed: u64) -> Self {
+        use rand::SeedableRng;
+        Self {
+            profile,
+            clock_secs: 0.0,
+            usage: LinkUsage::default(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            retransmissions: 0,
+        }
+    }
+
+    /// Retransmissions performed so far (0 on loss-free profiles).
+    pub fn retransmissions(&self) -> usize {
+        self.retransmissions
+    }
+
+    /// The bearer profile.
+    pub fn profile(&self) -> &LinkProfile {
+        &self.profile
+    }
+
+    /// Current virtual time in seconds.
+    pub fn clock_secs(&self) -> f64 {
+        self.clock_secs
+    }
+
+    /// Usage totals so far.
+    pub fn usage(&self) -> LinkUsage {
+        self.usage
+    }
+
+    /// Performs one request/response exchange: the device uploads
+    /// `request_payload` bytes and downloads `response_payload` bytes.
+    ///
+    /// Advances the virtual clock by one RTT plus both serialization times
+    /// and charges both directions their payload + per-message overhead.
+    /// On lossy profiles, each direction may be lost (independently, per
+    /// attempt); a loss costs the attempt's bytes plus a retransmission
+    /// timeout of 2 × RTT before the retry.
+    pub fn exchange(&mut self, request_payload: usize, response_payload: usize) {
+        let up = request_payload + self.profile.per_message_overhead_bytes;
+        let down = response_payload + self.profile.per_message_overhead_bytes;
+        self.transmit(up, Direction::Up);
+        self.transmit(down, Direction::Down);
+        self.usage.messages_sent += 1;
+        self.usage.messages_received += 1;
+        self.clock_secs += self.profile.rtt_secs;
+    }
+
+    /// Transmits one framed message in `dir`, retrying after a timeout on
+    /// each lost attempt. Every attempt (lost or not) costs its bytes and
+    /// serialization time; a loss additionally costs the retransmission
+    /// timeout.
+    fn transmit(&mut self, bytes: usize, dir: Direction) {
+        use rand::Rng;
+        let p = self.profile.loss_probability;
+        let bps = match dir {
+            Direction::Up => self.profile.uplink_bps,
+            Direction::Down => self.profile.downlink_bps,
+        };
+        loop {
+            match dir {
+                Direction::Up => self.usage.sent_bytes += bytes,
+                Direction::Down => self.usage.received_bytes += bytes,
+            }
+            self.clock_secs += (bytes as f64 * 8.0) / bps;
+            if p <= 0.0 || self.rng.gen_range(0.0..1.0) >= p {
+                return; // delivered
+            }
+            self.retransmissions += 1;
+            self.clock_secs += RETRANSMIT_TIMEOUT_RTTS * self.profile.rtt_secs;
+        }
+    }
+
+    /// Advances the clock without traffic (local computation, user idling).
+    pub fn advance(&mut self, secs: f64) {
+        assert!(secs >= 0.0, "time cannot go backwards");
+        self.clock_secs += secs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_link_charges_payload_only() {
+        let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+        link.exchange(100, 200);
+        assert_eq!(link.usage().sent_bytes, 100);
+        assert_eq!(link.usage().received_bytes, 200);
+        assert_eq!(link.clock_secs(), 0.0);
+    }
+
+    #[test]
+    fn gprs_charges_overhead_per_message() {
+        let mut link = SimulatedLink::new(LinkProfile::GPRS);
+        link.exchange(25, 9);
+        assert_eq!(link.usage().sent_bytes, 25 + 78);
+        assert_eq!(link.usage().received_bytes, 9 + 78);
+        assert_eq!(link.usage().messages_sent, 1);
+    }
+
+    #[test]
+    fn time_includes_rtt_and_serialization() {
+        let mut link = SimulatedLink::new(LinkProfile::GPRS);
+        link.exchange(25, 9);
+        let up_time = ((25 + 78) as f64 * 8.0) / 40_000.0;
+        let down_time = ((9 + 78) as f64 * 8.0) / 80_000.0;
+        let expected = 0.7 + up_time + down_time;
+        assert!((link.clock_secs() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exchanges_accumulate() {
+        let mut link = SimulatedLink::new(LinkProfile::GPRS);
+        for _ in 0..10 {
+            link.exchange(25, 9);
+        }
+        assert_eq!(link.usage().messages_sent, 10);
+        assert_eq!(link.usage().sent_bytes, 10 * (25 + 78));
+        assert!(link.clock_secs() > 7.0); // at least 10 RTTs
+    }
+
+    #[test]
+    fn three_g_is_faster_than_gprs() {
+        let mut gprs = SimulatedLink::new(LinkProfile::GPRS);
+        let mut umts = SimulatedLink::new(LinkProfile::THREE_G);
+        gprs.exchange(1_000, 10_000);
+        umts.exchange(1_000, 10_000);
+        assert!(umts.clock_secs() < gprs.clock_secs());
+    }
+
+    #[test]
+    fn advance_moves_clock_only() {
+        let mut link = SimulatedLink::new(LinkProfile::GPRS);
+        link.advance(5.0);
+        assert_eq!(link.clock_secs(), 5.0);
+        assert_eq!(link.usage(), LinkUsage::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_rejects_negative() {
+        SimulatedLink::new(LinkProfile::GPRS).advance(-1.0);
+    }
+
+    #[test]
+    fn zero_loss_profile_never_retransmits() {
+        let mut link = SimulatedLink::new(LinkProfile::GPRS);
+        for _ in 0..100 {
+            link.exchange(25, 9);
+        }
+        assert_eq!(link.retransmissions(), 0);
+    }
+
+    #[test]
+    fn lossy_link_costs_more_bytes_and_time() {
+        let mut clean = SimulatedLink::new(LinkProfile::GPRS);
+        let mut lossy = SimulatedLink::with_seed(LinkProfile::GPRS.with_loss(0.3), 7);
+        for _ in 0..200 {
+            clean.exchange(25, 9);
+            lossy.exchange(25, 9);
+        }
+        assert!(lossy.retransmissions() > 20, "{}", lossy.retransmissions());
+        assert!(lossy.usage().sent_bytes > clean.usage().sent_bytes);
+        assert!(lossy.usage().received_bytes > clean.usage().received_bytes);
+        assert!(lossy.clock_secs() > clean.clock_secs());
+        // Message counts are logical, not per attempt.
+        assert_eq!(lossy.usage().messages_sent, clean.usage().messages_sent);
+    }
+
+    #[test]
+    fn lossy_link_is_deterministic_in_seed() {
+        let run = |seed| {
+            let mut link = SimulatedLink::with_seed(LinkProfile::GPRS.with_loss(0.2), seed);
+            for _ in 0..50 {
+                link.exchange(25, 9);
+            }
+            (link.usage(), link.clock_secs())
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn with_loss_rejects_invalid() {
+        let _ = LinkProfile::GPRS.with_loss(1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! The EnviroMeter server endpoint.
+
+use crate::codec::{CodecError, WireCodec};
+use crate::protocol::{Request, Response, WireCover};
+use enviro_data::QueryTuple;
+use enviro_meter::{EnviroMeter, QueryMethod};
+
+/// The server side of Figure 3: decodes a request, consults the platform,
+/// encodes the response.
+///
+/// Value queries are served with the given [`QueryMethod`] —
+/// [`QueryMethod::ModelCover`] in production (the whole point of the
+/// paper), but the evaluation can plug any method to isolate network
+/// effects from processing effects.
+pub struct EnviroServer<C: WireCodec> {
+    platform: EnviroMeter,
+    codec: C,
+    method: QueryMethod,
+}
+
+impl<C: WireCodec> EnviroServer<C> {
+    /// Creates a server over a platform.
+    pub fn new(platform: EnviroMeter, codec: C, method: QueryMethod) -> Self {
+        Self {
+            platform,
+            codec,
+            method,
+        }
+    }
+
+    /// The platform behind the server.
+    pub fn platform(&self) -> &EnviroMeter {
+        &self.platform
+    }
+
+    /// The codec in use.
+    pub fn codec(&self) -> &C {
+        &self.codec
+    }
+
+    /// Handles one decoded request.
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Query { time, pos } => {
+                let q = QueryTuple::new(*time, *pos);
+                match self.platform.point_query(&q, self.method) {
+                    Some(value) => Response::Value { value },
+                    None => Response::NoData,
+                }
+            }
+            Request::ModelRequest { time } => match self.platform.cover_at(*time) {
+                Some(cover) if !cover.is_empty() => {
+                    Response::Cover(WireCover::from_cover(cover))
+                }
+                _ => Response::NoData,
+            },
+        }
+    }
+
+    /// Handles one encoded request: the byte-in/byte-out entry point used
+    /// by transports. Decode errors are reported to the caller — a real
+    /// deployment would also log them.
+    pub fn handle_bytes(&self, request_bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let request = self.codec.decode_request(request_bytes)?;
+        let response = self.handle(&request);
+        Ok(self.codec.encode_response(&response))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::BinaryCodec;
+    use enviro_data::{LausanneSim, SimConfig, Timestamp, WindowSpec};
+    use enviro_geo::Point;
+    use enviro_meter::AdKmnConfig;
+
+    fn server() -> EnviroServer<BinaryCodec> {
+        let sim = LausanneSim::lausanne(SimConfig {
+            duration_secs: 2 * 3_600,
+            seed: 77,
+            ..SimConfig::default()
+        });
+        let platform = EnviroMeter::new(
+            sim.generate(),
+            WindowSpec::ByDuration(3_600),
+            AdKmnConfig::default(),
+            1_000.0,
+        );
+        EnviroServer::new(platform, BinaryCodec, QueryMethod::ModelCover)
+    }
+
+    #[test]
+    fn value_query_returns_value() {
+        let s = server();
+        let resp = s.handle(&Request::Query {
+            time: Timestamp::from_secs(600),
+            pos: Point::new(0.0, -200.0),
+        });
+        match resp {
+            Response::Value { value } => assert!((100.0..3_000.0).contains(&value)),
+            other => panic!("expected value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_request_returns_cover() {
+        let s = server();
+        let resp = s.handle(&Request::ModelRequest {
+            time: Timestamp::from_secs(600),
+        });
+        match resp {
+            Response::Cover(cover) => {
+                assert!(!cover.is_empty());
+                assert!(cover.valid_until >= Timestamp::from_secs(600));
+            }
+            other => panic!("expected cover, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handle_bytes_roundtrip() {
+        let s = server();
+        let req = BinaryCodec.encode_request(&Request::Query {
+            time: Timestamp::from_secs(60),
+            pos: Point::new(100.0, 0.0),
+        });
+        let resp_bytes = s.handle_bytes(&req).unwrap();
+        let resp = BinaryCodec.decode_response(&resp_bytes).unwrap();
+        assert!(matches!(resp, Response::Value { .. }));
+    }
+
+    #[test]
+    fn handle_bytes_rejects_garbage() {
+        let s = server();
+        assert!(s.handle_bytes(&[0xAB, 0xCD]).is_err());
+    }
+
+    #[test]
+    fn empty_platform_says_no_data() {
+        let platform = EnviroMeter::new(
+            enviro_data::Dataset::new(enviro_data::Pollutant::Co2),
+            WindowSpec::ByCount(10),
+            AdKmnConfig::default(),
+            500.0,
+        );
+        let s = EnviroServer::new(platform, BinaryCodec, QueryMethod::ModelCover);
+        assert_eq!(
+            s.handle(&Request::ModelRequest {
+                time: Timestamp::ZERO
+            }),
+            Response::NoData
+        );
+        assert_eq!(
+            s.handle(&Request::Query {
+                time: Timestamp::ZERO,
+                pos: Point::origin()
+            }),
+            Response::NoData
+        );
+    }
+}

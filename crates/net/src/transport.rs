@@ -1,0 +1,163 @@
+//! In-process channel transport: the server on its own thread.
+//!
+//! The virtual-clock evaluation calls the server directly; this module shows
+//! the same byte-level protocol running across a real thread boundary —
+//! the deployment shape of the demo (Android app ↔ EnviroMeter server) —
+//! using crossbeam channels as the wire.
+
+use crate::codec::WireCodec;
+use crate::server::EnviroServer;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A request envelope: opaque bytes plus a reply channel.
+struct Envelope {
+    request: Vec<u8>,
+    reply_to: Sender<Result<Vec<u8>, String>>,
+}
+
+/// A handle to a server running on a background thread.
+///
+/// Dropping the transport closes the request channel; the server thread
+/// drains and exits, and `Drop` joins it.
+pub struct ChannelTransport {
+    requests: Option<Sender<Envelope>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl ChannelTransport {
+    /// Spawns `server` on a background thread.
+    pub fn spawn<C>(server: EnviroServer<C>) -> Self
+    where
+        C: WireCodec + Send + 'static,
+    {
+        let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = bounded(64);
+        let worker = std::thread::Builder::new()
+            .name("enviro-server".into())
+            .spawn(move || {
+                for envelope in rx {
+                    let result = server
+                        .handle_bytes(&envelope.request)
+                        .map_err(|e| e.to_string());
+                    // A dropped reply channel just means the client gave up.
+                    let _ = envelope.reply_to.send(result);
+                }
+            })
+            .expect("spawn server thread");
+        Self {
+            requests: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Performs one request/response exchange over the channel wire.
+    pub fn call(&self, request: Vec<u8>) -> Result<Vec<u8>, String> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.requests
+            .as_ref()
+            .expect("transport not shut down")
+            .send(Envelope {
+                request,
+                reply_to: reply_tx,
+            })
+            .map_err(|_| "server thread terminated".to_string())?;
+        reply_rx
+            .recv()
+            .map_err(|_| "server dropped the request".to_string())?
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        drop(self.requests.take()); // closes the channel, stopping the loop
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::BinaryCodec;
+    use crate::protocol::{Request, Response};
+    use enviro_data::{LausanneSim, SimConfig, Timestamp, WindowSpec};
+    use enviro_geo::Point;
+    use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+
+    fn transport() -> ChannelTransport {
+        let sim = LausanneSim::lausanne(SimConfig {
+            duration_secs: 3_600,
+            seed: 3,
+            ..SimConfig::default()
+        });
+        let platform = EnviroMeter::new(
+            sim.generate(),
+            WindowSpec::ByDuration(3_600),
+            AdKmnConfig::default(),
+            1_000.0,
+        );
+        ChannelTransport::spawn(EnviroServer::new(
+            platform,
+            BinaryCodec,
+            QueryMethod::ModelCover,
+        ))
+    }
+
+    #[test]
+    fn query_across_thread_boundary() {
+        let t = transport();
+        let req = BinaryCodec.encode_request(&Request::Query {
+            time: Timestamp::from_secs(100),
+            pos: Point::new(0.0, -200.0),
+        });
+        let resp_bytes = t.call(req).unwrap();
+        let resp = BinaryCodec.decode_response(&resp_bytes).unwrap();
+        assert!(matches!(resp, Response::Value { .. }));
+    }
+
+    #[test]
+    fn many_sequential_calls() {
+        let t = transport();
+        for i in 0..50 {
+            let req = BinaryCodec.encode_request(&Request::Query {
+                time: Timestamp::from_secs(i * 60),
+                pos: Point::new(i as f64 * 10.0, 0.0),
+            });
+            assert!(t.call(req).is_ok());
+        }
+    }
+
+    #[test]
+    fn garbage_request_returns_error_not_panic() {
+        let t = transport();
+        assert!(t.call(vec![0xDE, 0xAD]).is_err());
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let t = std::sync::Arc::new(transport());
+        let mut handles = Vec::new();
+        for k in 0..4 {
+            let t = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let req = BinaryCodec.encode_request(&Request::Query {
+                        time: Timestamp::from_secs((k * 100 + i) * 30),
+                        pos: Point::new(i as f64 * 20.0, k as f64 * 50.0),
+                    });
+                    t.call(req).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let t = transport();
+        drop(t); // must not hang or panic
+    }
+}

@@ -1,0 +1,138 @@
+//! Codec robustness: arbitrary inputs must never panic, and arbitrary
+//! well-formed messages must round-trip exactly.
+
+use enviro_data::Timestamp;
+use enviro_geo::Point;
+use enviro_meter::LinearModel;
+use enviro_net::protocol::WireModel;
+use enviro_net::{
+    BinaryCodec, Request, Response, TextCodec, WireCodec, WireCover, WireRegion,
+};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1.0e12..1.0e12
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<i64>(), finite(), finite()).prop_map(|(t, x, y)| Request::Query {
+            time: Timestamp::from_secs(t),
+            pos: Point::new(x, y),
+        }),
+        any::<i64>().prop_map(|t| Request::ModelRequest {
+            time: Timestamp::from_secs(t),
+        }),
+    ]
+}
+
+fn arb_model() -> impl Strategy<Value = WireModel> {
+    prop_oneof![
+        finite().prop_map(WireModel::Mean),
+        prop::collection::vec(finite(), LinearModel::COEFFICIENT_COUNT).prop_map(|v| {
+            let mut arr = [0.0; LinearModel::COEFFICIENT_COUNT];
+            arr.copy_from_slice(&v);
+            WireModel::Linear(arr)
+        }),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        finite().prop_map(|value| Response::Value { value }),
+        Just(Response::NoData),
+        (
+            any::<i64>(),
+            prop::collection::vec((finite(), finite(), arb_model()), 0..12)
+        )
+            .prop_map(|(t, regions)| {
+                Response::Cover(WireCover {
+                    valid_until: Timestamp::from_secs(t),
+                    regions: regions
+                        .into_iter()
+                        .map(|(x, y, model)| WireRegion {
+                            centroid: Point::new(x, y),
+                            model,
+                        })
+                        .collect(),
+                })
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_request_roundtrip(req in arb_request()) {
+        let bytes = BinaryCodec.encode_request(&req);
+        prop_assert_eq!(BinaryCodec.decode_request(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn binary_response_roundtrip(resp in arb_response()) {
+        let bytes = BinaryCodec.encode_response(&resp);
+        prop_assert_eq!(BinaryCodec.decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn text_request_roundtrip(req in arb_request()) {
+        let bytes = TextCodec.encode_request(&req);
+        // Positions print with 6 decimals; compare fields accordingly.
+        match (TextCodec.decode_request(&bytes).unwrap(), req) {
+            (
+                Request::Query { time: t1, pos: p1 },
+                Request::Query { time: t2, pos: p2 },
+            ) => {
+                prop_assert_eq!(t1, t2);
+                prop_assert!((p1.x - p2.x).abs() <= 1e-6 * (1.0 + p2.x.abs()));
+                prop_assert!((p1.y - p2.y).abs() <= 1e-6 * (1.0 + p2.y.abs()));
+            }
+            (
+                Request::ModelRequest { time: t1 },
+                Request::ModelRequest { time: t2 },
+            ) => prop_assert_eq!(t1, t2),
+            other => prop_assert!(false, "variant mismatch: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn binary_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = BinaryCodec.decode_request(&bytes);
+        let _ = BinaryCodec.decode_response(&bytes);
+    }
+
+    #[test]
+    fn text_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = TextCodec.decode_request(&bytes);
+        let _ = TextCodec.decode_response(&bytes);
+    }
+
+    #[test]
+    fn binary_decoder_never_panics_on_truncations(resp in arb_response(), cut in 0usize..200) {
+        let bytes = BinaryCodec.encode_response(&resp);
+        let cut = cut.min(bytes.len());
+        // Either decodes to the original (only possible when cut == len)
+        // or errors — never panics, never fabricates.
+        match BinaryCodec.decode_response(&bytes[..cut]) {
+            Ok(decoded) => {
+                prop_assert_eq!(cut, bytes.len());
+                prop_assert_eq!(decoded, resp);
+            }
+            Err(_) => prop_assert!(cut < bytes.len()),
+        }
+    }
+
+    #[test]
+    fn binary_decoder_never_panics_on_bit_flips(
+        resp in arb_response(),
+        flip_at in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = BinaryCodec.encode_response(&resp);
+        if flip_at < bytes.len() {
+            bytes[flip_at] ^= 1 << flip_bit;
+        }
+        let _ = BinaryCodec.decode_response(&bytes); // must not panic
+    }
+}

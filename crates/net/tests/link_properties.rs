@@ -1,0 +1,79 @@
+//! Property tests for the simulated link: accounting must be exact and
+//! monotone whatever the traffic pattern.
+
+use enviro_net::{LinkProfile, SimulatedLink};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn loss_free_accounting_is_exact(
+        exchanges in prop::collection::vec((0usize..4096, 0usize..4096), 0..50),
+    ) {
+        let mut link = SimulatedLink::new(LinkProfile::GPRS);
+        let overhead = LinkProfile::GPRS.per_message_overhead_bytes;
+        let mut want_sent = 0usize;
+        let mut want_recv = 0usize;
+        for &(up, down) in &exchanges {
+            link.exchange(up, down);
+            want_sent += up + overhead;
+            want_recv += down + overhead;
+        }
+        prop_assert_eq!(link.usage().sent_bytes, want_sent);
+        prop_assert_eq!(link.usage().received_bytes, want_recv);
+        prop_assert_eq!(link.usage().messages_sent, exchanges.len());
+        prop_assert_eq!(link.retransmissions(), 0);
+        // Time is at least one RTT per exchange.
+        prop_assert!(
+            link.clock_secs() >= LinkProfile::GPRS.rtt_secs * exchanges.len() as f64 - 1e-9
+        );
+    }
+
+    #[test]
+    fn clock_is_monotone(
+        exchanges in prop::collection::vec((0usize..1024, 0usize..1024), 1..40),
+        loss in 0.0..0.5f64,
+        seed in 0u64..1000,
+    ) {
+        let mut link = SimulatedLink::with_seed(LinkProfile::GPRS.with_loss(loss), seed);
+        let mut last = 0.0;
+        for &(up, down) in &exchanges {
+            link.exchange(up, down);
+            prop_assert!(link.clock_secs() >= last);
+            last = link.clock_secs();
+        }
+    }
+
+    #[test]
+    fn lossy_never_cheaper_than_lossless(
+        exchanges in prop::collection::vec((0usize..1024, 0usize..1024), 1..30),
+        loss in 0.01..0.5f64,
+        seed in 0u64..1000,
+    ) {
+        let mut clean = SimulatedLink::new(LinkProfile::GPRS);
+        let mut lossy = SimulatedLink::with_seed(LinkProfile::GPRS.with_loss(loss), seed);
+        for &(up, down) in &exchanges {
+            clean.exchange(up, down);
+            lossy.exchange(up, down);
+        }
+        prop_assert!(lossy.usage().sent_bytes >= clean.usage().sent_bytes);
+        prop_assert!(lossy.usage().received_bytes >= clean.usage().received_bytes);
+        prop_assert!(lossy.clock_secs() >= clean.clock_secs() - 1e-9);
+        // Logical message counts are identical regardless of loss.
+        prop_assert_eq!(lossy.usage().messages_sent, clean.usage().messages_sent);
+    }
+
+    #[test]
+    fn faster_bearer_never_slower(
+        exchanges in prop::collection::vec((0usize..2048, 0usize..2048), 1..30),
+    ) {
+        let mut gprs = SimulatedLink::new(LinkProfile::GPRS);
+        let mut umts = SimulatedLink::new(LinkProfile::THREE_G);
+        for &(up, down) in &exchanges {
+            gprs.exchange(up, down);
+            umts.exchange(up, down);
+        }
+        prop_assert!(umts.clock_secs() <= gprs.clock_secs() + 1e-9);
+    }
+}

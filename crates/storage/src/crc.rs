@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! Implemented from scratch with a lazily built 256-entry lookup table —
+//! the standard framing checksum for log-structured storage, kept local to
+//! stay inside the approved dependency set.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry table, computed once.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_test_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"EnviroMeter raw tuple batch".to_vec();
+        let before = crc32(&data);
+        data[5] ^= 0x01;
+        assert_ne!(crc32(&data), before);
+    }
+
+    #[test]
+    fn detects_transposition() {
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Fixed-size on-disk record encoding.
+
+use bytes::{Buf, BufMut};
+use enviro_data::{RawTuple, Timestamp};
+use enviro_geo::Point;
+
+/// Bytes per record: `i64 time + f64 x + f64 y + f64 value`.
+pub const RECORD_SIZE: usize = 32;
+
+/// Appends a tuple's 32-byte record to `out`.
+pub fn encode_record(t: &RawTuple, out: &mut Vec<u8>) {
+    out.put_i64_le(t.time.as_secs());
+    out.put_f64_le(t.pos.x);
+    out.put_f64_le(t.pos.y);
+    out.put_f64_le(t.value);
+}
+
+/// Decodes one record from exactly [`RECORD_SIZE`] bytes.
+///
+/// # Panics
+/// Panics if `buf` is shorter than [`RECORD_SIZE`]; callers frame records
+/// inside CRC-checked batches whose length is a multiple of the record
+/// size, so a short slice is a logic error, not a data error.
+pub fn decode_record(mut buf: &[u8]) -> RawTuple {
+    assert!(buf.len() >= RECORD_SIZE, "record buffer too short");
+    let time = Timestamp::from_secs(buf.get_i64_le());
+    let x = buf.get_f64_le();
+    let y = buf.get_f64_le();
+    let value = buf.get_f64_le();
+    RawTuple::new(time, Point::new(x, y), value)
+}
+
+/// Encodes a batch payload: the concatenated records of `tuples`.
+pub fn encode_batch(tuples: &[RawTuple]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(tuples.len() * RECORD_SIZE);
+    for t in tuples {
+        encode_record(t, &mut out);
+    }
+    out
+}
+
+/// Decodes a batch payload back into tuples.
+///
+/// Returns `None` when the payload length is not a multiple of the record
+/// size (framing corruption that slipped past the CRC is still rejected).
+pub fn decode_batch(payload: &[u8]) -> Option<Vec<RawTuple>> {
+    if !payload.len().is_multiple_of(RECORD_SIZE) {
+        return None;
+    }
+    Some(
+        payload
+            .chunks_exact(RECORD_SIZE)
+            .map(decode_record)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(secs: i64) -> RawTuple {
+        RawTuple::new(
+            Timestamp::from_secs(secs),
+            Point::new(secs as f64 * 1.5, -secs as f64),
+            400.0 + secs as f64,
+        )
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let t = tuple(123);
+        let mut buf = Vec::new();
+        encode_record(&t, &mut buf);
+        assert_eq!(buf.len(), RECORD_SIZE);
+        assert_eq!(decode_record(&buf), t);
+    }
+
+    #[test]
+    fn record_roundtrip_extreme_values() {
+        let t = RawTuple::new(
+            Timestamp::from_secs(i64::MIN / 2),
+            Point::new(f64::MAX / 2.0, f64::MIN_POSITIVE),
+            -0.0,
+        );
+        let mut buf = Vec::new();
+        encode_record(&t, &mut buf);
+        assert_eq!(decode_record(&buf), t);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let tuples: Vec<RawTuple> = (0..17).map(tuple).collect();
+        let payload = encode_batch(&tuples);
+        assert_eq!(payload.len(), 17 * RECORD_SIZE);
+        assert_eq!(decode_batch(&payload).unwrap(), tuples);
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn misaligned_payload_rejected() {
+        let payload = encode_batch(&[tuple(1)]);
+        assert!(decode_batch(&payload[..RECORD_SIZE - 1]).is_none());
+    }
+}

@@ -1,0 +1,342 @@
+//! Segment files: CRC-framed batch logs.
+//!
+//! A segment is `HEADER ++ batch*` where `HEADER = MAGIC(8) ++ version(u32)
+//! ++ seq(u32)` and each batch is `[u32 len][u32 crc32(payload)][payload]`.
+//! Readers stop at the first incomplete or corrupt batch and report how
+//! many clean bytes precede it, letting the store truncate torn tails on
+//! recovery.
+
+use crate::crc::crc32;
+use crate::record::{decode_batch, encode_batch};
+use bytes::BufMut;
+use enviro_data::RawTuple;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: [u8; 8] = *b"ENVIROS1";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Header length in bytes.
+pub const HEADER_SIZE: usize = MAGIC.len() + 4 + 4;
+
+/// File name of segment `seq`.
+pub fn segment_file_name(seq: u32) -> String {
+    format!("seg-{seq:08}.log")
+}
+
+/// Parses a segment sequence number from a file name.
+pub fn parse_segment_file_name(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// An open segment accepting appended batches.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    seq: u32,
+    /// Bytes written so far, header included.
+    len: u64,
+}
+
+impl SegmentWriter {
+    /// Creates a new segment file (fails if it already exists).
+    pub fn create(dir: &Path, seq: u32) -> io::Result<Self> {
+        let path = dir.join(segment_file_name(seq));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        let mut header = Vec::with_capacity(HEADER_SIZE);
+        header.extend_from_slice(&MAGIC);
+        header.put_u32_le(VERSION);
+        header.put_u32_le(seq);
+        file.write_all(&header)?;
+        Ok(Self {
+            file,
+            path,
+            seq,
+            len: HEADER_SIZE as u64,
+        })
+    }
+
+    /// Reopens an existing, verified segment for appending at `len` bytes.
+    pub fn reopen(dir: &Path, seq: u32, len: u64) -> io::Result<Self> {
+        let path = dir.join(segment_file_name(seq));
+        let file = OpenOptions::new().write(true).open(&path)?;
+        // Truncate any torn tail found during verification.
+        file.set_len(len)?;
+        let mut w = Self {
+            file,
+            path,
+            seq,
+            len,
+        };
+        use std::io::Seek;
+        w.file.seek(io::SeekFrom::Start(len))?;
+        Ok(w)
+    }
+
+    /// Segment sequence number.
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// Bytes in the segment so far (header included).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when no batch has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == HEADER_SIZE as u64
+    }
+
+    /// The segment's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one CRC-framed batch of tuples.
+    pub fn append_batch(&mut self, tuples: &[RawTuple]) -> io::Result<()> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        let payload = encode_batch(tuples);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u32_le(crc32(&payload));
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes buffered data and fsyncs the file.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+}
+
+/// The outcome of reading a segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentContents {
+    /// Sequence number from the header.
+    pub seq: u32,
+    /// Every tuple in clean batches, in append order.
+    pub tuples: Vec<RawTuple>,
+    /// Bytes of clean data (header + intact batches). Anything past this
+    /// offset is a torn or corrupt tail.
+    pub clean_len: u64,
+    /// `true` when a torn/corrupt tail was detected (and skipped).
+    pub truncated_tail: bool,
+}
+
+/// Reads and verifies a segment file.
+///
+/// Bad headers are hard errors (the file is not a segment); bad batches are
+/// *expected* after a crash and reported via `clean_len`/`truncated_tail`.
+pub fn read_segment(path: &Path) -> io::Result<SegmentContents> {
+    let mut file = File::open(path)?;
+    let mut data = Vec::new();
+    file.read_to_end(&mut data)?;
+    if data.len() < HEADER_SIZE || data[..MAGIC.len()] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: not a segment file", path.display()),
+        ));
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: unsupported version {version}", path.display()),
+        ));
+    }
+    let seq = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes"));
+
+    let mut tuples = Vec::new();
+    let mut offset = HEADER_SIZE;
+    let mut truncated_tail = false;
+    while offset < data.len() {
+        // Need a complete 8-byte frame header.
+        if offset + 8 > data.len() {
+            truncated_tail = true;
+            break;
+        }
+        let len =
+            u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc =
+            u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let start = offset + 8;
+        let end = match start.checked_add(len) {
+            Some(e) if e <= data.len() => e,
+            _ => {
+                truncated_tail = true;
+                break;
+            }
+        };
+        let payload = &data[start..end];
+        if crc32(payload) != crc {
+            truncated_tail = true;
+            break;
+        }
+        match decode_batch(payload) {
+            Some(batch) => tuples.extend(batch),
+            None => {
+                truncated_tail = true;
+                break;
+            }
+        }
+        offset = end;
+    }
+    Ok(SegmentContents {
+        seq,
+        tuples,
+        clean_len: offset as u64,
+        truncated_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enviro_data::Timestamp;
+    use enviro_geo::Point;
+
+    fn tuple(secs: i64) -> RawTuple {
+        RawTuple::new(Timestamp::from_secs(secs), Point::new(1.0, 2.0), 400.0)
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("enviro-seg-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn file_name_roundtrip() {
+        assert_eq!(segment_file_name(7), "seg-00000007.log");
+        assert_eq!(parse_segment_file_name("seg-00000007.log"), Some(7));
+        assert_eq!(parse_segment_file_name("seg-7.log"), None);
+        assert_eq!(parse_segment_file_name("other.log"), None);
+        assert_eq!(parse_segment_file_name("seg-0000000x.log"), None);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let mut w = SegmentWriter::create(&dir, 3).unwrap();
+        w.append_batch(&[tuple(1), tuple(2)]).unwrap();
+        w.append_batch(&[tuple(3)]).unwrap();
+        w.sync().unwrap();
+        let c = read_segment(&dir.join(segment_file_name(3))).unwrap();
+        assert_eq!(c.seq, 3);
+        assert_eq!(c.tuples.len(), 3);
+        assert!(!c.truncated_tail);
+        assert_eq!(c.clean_len, w.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_segment_reads_empty() {
+        let dir = tempdir("empty");
+        let w = SegmentWriter::create(&dir, 0).unwrap();
+        assert!(w.is_empty());
+        let c = read_segment(&dir.join(segment_file_name(0))).unwrap();
+        assert!(c.tuples.is_empty());
+        assert!(!c.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_skipped() {
+        let dir = tempdir("torn");
+        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        w.append_batch(&[tuple(1)]).unwrap();
+        let clean = w.len();
+        w.append_batch(&[tuple(2), tuple(3)]).unwrap();
+        w.sync().unwrap();
+        let path = dir.join(segment_file_name(0));
+        // Chop the last batch mid-payload (a torn write).
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 10).unwrap();
+        let c = read_segment(&path).unwrap();
+        assert_eq!(c.tuples.len(), 1);
+        assert!(c.truncated_tail);
+        assert_eq!(c.clean_len, clean);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_reading() {
+        let dir = tempdir("crc");
+        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        w.append_batch(&[tuple(1)]).unwrap();
+        w.append_batch(&[tuple(2)]).unwrap();
+        w.sync().unwrap();
+        let path = dir.join(segment_file_name(0));
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip one bit in the second batch's payload.
+        let idx = data.len() - 5;
+        data[idx] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+        let c = read_segment(&path).unwrap();
+        assert_eq!(c.tuples.len(), 1);
+        assert!(c.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_hard_error() {
+        let dir = tempdir("magic");
+        let path = dir.join(segment_file_name(0));
+        std::fs::write(&path, b"definitely not a segment").unwrap();
+        assert!(read_segment(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_after_clean_prefix() {
+        let dir = tempdir("reopen");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        w.append_batch(&[tuple(1)]).unwrap();
+        w.sync().unwrap();
+        let clean = w.len();
+        drop(w);
+        let mut w2 = SegmentWriter::reopen(&dir, 1, clean).unwrap();
+        w2.append_batch(&[tuple(2)]).unwrap();
+        w2.sync().unwrap();
+        let c = read_segment(&dir.join(segment_file_name(1))).unwrap();
+        assert_eq!(c.tuples.len(), 2);
+        assert!(!c.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn huge_declared_length_is_treated_as_torn() {
+        let dir = tempdir("hugelen");
+        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        w.append_batch(&[tuple(1)]).unwrap();
+        w.sync().unwrap();
+        let path = dir.join(segment_file_name(0));
+        let mut data = std::fs::read(&path).unwrap();
+        // Append a frame header declaring a gigantic payload.
+        data.extend_from_slice(&u32::MAX.to_le_bytes());
+        data.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let c = read_segment(&path).unwrap();
+        assert_eq!(c.tuples.len(), 1);
+        assert!(c.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,623 @@
+//! The tuple store: a directory of segments with recovery and range scans.
+
+use crate::segment::{
+    parse_segment_file_name, read_segment, segment_file_name, SegmentWriter, HEADER_SIZE,
+};
+use enviro_data::{Dataset, Pollutant, RawTuple, Timestamp};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default segment rotation threshold: ~1 MiB of records.
+pub const DEFAULT_MAX_SEGMENT_BYTES: u64 = 1 << 20;
+
+/// Storage failures.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A file in the store directory is not a valid segment.
+    InvalidSegment {
+        /// The offending path.
+        path: PathBuf,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::InvalidSegment { path, reason } => {
+                write!(f, "invalid segment {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::InvalidSegment { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Summary statistics of a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of segment files (including the active one).
+    pub segments: usize,
+    /// Total tuples across all segments.
+    pub tuples: usize,
+    /// Total bytes on disk (headers + frames).
+    pub bytes: u64,
+    /// `true` if recovery truncated a torn tail on open.
+    pub recovered_torn_tail: bool,
+}
+
+/// In-memory index entry for one sealed or active segment.
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    seq: u32,
+    /// Tuples of the segment, in append order (the store is the system's
+    /// durable buffer, not its big-data tier; windows are consumed soon
+    /// after arrival, so segments stay resident).
+    tuples: Vec<RawTuple>,
+    bytes: u64,
+}
+
+/// An append-only, crash-recoverable store of raw tuples.
+///
+/// See the crate docs for the on-disk format. All appends go to the active
+/// (highest-seq) segment; when it exceeds `max_segment_bytes` a new segment
+/// is rotated in.
+#[derive(Debug)]
+pub struct TupleStore {
+    dir: PathBuf,
+    segments: Vec<SegmentMeta>,
+    writer: SegmentWriter,
+    max_segment_bytes: u64,
+    recovered_torn_tail: bool,
+}
+
+impl TupleStore {
+    /// Opens (or creates) a store in `dir` with the default rotation size.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Self::open_with_segment_size(dir, DEFAULT_MAX_SEGMENT_BYTES)
+    }
+
+    /// Opens (or creates) a store with an explicit rotation threshold.
+    ///
+    /// Recovery: every segment is read and CRC-verified; a torn or corrupt
+    /// tail on the *last* segment is truncated (the expected crash shape).
+    /// A torn tail on an earlier segment means bytes were lost after they
+    /// were acknowledged — that is reported as an error, not papered over.
+    pub fn open_with_segment_size(
+        dir: impl AsRef<Path>,
+        max_segment_bytes: u64,
+    ) -> Result<Self, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // Discover segments.
+        let mut seqs: Vec<u32> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                e.file_name()
+                    .to_str()
+                    .and_then(parse_segment_file_name)
+            })
+            .collect();
+        seqs.sort_unstable();
+        // The manifest (if present) names the live segments; files not
+        // listed are leftovers of an interrupted compaction and are
+        // deleted here. No manifest = every discovered segment is live
+        // (the pre-compaction layout).
+        if let Some(live) = read_manifest(&dir)? {
+            for &seq in &seqs {
+                if !live.contains(&seq) {
+                    let _ = std::fs::remove_file(dir.join(segment_file_name(seq)));
+                }
+            }
+            seqs.retain(|s| live.contains(s));
+        }
+        let mut segments = Vec::with_capacity(seqs.len());
+        let mut recovered_torn_tail = false;
+        let last_idx = seqs.len().checked_sub(1);
+        for (i, &seq) in seqs.iter().enumerate() {
+            let path = dir.join(crate::segment::segment_file_name(seq));
+            let contents = read_segment(&path).map_err(|e| StorageError::InvalidSegment {
+                path: path.clone(),
+                reason: e.to_string(),
+            })?;
+            if contents.truncated_tail {
+                if Some(i) != last_idx {
+                    return Err(StorageError::InvalidSegment {
+                        path,
+                        reason: "corrupt batch in a non-final segment".into(),
+                    });
+                }
+                recovered_torn_tail = true;
+            }
+            segments.push(SegmentMeta {
+                seq,
+                tuples: contents.tuples,
+                bytes: contents.clean_len,
+            });
+        }
+        // Open the active writer: reopen the last segment (truncating any
+        // torn tail) or create segment 0.
+        let writer = match segments.last() {
+            Some(last) => SegmentWriter::reopen(&dir, last.seq, last.bytes)?,
+            None => {
+                let w = SegmentWriter::create(&dir, 0)?;
+                segments.push(SegmentMeta {
+                    seq: 0,
+                    tuples: Vec::new(),
+                    bytes: HEADER_SIZE as u64,
+                });
+                w
+            }
+        };
+        Ok(Self {
+            dir,
+            segments,
+            writer,
+            max_segment_bytes,
+            recovered_torn_tail,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Store statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            segments: self.segments.len(),
+            tuples: self.segments.iter().map(|s| s.tuples.len()).sum(),
+            bytes: self.segments.iter().map(|s| s.bytes).sum(),
+            recovered_torn_tail: self.recovered_torn_tail,
+        }
+    }
+
+    /// Appends a batch of tuples durably framed as one CRC unit.
+    ///
+    /// Rotates to a new segment when the active one exceeds the threshold.
+    pub fn append(&mut self, tuples: &[RawTuple]) -> Result<(), StorageError> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        if self.writer.len() >= self.max_segment_bytes {
+            self.rotate()?;
+        }
+        self.writer.append_batch(tuples)?;
+        let active = self
+            .segments
+            .last_mut()
+            .expect("store always has an active segment");
+        active.tuples.extend_from_slice(tuples);
+        active.bytes = self.writer.len();
+        Ok(())
+    }
+
+    /// Compacts the store: rewrites every tuple, in time order, into one
+    /// fresh segment, atomically switches the manifest over, then deletes
+    /// the old files.
+    ///
+    /// Crash safety: the new segment is written and fsynced first; the
+    /// manifest switch is an atomic rename; a crash before the switch
+    /// leaves the old layout intact (the unlisted new segment is cleaned
+    /// up on the next open), a crash after it leaves the new layout (the
+    /// old unlisted segments are cleaned up on the next open).
+    pub fn compact(&mut self) -> Result<(), StorageError> {
+        self.writer.sync()?;
+        let old_seqs: Vec<u32> = self.segments.iter().map(|s| s.seq).collect();
+        let compacted_seq = self.writer.seq() + 1;
+        let active_seq = compacted_seq + 1;
+        // 1. Write all data (time-sorted) into the compacted segment.
+        let mut all: Vec<RawTuple> = self
+            .segments
+            .iter()
+            .flat_map(|s| s.tuples.iter())
+            .copied()
+            .collect();
+        all.sort_by_key(|t| t.time);
+        let mut compacted = SegmentWriter::create(&self.dir, compacted_seq)?;
+        compacted.append_batch(&all)?;
+        compacted.sync()?;
+        let compacted_bytes = compacted.len();
+        // 2. Fresh active segment for future appends.
+        let active = SegmentWriter::create(&self.dir, active_seq)?;
+        // 3. Atomic switchover.
+        write_manifest(&self.dir, &[compacted_seq, active_seq])?;
+        // 4. Old files are now dead; delete them (best-effort — recovery
+        //    would also clean them).
+        for seq in old_seqs {
+            let _ = std::fs::remove_file(self.dir.join(segment_file_name(seq)));
+        }
+        self.segments = vec![
+            SegmentMeta {
+                seq: compacted_seq,
+                tuples: all,
+                bytes: compacted_bytes,
+            },
+            SegmentMeta {
+                seq: active_seq,
+                tuples: Vec::new(),
+                bytes: HEADER_SIZE as u64,
+            },
+        ];
+        self.writer = active;
+        Ok(())
+    }
+
+    /// Forces a new segment (also called automatically on size rotation).
+    pub fn rotate(&mut self) -> Result<(), StorageError> {
+        self.writer.sync()?;
+        let next_seq = self.writer.seq() + 1;
+        self.writer = SegmentWriter::create(&self.dir, next_seq)?;
+        self.segments.push(SegmentMeta {
+            seq: next_seq,
+            tuples: Vec::new(),
+            bytes: HEADER_SIZE as u64,
+        });
+        // Keep the manifest (if one exists) covering the new segment.
+        if read_manifest(&self.dir)?.is_some() {
+            let seqs: Vec<u32> = self.segments.iter().map(|s| s.seq).collect();
+            write_manifest(&self.dir, &seqs)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the active segment.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.writer.sync()?;
+        Ok(())
+    }
+
+    /// All tuples with `time ∈ [from, to)`, in time order.
+    pub fn scan_range(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<RawTuple>, StorageError> {
+        let mut out: Vec<RawTuple> = self
+            .segments
+            .iter()
+            .flat_map(|s| s.tuples.iter())
+            .filter(|t| t.time >= from && t.time < to)
+            .copied()
+            .collect();
+        out.sort_by_key(|t| t.time);
+        Ok(out)
+    }
+
+    /// Every stored tuple as a time-sorted [`Dataset`] — the handoff point
+    /// to the query engine.
+    pub fn load_dataset(&self, pollutant: Pollutant) -> Result<Dataset, StorageError> {
+        let tuples: Vec<RawTuple> = self
+            .segments
+            .iter()
+            .flat_map(|s| s.tuples.iter())
+            .copied()
+            .collect();
+        Dataset::from_tuples(pollutant, tuples).map_err(|reason| {
+            StorageError::InvalidSegment {
+                path: self.dir.clone(),
+                reason,
+            }
+        })
+    }
+}
+
+/// Manifest file name.
+const MANIFEST: &str = "MANIFEST";
+
+/// Reads the manifest: one decimal segment seq per line. `None` if absent.
+fn read_manifest(dir: &Path) -> Result<Option<Vec<u32>>, StorageError> {
+    let path = dir.join(MANIFEST);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut seqs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let seq = line.parse().map_err(|_| StorageError::InvalidSegment {
+            path: path.clone(),
+            reason: format!("bad manifest line {line:?}"),
+        })?;
+        seqs.push(seq);
+    }
+    Ok(Some(seqs))
+}
+
+/// Writes the manifest atomically (temp file + fsync + rename).
+fn write_manifest(dir: &Path, seqs: &[u32]) -> Result<(), StorageError> {
+    use std::io::Write as _;
+    let tmp = dir.join("MANIFEST.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        for seq in seqs {
+            writeln!(f, "{seq}")?;
+        }
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, dir.join(MANIFEST))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enviro_geo::Point;
+
+    fn tuple(secs: i64) -> RawTuple {
+        RawTuple::new(
+            Timestamp::from_secs(secs),
+            Point::new(secs as f64, 0.0),
+            400.0 + secs as f64,
+        )
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("enviro-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn open_append_reopen_scan() {
+        let dir = tempdir("basic");
+        {
+            let mut store = TupleStore::open(&dir).unwrap();
+            store.append(&[tuple(10), tuple(20)]).unwrap();
+            store.append(&[tuple(30)]).unwrap();
+            store.sync().unwrap();
+        }
+        let store = TupleStore::open(&dir).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.tuples, 3);
+        assert!(!stats.recovered_torn_tail);
+        let got = store
+            .scan_range(Timestamp::from_secs(10), Timestamp::from_secs(30))
+            .unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].time.as_secs(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_range_is_half_open_and_sorted() {
+        let dir = tempdir("range");
+        let mut store = TupleStore::open(&dir).unwrap();
+        // Out-of-order appends across batches.
+        store.append(&[tuple(30), tuple(10)]).unwrap();
+        store.append(&[tuple(20)]).unwrap();
+        let got = store
+            .scan_range(Timestamp::from_secs(10), Timestamp::from_secs(30))
+            .unwrap();
+        let times: Vec<i64> = got.iter().map(|t| t.time.as_secs()).collect();
+        assert_eq!(times, vec![10, 20]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_by_size() {
+        let dir = tempdir("rotate");
+        // Tiny threshold: rotate after every ~2 records.
+        let mut store = TupleStore::open_with_segment_size(&dir, 80).unwrap();
+        for i in 0..10 {
+            store.append(&[tuple(i)]).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.segments >= 3, "expected rotation, got {stats:?}");
+        assert_eq!(stats.tuples, 10);
+        // Reopen sees all segments and all tuples.
+        drop(store);
+        let store = TupleStore::open_with_segment_size(&dir, 80).unwrap();
+        assert_eq!(store.stats().tuples, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_truncates_torn_tail_and_keeps_appending() {
+        let dir = tempdir("recover");
+        {
+            let mut store = TupleStore::open(&dir).unwrap();
+            store.append(&[tuple(1)]).unwrap();
+            store.append(&[tuple(2)]).unwrap();
+            store.sync().unwrap();
+        }
+        // Simulate a torn write: chop the last 5 bytes of the only segment.
+        let seg = dir.join(crate::segment::segment_file_name(0));
+        let len = std::fs::metadata(&seg).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+        // Recovery drops the torn batch, keeps the clean one, and appends
+        // continue from the truncation point.
+        let mut store = TupleStore::open(&dir).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.tuples, 1);
+        assert!(stats.recovered_torn_tail);
+        store.append(&[tuple(3)]).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let store = TupleStore::open(&dir).unwrap();
+        let all = store
+            .scan_range(Timestamp::from_secs(0), Timestamp::from_secs(100))
+            .unwrap();
+        let times: Vec<i64> = all.iter().map(|t| t.time.as_secs()).collect();
+        assert_eq!(times, vec![1, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_segment_is_an_error() {
+        let dir = tempdir("midcorrupt");
+        {
+            let mut store = TupleStore::open_with_segment_size(&dir, 60).unwrap();
+            for i in 0..6 {
+                store.append(&[tuple(i)]).unwrap();
+            }
+            store.sync().unwrap();
+            assert!(store.stats().segments >= 2);
+        }
+        // Corrupt the FIRST segment (acknowledged data).
+        let seg = dir.join(crate::segment::segment_file_name(0));
+        let mut data = std::fs::read(&seg).unwrap();
+        let idx = data.len() - 3;
+        data[idx] ^= 0xFF;
+        std::fs::write(&seg, &data).unwrap();
+        match TupleStore::open_with_segment_size(&dir, 60) {
+            Err(StorageError::InvalidSegment { reason, .. }) => {
+                assert!(reason.contains("non-final"), "{reason}")
+            }
+            other => panic!("expected InvalidSegment, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dataset_sorted_for_engine() {
+        let dir = tempdir("dataset");
+        let mut store = TupleStore::open(&dir).unwrap();
+        store.append(&[tuple(50), tuple(10), tuple(30)]).unwrap();
+        let ds = store.load_dataset(Pollutant::Co2).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert!(ds.tuples().windows(2).all(|w| w[0].time <= w[1].time));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_behaviour() {
+        let dir = tempdir("empty");
+        let store = TupleStore::open(&dir).unwrap();
+        assert_eq!(store.stats().tuples, 0);
+        assert_eq!(store.stats().segments, 1); // the active segment
+        assert!(store
+            .scan_range(Timestamp::ZERO, Timestamp::from_days(100))
+            .unwrap()
+            .is_empty());
+        assert!(store.load_dataset(Pollutant::Co2).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_ignored() {
+        let dir = tempdir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("README.txt"), b"not a segment").unwrap();
+        let mut store = TupleStore::open(&dir).unwrap();
+        store.append(&[tuple(1)]).unwrap();
+        assert_eq!(store.stats().tuples, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_merges_segments_and_preserves_data() {
+        let dir = tempdir("compact");
+        let mut store = TupleStore::open_with_segment_size(&dir, 80).unwrap();
+        for i in 0..12 {
+            store.append(&[tuple(11 - i)]).unwrap(); // reverse time order
+        }
+        assert!(store.stats().segments >= 3);
+        store.compact().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.segments, 2); // compacted + fresh active
+        assert_eq!(stats.tuples, 12);
+        // Appends keep working after compaction.
+        store.append(&[tuple(100)]).unwrap();
+        store.sync().unwrap();
+        // And survive reopen.
+        drop(store);
+        let store = TupleStore::open_with_segment_size(&dir, 80).unwrap();
+        let all = store
+            .scan_range(Timestamp::from_secs(0), Timestamp::from_secs(1_000))
+            .unwrap();
+        assert_eq!(all.len(), 13);
+        assert!(all.windows(2).all(|w| w[0].time <= w[1].time));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_compaction_cleans_up_on_open() {
+        let dir = tempdir("compact-crash");
+        {
+            let mut store = TupleStore::open_with_segment_size(&dir, 80).unwrap();
+            for i in 0..8 {
+                store.append(&[tuple(i)]).unwrap();
+            }
+            store.compact().unwrap();
+            store.append(&[tuple(50)]).unwrap();
+            store.sync().unwrap();
+        }
+        // Simulate a crash mid-compaction: an orphan segment that is not in
+        // the manifest.
+        {
+            let mut orphan =
+                crate::segment::SegmentWriter::create(&dir, 999).unwrap();
+            orphan.append_batch(&[tuple(777)]).unwrap();
+            orphan.sync().unwrap();
+        }
+        let store = TupleStore::open_with_segment_size(&dir, 80).unwrap();
+        // The orphan's tuple must NOT appear, and its file must be gone.
+        let all = store
+            .scan_range(Timestamp::from_secs(0), Timestamp::from_secs(10_000))
+            .unwrap();
+        assert_eq!(all.len(), 9);
+        assert!(!dir
+            .join(crate::segment::segment_file_name(999))
+            .exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_after_compaction_keeps_manifest_live() {
+        let dir = tempdir("compact-rotate");
+        let mut store = TupleStore::open_with_segment_size(&dir, 80).unwrap();
+        for i in 0..6 {
+            store.append(&[tuple(i)]).unwrap();
+        }
+        store.compact().unwrap();
+        // Force several post-compaction rotations.
+        for i in 6..14 {
+            store.append(&[tuple(i)]).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+        let store = TupleStore::open_with_segment_size(&dir, 80).unwrap();
+        assert_eq!(store.stats().tuples, 14);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_empty_batch_is_noop() {
+        let dir = tempdir("noop");
+        let mut store = TupleStore::open(&dir).unwrap();
+        let before = store.stats();
+        store.append(&[]).unwrap();
+        assert_eq!(store.stats(), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

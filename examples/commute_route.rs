@@ -1,0 +1,76 @@
+//! The Android app scenario: record a commute, then show the route summary
+//! the EnviroMeter app renders — average exposure, OSHA advisory, and a
+//! green→red marker per route point.
+//!
+//! ```text
+//! cargo run -p enviro-meter --example commute_route
+//! ```
+
+use enviro_data::{LausanneSim, QueryTuple, SimConfig, Timestamp, WindowSpec};
+use enviro_geo::{Point, Polyline};
+use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+
+fn main() {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 86_400,
+        ..SimConfig::default()
+    });
+    let platform = EnviroMeter::new(
+        sim.generate(),
+        WindowSpec::ByDuration(4 * 3_600),
+        AdKmnConfig::default(),
+        1_000.0,
+    );
+
+    // A commute from the western lakeshore to the old town, walked at
+    // ~1.4 m/s starting at 07:40, with a GPS fix every minute.
+    let walk = Polyline::new(vec![
+        Point::new(-2_400.0, -1_100.0),
+        Point::new(-1_200.0, -700.0),
+        Point::new(-300.0, -250.0),
+        Point::new(-150.0, 700.0),
+        Point::new(-100.0, 1_200.0),
+    ]);
+    let speed = 1.4;
+    let start = Timestamp::from_hours(7) + 40 * 60;
+    let fixes = (walk.length() / (speed * 60.0)).ceil() as usize + 1;
+    let trajectory: Vec<QueryTuple> = (0..fixes)
+        .map(|i| {
+            QueryTuple::new(
+                start + i as i64 * 60,
+                walk.point_at(i as f64 * 60.0 * speed),
+            )
+        })
+        .collect();
+
+    let route = platform.record_route(&trajectory, QueryMethod::ModelCover);
+    let colors = route.marker_colors();
+    println!("recorded {} route points:\n", route.len());
+    println!("  min   position             CO2      marker");
+    for (i, (p, color)) in route.points.iter().zip(&colors).enumerate() {
+        let marker = match color {
+            Some((r, g, b)) => format!("#{r:02x}{g:02x}{b:02x}"),
+            None => "(no data)".to_string(),
+        };
+        let value = p
+            .value
+            .map(|v| format!("{v:6.1} ppm"))
+            .unwrap_or_else(|| "   --  ".into());
+        println!(
+            "  {i:>3}   ({x:>7.0}, {y:>7.0})   {value}   {marker}",
+            x = p.query.pos.x,
+            y = p.query.pos.y
+        );
+    }
+
+    let summary = route.summary();
+    println!("\n--- route summary ---");
+    println!("{}", summary.advisory);
+    if let Some(level) = summary.level {
+        println!("classification: {level}");
+    }
+    println!(
+        "({} of {} points had data)",
+        summary.answered, summary.recorded
+    );
+}

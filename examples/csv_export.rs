@@ -1,0 +1,53 @@
+//! Dataset interchange: generate a community-sensed dataset, export it to
+//! CSV, read it back, and verify the round trip — the workflow for feeding
+//! real deployment dumps (e.g. an OpenSense export) into EnviroMeter.
+//!
+//! ```text
+//! cargo run -p enviro-data --example csv_export
+//! ```
+
+use enviro_data::csv::{read_csv, write_csv};
+use enviro_data::{LausanneSim, Pollutant, SimConfig};
+
+fn main() {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 6 * 3_600,
+        ..SimConfig::default()
+    });
+    let dataset = sim.generate();
+    let stats = dataset.stats().expect("non-empty");
+    println!(
+        "generated {} tuples: {} in [{:.1}, {:.1}] ppm, mean {:.1}, sd {:.1}",
+        dataset.len(),
+        dataset.pollutant(),
+        stats.min,
+        stats.max,
+        stats.mean,
+        stats.std_dev
+    );
+
+    let path = std::env::temp_dir().join("enviro_lausanne_sim.csv");
+    let mut file = std::io::BufWriter::new(
+        std::fs::File::create(&path).expect("create CSV file"),
+    );
+    write_csv(&dataset, &mut file).expect("write CSV");
+    drop(file);
+    let bytes = std::fs::metadata(&path).expect("stat CSV").len();
+    println!("exported to {} ({bytes} bytes)", path.display());
+
+    let reloaded = read_csv(
+        Pollutant::Co2,
+        std::fs::File::open(&path).expect("open CSV"),
+    )
+    .expect("parse CSV");
+    assert_eq!(reloaded, dataset, "round trip must be lossless");
+    println!("reloaded {} tuples — byte-exact round trip ✓", reloaded.len());
+
+    let (from, to) = reloaded.time_span().expect("non-empty");
+    let bounds = reloaded.bounds();
+    println!(
+        "time span {from} … {to}; spatial extent {:.1} x {:.1} km",
+        bounds.width() / 1_000.0,
+        bounds.height() / 1_000.0
+    );
+}

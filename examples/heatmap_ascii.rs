@@ -1,0 +1,52 @@
+//! The web interface's heatmap mode: render the pollutant surface of the
+//! model cover as ASCII art (and a PPM image on disk), contrasting the
+//! morning rush with the middle of the night.
+//!
+//! ```text
+//! cargo run -p enviro-meter --example heatmap_ascii
+//! ```
+
+use enviro_data::{LausanneSim, SimConfig, Timestamp, WindowSpec};
+use enviro_meter::{AdKmnConfig, EnviroMeter};
+
+fn main() {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 86_400,
+        ..SimConfig::default()
+    });
+    let platform = EnviroMeter::new(
+        sim.generate(),
+        WindowSpec::ByDuration(4 * 3_600),
+        AdKmnConfig::default(),
+        1_000.0,
+    );
+
+    for (label, t) in [
+        ("morning rush (08:00)", Timestamp::from_hours(8)),
+        ("deep night (03:00)", Timestamp::from_hours(3)),
+    ] {
+        let hm = platform
+            .heatmap(t, 64, 24)
+            .expect("cover exists for a sensed day");
+        let (lo, hi) = hm.value_range();
+        println!("\n=== CO2 heatmap, {label} ===");
+        println!("scale: '.' = {lo:.0} ppm … '#' = {hi:.0} ppm");
+        print!("{}", hm.to_ascii());
+        println!(
+            "emitters (Ad-KMN centroids): {}",
+            hm.emitters
+                .iter()
+                .map(|(p, v)| format!("({:.0},{:.0})={:.0}", p.x, p.y, v))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+
+        // Also write the PPM the web UI would color-map.
+        let path = std::env::temp_dir().join(format!(
+            "enviro_heatmap_{}.ppm",
+            t.as_secs() / 3_600
+        ));
+        std::fs::write(&path, hm.to_ppm()).expect("write heatmap image");
+        println!("PPM image written to {}", path.display());
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: stand up EnviroMeter over simulated community-sensed data
+//! and ask it questions.
+//!
+//! ```text
+//! cargo run -p enviro-meter --example quickstart
+//! ```
+
+use enviro_data::{LausanneSim, QueryTuple, SimConfig, Timestamp, WindowSpec};
+use enviro_geo::Point;
+use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+
+fn main() {
+    // 1. Community sensing: two buses sample CO2 across Lausanne for a day.
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 86_400,
+        ..SimConfig::default()
+    });
+    let dataset = sim.generate();
+    println!(
+        "sensed {} raw tuples of {} over {} bus lines",
+        dataset.len(),
+        dataset.pollutant(),
+        sim.lines().len()
+    );
+
+    // 2. The platform: 4-hour model windows, tau_n = 2 %, r = 1 km.
+    let platform = EnviroMeter::new(
+        dataset,
+        WindowSpec::ByDuration(4 * 3_600),
+        AdKmnConfig::default(),
+        1_000.0,
+    );
+
+    // 3. Point query at the city center during the morning rush, answered
+    //    by every method the paper compares.
+    let q = QueryTuple::new(Timestamp::from_hours(8), Point::new(0.0, -200.0));
+    println!("\nCO2 at the central interchange, 08:00:");
+    for method in QueryMethod::ALL {
+        match platform.point_query(&q, method) {
+            Some(v) => println!("  {method:>10}: {v:7.1} ppm"),
+            None => println!("  {method:>10}: no data within radius"),
+        }
+    }
+    println!(
+        "  ground truth: {:7.1} ppm",
+        sim.true_value(q.time, &q.pos)
+    );
+
+    // 4. A continuous query: a pedestrian walks for 30 minutes; the model
+    //    cover answers every tick.
+    let trajectory = sim.continuous_trajectory(30, 60, 7);
+    let values = platform.continuous_query(&trajectory, QueryMethod::ModelCover);
+    let answered = values.iter().flatten().count();
+    let avg: f64 = values.iter().flatten().sum::<f64>() / answered.max(1) as f64;
+    println!("\ncontinuous query: {answered}/30 ticks answered, average {avg:.1} ppm");
+
+    // 5. The model cover behind those answers.
+    let cover = platform.cover_at(q.time).expect("data exists");
+    println!(
+        "\nmodel cover for window {}: {} regions, worst training error {:.2} %, valid until {}",
+        cover.window_id,
+        cover.len(),
+        cover.worst_training_error_percent(),
+        cover.valid_until
+    );
+}

@@ -1,0 +1,232 @@
+//! Cross-crate integration: simulator → dataset → platform → every query
+//! surface the demo exposes (point, continuous, heatmap, route).
+
+use enviro_data::{LausanneSim, QueryTuple, SimConfig, Timestamp, WindowSpec};
+use enviro_geo::Point;
+use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod, SplitStrategy};
+
+fn platform_and_sim(seed: u64) -> (EnviroMeter, LausanneSim) {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 86_400,
+        seed,
+        ..SimConfig::default()
+    });
+    let platform = EnviroMeter::new(
+        sim.generate(),
+        WindowSpec::ByDuration(4 * 3_600),
+        AdKmnConfig::default(),
+        1_000.0,
+    );
+    (platform, sim)
+}
+
+#[test]
+fn model_cover_tracks_ground_truth_on_corridors() {
+    let (platform, sim) = platform_and_sim(1);
+    let queries = sim.query_workload(300, 25.0, 10);
+    let mut total_abs = 0.0;
+    for q in &queries {
+        let pred = platform
+            .point_query(q, QueryMethod::ModelCover)
+            .expect("cover answers everywhere");
+        let truth = sim.true_value(q.time, &q.pos);
+        total_abs += (pred - truth).abs();
+    }
+    let mae = total_abs / queries.len() as f64;
+    // Sensor noise alone is sigma = 15 ppm; a good cover should stay within
+    // a few noise widths on-corridor.
+    assert!(mae < 45.0, "on-corridor MAE {mae} ppm");
+}
+
+#[test]
+fn raw_data_methods_agree_exactly() {
+    let (platform, sim) = platform_and_sim(2);
+    for q in sim.query_workload(100, 300.0, 11) {
+        let naive = platform.point_query(&q, QueryMethod::Naive);
+        for m in [QueryMethod::RTree, QueryMethod::VpTree, QueryMethod::Grid] {
+            let got = platform.point_query(&q, m);
+            match (naive, got) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-9, "{m}: {a} vs {b}")
+                }
+                other => panic!("{m}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn continuous_query_is_consistent_with_point_queries() {
+    let (platform, sim) = platform_and_sim(3);
+    let traj = sim.continuous_trajectory(50, 60, 12);
+    let bulk = platform.continuous_query(&traj, QueryMethod::ModelCover);
+    for (q, bulk_v) in traj.iter().zip(&bulk) {
+        let single = platform.point_query(q, QueryMethod::ModelCover);
+        assert_eq!(&single, bulk_v);
+    }
+}
+
+#[test]
+fn heatmap_reflects_diurnal_cycle() {
+    let (platform, _) = platform_and_sim(4);
+    let rush = platform.heatmap(Timestamp::from_hours(8), 32, 32).unwrap();
+    let night = platform.heatmap(Timestamp::from_hours(3), 32, 32).unwrap();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&rush.values) > mean(&night.values) + 10.0,
+        "rush {:.1} vs night {:.1}",
+        mean(&rush.values),
+        mean(&night.values)
+    );
+}
+
+#[test]
+fn route_summary_classifies_urban_air_as_safe() {
+    // Simulated Lausanne CO2 peaks well below the OSHA 8-hour limit, so a
+    // recorded commute must classify as safe/moderate, never hazardous.
+    let (platform, sim) = platform_and_sim(5);
+    let traj = sim.continuous_trajectory(40, 60, 13);
+    let route = platform.record_route(&traj, QueryMethod::ModelCover);
+    let summary = route.summary();
+    let level = summary.level.expect("route has data");
+    assert!(level <= enviro_data::SafetyLevel::Moderate, "level {level}");
+}
+
+#[test]
+fn covers_expire_at_window_boundaries() {
+    let (platform, _) = platform_and_sim(6);
+    let in_first = platform.cover_at(Timestamp::from_hours(1)).unwrap();
+    assert!(in_first.is_valid_at(Timestamp::from_hours(3)));
+    assert!(!in_first.is_valid_at(Timestamp::from_hours(5)));
+    let in_second = platform.cover_at(Timestamp::from_hours(5)).unwrap();
+    assert_ne!(in_first.window_id, in_second.window_id);
+}
+
+#[test]
+fn every_split_strategy_produces_a_working_platform() {
+    for split in [
+        SplitStrategy::WorstErrorPoint,
+        SplitStrategy::RandomPoint,
+        SplitStrategy::CentroidJitter,
+    ] {
+        let sim = LausanneSim::lausanne(SimConfig {
+            duration_secs: 4 * 3_600,
+            seed: 7,
+            ..SimConfig::default()
+        });
+        let platform = EnviroMeter::new(
+            sim.generate(),
+            WindowSpec::ByDuration(2 * 3_600),
+            AdKmnConfig {
+                split,
+                ..AdKmnConfig::default()
+            },
+            1_000.0,
+        );
+        let q = QueryTuple::new(Timestamp::from_hours(1), Point::new(0.0, -200.0));
+        let v = platform
+            .point_query(&q, QueryMethod::ModelCover)
+            .expect("cover answers");
+        assert!((200.0..2_000.0).contains(&v), "{split:?}: {v}");
+    }
+}
+
+#[test]
+fn query_before_first_sample_uses_first_window() {
+    let (platform, _) = platform_and_sim(8);
+    let q = QueryTuple::new(Timestamp::from_secs(-3_600), Point::new(0.0, -200.0));
+    assert!(platform.point_query(&q, QueryMethod::ModelCover).is_some());
+}
+
+#[test]
+fn engine_serves_concurrent_queries() {
+    // The OnceLock-based caches must be safe under concurrent first-touch:
+    // many threads query all methods across all windows simultaneously.
+    let (platform, sim) = platform_and_sim(20);
+    let platform = std::sync::Arc::new(platform);
+    let queries = std::sync::Arc::new(sim.query_workload(200, 300.0, 21));
+    let mut handles = Vec::new();
+    for k in 0..8 {
+        let platform = std::sync::Arc::clone(&platform);
+        let queries = std::sync::Arc::clone(&queries);
+        handles.push(std::thread::spawn(move || {
+            for (i, q) in queries.iter().enumerate() {
+                let method = QueryMethod::ALL[(i + k) % QueryMethod::ALL.len()];
+                if let Some(v) = platform.point_query(q, method) {
+                    assert!(v.is_finite());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+    // Spot-check determinism after the concurrent warm-up.
+    let q = &queries[0];
+    let a = platform.point_query(q, QueryMethod::ModelCover);
+    let b = platform.point_query(q, QueryMethod::ModelCover);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn multi_pollutant_platforms_work() {
+    use enviro_data::Pollutant;
+    for pollutant in [Pollutant::Co, Pollutant::Pm25] {
+        let sim = LausanneSim::lausanne_for(
+            pollutant,
+            SimConfig {
+                duration_secs: 6 * 3_600,
+                seed: 23,
+                ..SimConfig::default()
+            },
+        );
+        let platform = EnviroMeter::new(
+            sim.generate(),
+            WindowSpec::ByDuration(2 * 3_600),
+            AdKmnConfig::default(),
+            1_000.0,
+        );
+        let q = QueryTuple::new(Timestamp::from_hours(2), Point::new(0.0, -200.0));
+        let v = platform
+            .point_query(&q, QueryMethod::ModelCover)
+            .expect("cover answers");
+        let (lo, hi) = pollutant.normal_range();
+        assert!(
+            v > lo - (hi - lo) * 0.25 && v < hi + (hi - lo) * 0.25,
+            "{pollutant}: {v}"
+        );
+    }
+}
+
+#[test]
+fn dataset_csv_roundtrip_preserves_query_answers() {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 6 * 3_600,
+        seed: 9,
+        ..SimConfig::default()
+    });
+    let dataset = sim.generate();
+    let mut buf = Vec::new();
+    enviro_data::csv::write_csv(&dataset, &mut buf).unwrap();
+    let reloaded = enviro_data::csv::read_csv(dataset.pollutant(), buf.as_slice()).unwrap();
+
+    let p1 = EnviroMeter::new(
+        dataset,
+        WindowSpec::ByCount(240),
+        AdKmnConfig::default(),
+        1_000.0,
+    );
+    let p2 = EnviroMeter::new(
+        reloaded,
+        WindowSpec::ByCount(240),
+        AdKmnConfig::default(),
+        1_000.0,
+    );
+    for q in sim.query_workload(50, 200.0, 14) {
+        assert_eq!(
+            p1.point_query(&q, QueryMethod::ModelCover),
+            p2.point_query(&q, QueryMethod::ModelCover)
+        );
+    }
+}

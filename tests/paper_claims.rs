@@ -1,0 +1,119 @@
+//! The paper's headline claims, asserted as tests at quick scale.
+//!
+//! These do not check absolute numbers (our substrate is a Rust simulator,
+//! not the authors' Python testbed) — they check the *shape* of every
+//! result panel: who wins, and in the right direction. Timing-shape claims
+//! live in the release-mode `figures` binary; here we assert everything
+//! that is robust under an unoptimized test build.
+
+use enviro_bench::workload::{build, Scale};
+use enviro_bench::{ablations, fig6a, fig6b, fig7a, fig7b};
+use enviro_meter::QueryMethod;
+
+#[test]
+fn fig6b_cover_nrmse_below_naive_across_h() {
+    let w = build(Scale::Quick, 100);
+    let rows = fig6b::run(&w, &[40, 120, 240]);
+    for h in [40usize, 120, 240] {
+        let of = |m: QueryMethod| {
+            rows.iter()
+                .find(|r| r.h == h && r.method == m)
+                .unwrap()
+                .common_nrmse_percent
+        };
+        assert!(
+            of(QueryMethod::ModelCover) < of(QueryMethod::Naive),
+            "H={h}: cover {} vs naive {}",
+            of(QueryMethod::ModelCover),
+            of(QueryMethod::Naive)
+        );
+    }
+}
+
+#[test]
+fn fig6a_cover_answers_everything_and_raw_methods_agree() {
+    let w = build(Scale::Quick, 101);
+    let rows = fig6a::run(&w, &[120]);
+    let of = |m: QueryMethod| rows.iter().find(|r| r.method == m).unwrap();
+    assert_eq!(of(QueryMethod::ModelCover).answered, w.queries.len());
+    // Identical semantics ⇒ identical answered counts for raw methods.
+    assert_eq!(
+        of(QueryMethod::Naive).answered,
+        of(QueryMethod::RTree).answered
+    );
+    assert_eq!(
+        of(QueryMethod::Naive).answered,
+        of(QueryMethod::VpTree).answered
+    );
+}
+
+#[test]
+fn fig7a_memory_ordering_cover_naive_rtree_vptree() {
+    let rows = fig7a::run(3);
+    let of = |m: QueryMethod| {
+        rows.iter()
+            .find(|r| r.method == m)
+            .map(|r| r.mean_bytes)
+            .unwrap()
+    };
+    let cover = of(QueryMethod::ModelCover);
+    assert!(cover * 5.0 < of(QueryMethod::Naive));
+    assert!(of(QueryMethod::Naive) < of(QueryMethod::RTree));
+    assert!(of(QueryMethod::RTree) < of(QueryMethod::VpTree));
+}
+
+#[test]
+fn fig7b_model_cache_dominates_on_all_three_axes() {
+    let c = fig7b::run(102);
+    assert!(c.sent_factor() > 20.0, "sent {}", c.sent_factor());
+    assert!(c.received_factor() > 2.0, "received {}", c.received_factor());
+    assert!(c.time_factor() > 20.0, "time {}", c.time_factor());
+    // And the answers are the same values the baseline got.
+    for (a, b) in c.baseline.values.iter().zip(&c.model_cache.values) {
+        match (a, b) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+            (None, None) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn abl_tau_tighter_threshold_means_more_models() {
+    let w = build(Scale::Quick, 103);
+    let rows = ablations::tau_sweep(&w, 240, &[8.0, 2.0, 0.5]);
+    assert!(rows[2].mean_models >= rows[1].mean_models);
+    assert!(rows[1].mean_models >= rows[0].mean_models);
+}
+
+#[test]
+fn abl_spread_cover_wins_on_corridor_and_degrades_off_it() {
+    let w = build(Scale::Quick, 104);
+    let rows = ablations::spread_sweep(&w, 240, &[0.0, 800.0]);
+    // On the corridors the cover beats naive (the fig6b claim)...
+    assert!(rows[0].cover.nrmse_percent < rows[0].naive.nrmse_percent);
+    // ...and degrades with distance from the data, while the radius-bounded
+    // average stays roughly flat (it keeps averaging the same on-track
+    // tuples). This crossover is the honest limit of model extrapolation.
+    assert!(rows[1].cover.nrmse_percent > rows[0].cover.nrmse_percent);
+    let ratio = rows[1].naive.nrmse_percent / rows[0].naive.nrmse_percent.max(1e-9);
+    assert!((0.5..2.0).contains(&ratio), "naive ratio {ratio}");
+}
+
+#[test]
+fn abl_codec_binary_beats_text_on_bytes_not_values() {
+    let rows = ablations::codec_sweep(105);
+    let bin = &rows[0].comparison;
+    let txt = &rows[1].comparison;
+    assert!(
+        txt.baseline.usage.sent_bytes > bin.baseline.usage.sent_bytes,
+        "text must cost more uplink"
+    );
+    for (a, b) in bin.baseline.values.iter().zip(&txt.baseline.values) {
+        match (a, b) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-6),
+            (None, None) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}
