@@ -2,6 +2,10 @@
 //! size. The paper's lazy update policy amortizes this cost over a window's
 //! validity period; this bench quantifies what is amortized.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use enviro_bench::workload::{build, Scale};
 use enviro_data::{Pollutant, WindowSpec, Windows};

@@ -1,13 +1,15 @@
 //! Wire-codec throughput: encode/decode cost of the messages the phone and
 //! server exchange, binary vs text.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use enviro_data::Timestamp;
 use enviro_geo::Point;
-use enviro_net::{
-    BinaryCodec, Request, Response, TextCodec, WireCodec, WireCover,
-};
 use enviro_meter::LinearModel;
+use enviro_net::{BinaryCodec, Request, Response, TextCodec, WireCodec, WireCover};
 use std::hint::black_box;
 
 fn sample_cover(regions: usize) -> WireCover {

@@ -5,6 +5,10 @@
 //! y-axis); this bench gives statistically robust per-query latencies for
 //! regression tracking.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use enviro_bench::fig6a::engine_for_h;
 use enviro_bench::workload::{build, Scale};
@@ -24,18 +28,14 @@ fn bench_query_time(c: &mut Criterion) {
         ] {
             engine.prepare(method);
             let queries = &workload.queries;
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), h),
-                &h,
-                |b, _| {
-                    let mut i = 0usize;
-                    b.iter(|| {
-                        let q = &queries[i % queries.len()];
-                        i += 1;
-                        black_box(engine.query(black_box(q), method))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), h), &h, |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(engine.query(black_box(q), method))
+                });
+            });
         }
     }
     group.finish();

@@ -6,13 +6,16 @@
 //! encode/decode, server processing, cache lookups — which must stay
 //! negligible next to the simulated network times.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use enviro_bench::workload::{Scale, RADIUS_M};
 use enviro_data::WindowSpec;
 use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
 use enviro_net::{
-    BaselineClient, BinaryCodec, EnviroServer, LinkProfile, ModelCacheClient,
-    SimulatedLink,
+    BaselineClient, BinaryCodec, EnviroServer, LinkProfile, ModelCacheClient, SimulatedLink,
 };
 use std::hint::black_box;
 
@@ -29,14 +32,17 @@ fn bench_sessions(c: &mut Criterion) {
     let trajectory = sim.continuous_trajectory(100, 60, 1);
     // Warm the cover cache so the bench isolates steady-state cost.
     let mut warm_link = SimulatedLink::new(LinkProfile::IDEAL);
-    BaselineClient::new(BinaryCodec).run(&server, &trajectory, &mut warm_link);
+    BaselineClient::new(BinaryCodec)
+        .run(&server, &trajectory, &mut warm_link)
+        .expect("warmup session");
 
     let mut group = c.benchmark_group("fig7b_session");
     group.bench_function("baseline_100_tuples", |b| {
         b.iter(|| {
             let mut link = SimulatedLink::new(LinkProfile::GPRS);
-            let stats =
-                BaselineClient::new(BinaryCodec).run(&server, &trajectory, &mut link);
+            let stats = BaselineClient::new(BinaryCodec)
+                .run(&server, &trajectory, &mut link)
+                .expect("baseline session");
             black_box(stats.usage.sent_bytes)
         });
     });
@@ -44,7 +50,9 @@ fn bench_sessions(c: &mut Criterion) {
         b.iter(|| {
             let mut link = SimulatedLink::new(LinkProfile::GPRS);
             let mut client = ModelCacheClient::new(BinaryCodec);
-            let stats = client.run(&server, &trajectory, &mut link);
+            let stats = client
+                .run(&server, &trajectory, &mut link)
+                .expect("model-cache session");
             black_box(stats.usage.sent_bytes)
         });
     });

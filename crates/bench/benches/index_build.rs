@@ -1,6 +1,10 @@
 //! Index-construction cost per window: the price the metric-space methods
 //! pay before they can answer their first query.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use enviro_bench::workload::{build, Scale};
 use enviro_index::{Entry, GridIndex, RTree, VpTree};

@@ -3,9 +3,7 @@
 use crate::fig7b;
 use crate::workload::{Workload, RADIUS_M};
 use enviro_data::{Pollutant, WindowSpec, Windows};
-use enviro_meter::{
-    AccuracyReport, AdKmn, AdKmnConfig, QueryEngine, QueryMethod, SplitStrategy,
-};
+use enviro_meter::{AccuracyReport, AdKmn, AdKmnConfig, QueryEngine, QueryMethod, SplitStrategy};
 use enviro_net::{BinaryCodec, LinkProfile, TextCodec};
 use std::time::Instant;
 
@@ -228,9 +226,10 @@ pub fn spread_sweep(workload: &Workload, h: usize, spreads: &[f64]) -> Vec<Sprea
     spreads
         .iter()
         .map(|&spread| {
-            let queries = workload
-                .sim
-                .query_workload(workload.accuracy_queries.len(), spread, 0x5BEAD);
+            let queries =
+                workload
+                    .sim
+                    .query_workload(workload.accuracy_queries.len(), spread, 0x5BEAD);
             let eval = |method: QueryMethod| {
                 AccuracyReport::from_predictions(queries.iter().map(|q| {
                     (
@@ -480,7 +479,9 @@ mod tests {
     fn split_sweep_covers_strategies() {
         let rows = split_sweep(&quick(), 240);
         assert_eq!(rows.len(), 3);
-        assert!(rows.iter().any(|r| r.strategy == SplitStrategy::WorstErrorPoint));
+        assert!(rows
+            .iter()
+            .any(|r| r.strategy == SplitStrategy::WorstErrorPoint));
     }
 
     #[test]
@@ -501,9 +502,7 @@ mod tests {
         let rows = codec_sweep(42);
         let bin = &rows[0].comparison;
         let txt = &rows[1].comparison;
-        assert!(
-            txt.model_cache.usage.received_bytes > bin.model_cache.usage.received_bytes
-        );
+        assert!(txt.model_cache.usage.received_bytes > bin.model_cache.usage.received_bytes);
     }
 
     #[test]
@@ -576,7 +575,10 @@ mod tests {
         let w = quick();
         let rows = interp_sweep(&w, 240, &[0.0, 400.0]);
         for r in &rows {
-            assert!((r.idw.coverage() - 1.0).abs() < 1e-9, "IDW answers everywhere");
+            assert!(
+                (r.idw.coverage() - 1.0).abs() < 1e-9,
+                "IDW answers everywhere"
+            );
         }
         // On sensed positions the cover clearly beats the uniform average;
         // IDW sits at the sensor-noise floor by construction (its nearest

@@ -9,6 +9,12 @@
 //! used. Results print as aligned text tables; EXPERIMENTS.md records a
 //! reference run next to the paper's numbers.
 
+#![forbid(unsafe_code)]
+// Panic-prone sites here are legacy debt tracked by the xtask panic
+// ratchet (crates/xtask/panic-baseline.toml); prefer typed errors in new
+// code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_bench::workload::{build, Scale, Workload};
 use enviro_bench::{ablations, fig6a, fig6b, fig7a, fig7b, table};
 use enviro_meter::QueryMethod;
@@ -37,8 +43,21 @@ fn main() {
     }
     let expanded: Vec<String> = if targets.iter().any(|t| t == "all") {
         [
-            "fig6a", "fig6b", "fig7a", "fig7b", "abl-k0", "abl-split", "abl-tau",
-            "abl-codec", "abl-radius", "abl-spread", "abl-interp", "abl-warm", "abl-build", "abl-interval", "abl-loss",
+            "fig6a",
+            "fig6b",
+            "fig7a",
+            "fig7b",
+            "abl-k0",
+            "abl-split",
+            "abl-tau",
+            "abl-codec",
+            "abl-radius",
+            "abl-spread",
+            "abl-interp",
+            "abl-warm",
+            "abl-build",
+            "abl-interval",
+            "abl-loss",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -48,9 +67,12 @@ fn main() {
     };
 
     // Workload is shared across fig6a/fig6b/ablations; build lazily.
-    let needs_workload = expanded
-        .iter()
-        .any(|t| !matches!(t.as_str(), "fig7a" | "fig7b" | "abl-codec" | "abl-interval" | "abl-loss"));
+    let needs_workload = expanded.iter().any(|t| {
+        !matches!(
+            t.as_str(),
+            "fig7a" | "fig7b" | "abl-codec" | "abl-interval" | "abl-loss"
+        )
+    });
     let workload: Option<Workload> = if needs_workload {
         eprintln!(
             "building {} workload (seed {seed})...",
@@ -230,7 +252,13 @@ fn print_fig7b(c: &fig7b::Comparison) {
     println!(
         "{}",
         table::render(
-            &["technique", "sent (KiB)", "recv (KiB)", "time (s)", "round-trips"],
+            &[
+                "technique",
+                "sent (KiB)",
+                "recv (KiB)",
+                "time (s)",
+                "round-trips"
+            ],
             &out
         )
     );
@@ -382,7 +410,9 @@ fn run_abl_interp(w: &Workload) {
 }
 
 fn run_abl_warm(w: &Workload) {
-    println!("\n== abl-warm: cold vs warm-started Ad-KMN across all windows (tau = 1 %, H = 240) ==");
+    println!(
+        "\n== abl-warm: cold vs warm-started Ad-KMN across all windows (tau = 1 %, H = 240) =="
+    );
     let rows = ablations::warm_sweep(w, 240);
     let out: Vec<Vec<String>> = rows
         .iter()
@@ -399,7 +429,13 @@ fn run_abl_warm(w: &Workload) {
     println!(
         "{}",
         table::render(
-            &["mode", "total rounds", "mean models", "mean worst err %", "build (s)"],
+            &[
+                "mode",
+                "total rounds",
+                "mean models",
+                "mean worst err %",
+                "build (s)"
+            ],
             &out
         )
     );
@@ -430,7 +466,9 @@ fn run_abl_build(w: &Workload) {
 }
 
 fn run_abl_interval(seed: u64) {
-    println!("\n== abl-interval: position-update interval vs session cost (100-minute journey, GPRS) ==");
+    println!(
+        "\n== abl-interval: position-update interval vs session cost (100-minute journey, GPRS) =="
+    );
     let rows = ablations::interval_sweep(seed, &[30, 60, 120, 300]);
     let out: Vec<Vec<String>> = rows
         .iter()
@@ -448,7 +486,13 @@ fn run_abl_interval(seed: u64) {
     println!(
         "{}",
         table::render(
-            &["interval (s)", "updates", "baseline sent (KiB)", "cache sent (KiB)", "time factor"],
+            &[
+                "interval (s)",
+                "updates",
+                "baseline sent (KiB)",
+                "cache sent (KiB)",
+                "time factor"
+            ],
             &out
         )
     );
@@ -474,7 +518,13 @@ fn run_abl_loss(seed: u64) {
     println!(
         "{}",
         table::render(
-            &["loss", "baseline time (s)", "cache time (s)", "time factor", "sent factor"],
+            &[
+                "loss",
+                "baseline time (s)",
+                "cache time (s)",
+                "time factor",
+                "sent factor"
+            ],
             &out
         )
     );

@@ -11,8 +11,8 @@ use crate::workload::{Scale, RADIUS_M};
 use enviro_data::WindowSpec;
 use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
 use enviro_net::{
-    BaselineClient, EnviroServer, LinkProfile, ModelCacheClient, SessionStats,
-    SimulatedLink, WireCodec,
+    BaselineClient, EnviroServer, LinkProfile, ModelCacheClient, SessionStats, SimulatedLink,
+    WireCodec,
 };
 
 /// The paper's continuous-query length.
@@ -30,8 +30,7 @@ pub struct Comparison {
 impl Comparison {
     /// Transmitted-bytes factor (paper: ≈113×).
     pub fn sent_factor(&self) -> f64 {
-        self.baseline.usage.sent_bytes as f64
-            / (self.model_cache.usage.sent_bytes as f64).max(1.0)
+        self.baseline.usage.sent_bytes as f64 / (self.model_cache.usage.sent_bytes as f64).max(1.0)
     }
 
     /// Received-bytes factor (paper: ≈30×, "31×" in the figure).
@@ -47,11 +46,7 @@ impl Comparison {
 }
 
 /// Runs the experiment with an explicit codec and link profile.
-pub fn run_with<C: WireCodec + Copy>(
-    codec: C,
-    profile: LinkProfile,
-    seed: u64,
-) -> Comparison {
+pub fn run_with<C: WireCodec + Copy>(codec: C, profile: LinkProfile, seed: u64) -> Comparison {
     run_with_interval(codec, profile, seed, 60)
 }
 
@@ -95,13 +90,17 @@ fn run_full<C: WireCodec + Copy>(
         q.time = base + i as i64 * interval_secs;
     }
 
+    // The sessions run in-process against a trusted server, so an
+    // undecodable reply is a bug in this harness, not a runtime condition.
     let mut baseline_link = SimulatedLink::with_seed(profile, seed ^ 0xBA5E);
-    let baseline =
-        BaselineClient::new(codec).run(&server, &trajectory, &mut baseline_link);
+    let baseline = BaselineClient::new(codec)
+        .run(&server, &trajectory, &mut baseline_link)
+        .unwrap_or_else(|e| panic!("baseline session failed: {e}"));
 
     let mut cache_link = SimulatedLink::with_seed(profile, seed ^ 0xCAC4E);
-    let model_cache =
-        ModelCacheClient::new(codec).run(&server, &trajectory, &mut cache_link);
+    let model_cache = ModelCacheClient::new(codec)
+        .run(&server, &trajectory, &mut cache_link)
+        .unwrap_or_else(|e| panic!("model-cache session failed: {e}"));
 
     Comparison {
         baseline,

@@ -13,6 +13,12 @@
 //! | [`fig7b`] | Figure 7(b): bandwidth/time, baseline vs model-cache |
 //! | [`ablations`] | abl-k0 / abl-split / abl-tau / abl-codec / abl-radius |
 
+#![forbid(unsafe_code)]
+// Panic-prone sites in this crate are legacy debt tracked by the xtask
+// panic ratchet (crates/xtask/panic-baseline.toml): counts may only go
+// down. The clippy warn-level lints stay crate-allowed until the burn-down
+// reaches zero; prefer typed errors in new code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -127,8 +127,15 @@ mod tests {
 
     #[test]
     fn parses_flags_and_positionals() {
-        let a = Args::parse(&toks(&["data.csv", "--time", "8h", "--x", "-100", "--verbose"]))
-            .unwrap();
+        let a = Args::parse(&toks(&[
+            "data.csv",
+            "--time",
+            "8h",
+            "--x",
+            "-100",
+            "--verbose",
+        ]))
+        .unwrap();
         assert_eq!(a.positional, vec!["data.csv"]);
         assert_eq!(a.get("time"), Some("8h"));
         assert_eq!(a.get("x"), Some("-100"));

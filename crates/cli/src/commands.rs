@@ -3,9 +3,7 @@
 use crate::args::Args;
 use crate::{CliError, USAGE};
 use enviro_data::csv::{read_csv, write_csv};
-use enviro_data::{
-    Dataset, LausanneSim, Pollutant, QueryTuple, SimConfig, WindowSpec,
-};
+use enviro_data::{Dataset, LausanneSim, Pollutant, QueryTuple, SimConfig, WindowSpec};
 use enviro_geo::{Point, Polyline};
 use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
 use enviro_storage::TupleStore;
@@ -56,9 +54,7 @@ fn load_dataset(args: &Args) -> Result<Dataset, CliError> {
 
 fn platform_from(args: &Args, dataset: Dataset) -> Result<EnviroMeter, CliError> {
     let spec = match (args.get("window"), args.get("window-secs")) {
-        (Some(_), Some(_)) => {
-            return Err(CliError::usage("give either --window or --window-secs"))
-        }
+        (Some(_), Some(_)) => return Err(CliError::usage("give either --window or --window-secs")),
         (Some(_), None) => WindowSpec::ByCount(args.require_parsed("window")?),
         (None, Some(_)) => WindowSpec::ByDuration(args.require_parsed("window-secs")?),
         (None, None) => WindowSpec::ByDuration(4 * 3_600),
@@ -72,7 +68,12 @@ fn platform_from(args: &Args, dataset: Dataset) -> Result<EnviroMeter, CliError>
 }
 
 fn parse_method(args: &Args) -> Result<QueryMethod, CliError> {
-    match args.get("method").unwrap_or("ad-kmn").to_ascii_lowercase().as_str() {
+    match args
+        .get("method")
+        .unwrap_or("ad-kmn")
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "ad-kmn" | "adkmn" | "cover" | "model-cover" => Ok(QueryMethod::ModelCover),
         "naive" => Ok(QueryMethod::Naive),
         "rtree" | "r-tree" => Ok(QueryMethod::RTree),
@@ -193,8 +194,7 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             )
             .map_err(io_err)?;
         }
-        None => writeln!(out, "no data within radius for ({x}, {y}) at {time}")
-            .map_err(io_err)?,
+        None => writeln!(out, "no data within radius for ({x}, {y}) at {time}").map_err(io_err)?,
     }
     Ok(())
 }
@@ -304,8 +304,7 @@ fn cmd_store(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 .map_err(|e| CliError::runtime(format!("cannot open {csv_path}: {e}")))?;
             let dataset = read_csv(Pollutant::Co2, file)
                 .map_err(|e| CliError::runtime(format!("{csv_path}: {e}")))?;
-            let mut store =
-                TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
+            let mut store = TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
             store
                 .append(dataset.tuples())
                 .and_then(|()| store.sync())
@@ -325,8 +324,7 @@ fn cmd_store(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "export" => {
             let dir = args.require("dir")?;
             let out_path = args.require("out")?;
-            let store =
-                TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
+            let store = TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
             let dataset = store
                 .load_dataset(Pollutant::Co2)
                 .map_err(|e| CliError::runtime(e.to_string()))?;
@@ -340,8 +338,7 @@ fn cmd_store(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
         "stats" => {
             let dir = args.require("dir")?;
-            let store =
-                TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
+            let store = TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
             let s = store.stats();
             writeln!(
                 out,
@@ -353,8 +350,7 @@ fn cmd_store(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
         "compact" => {
             let dir = args.require("dir")?;
-            let mut store =
-                TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
+            let mut store = TupleStore::open(dir).map_err(|e| CliError::runtime(e.to_string()))?;
             let before = store.stats();
             store
                 .compact()
@@ -433,9 +429,7 @@ mod tests {
     fn simulate_then_info_query_heatmap_route() {
         let csv = temp_path("pipeline.csv");
         let csv_str = csv.to_str().unwrap();
-        let (code, out) = run_cmd(&[
-            "simulate", "--hours", "6", "--seed", "3", "--out", csv_str,
-        ]);
+        let (code, out) = run_cmd(&["simulate", "--hours", "6", "--seed", "3", "--out", csv_str]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("wrote 720 tuples"), "{out}");
 
@@ -444,25 +438,37 @@ mod tests {
         assert!(out.contains("tuples:    720"), "{out}");
         assert!(out.contains("pollutant: CO2"));
 
-        let (code, out) = run_cmd(&[
-            "query", csv_str, "--time", "2h", "--x", "0", "--y", "-200",
-        ]);
+        let (code, out) = run_cmd(&["query", csv_str, "--time", "2h", "--x", "0", "--y", "-200"]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("ppm"), "{out}");
         assert!(out.contains("Ad-KMN"), "{out}");
 
         let ppm = temp_path("map.ppm");
         let (code, out) = run_cmd(&[
-            "heatmap", csv_str, "--time", "2h", "--out", ppm.to_str().unwrap(),
-            "--cols", "16", "--rows", "12",
+            "heatmap",
+            csv_str,
+            "--time",
+            "2h",
+            "--out",
+            ppm.to_str().unwrap(),
+            "--cols",
+            "16",
+            "--rows",
+            "12",
         ]);
         assert_eq!(code, 0, "{out}");
         let img = std::fs::read(&ppm).unwrap();
         assert!(img.starts_with(b"P6\n16 12\n255\n"));
 
         let (code, out) = run_cmd(&[
-            "route", csv_str, "--start", "1h",
-            "--points", "0,-200;500,0;800,100", "--speed", "2.0",
+            "route",
+            csv_str,
+            "--start",
+            "1h",
+            "--points",
+            "0,-200;500,0;800,100",
+            "--speed",
+            "2.0",
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("Average CO2"), "{out}");
@@ -477,18 +483,24 @@ mod tests {
         let back = temp_path("store-back.csv");
         let dir = temp_path("store-dir");
         let _ = std::fs::remove_dir_all(&dir);
-        let (code, _) = run_cmd(&[
-            "simulate", "--hours", "2", "--out", csv.to_str().unwrap(),
-        ]);
+        let (code, _) = run_cmd(&["simulate", "--hours", "2", "--out", csv.to_str().unwrap()]);
         assert_eq!(code, 0);
         let (code, out) = run_cmd(&[
-            "store", "ingest", csv.to_str().unwrap(), "--dir", dir.to_str().unwrap(),
+            "store",
+            "ingest",
+            csv.to_str().unwrap(),
+            "--dir",
+            dir.to_str().unwrap(),
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("ingested 240 tuples"), "{out}");
         let (code, out) = run_cmd(&[
-            "store", "export", "--dir", dir.to_str().unwrap(),
-            "--out", back.to_str().unwrap(),
+            "store",
+            "export",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--out",
+            back.to_str().unwrap(),
         ]);
         assert_eq!(code, 0, "{out}");
         let a = std::fs::read_to_string(&csv).unwrap();
@@ -518,16 +530,34 @@ mod tests {
     fn query_method_selection() {
         let csv = temp_path("methods.csv");
         run_cmd(&["simulate", "--hours", "2", "--out", csv.to_str().unwrap()]);
-        for m in ["naive", "rtree", "vptree", "kdtree", "grid", "idw", "ad-kmn"] {
+        for m in [
+            "naive", "rtree", "vptree", "kdtree", "grid", "idw", "ad-kmn",
+        ] {
             let (code, out) = run_cmd(&[
-                "query", csv.to_str().unwrap(), "--time", "1h",
-                "--x", "0", "--y", "-200", "--method", m,
+                "query",
+                csv.to_str().unwrap(),
+                "--time",
+                "1h",
+                "--x",
+                "0",
+                "--y",
+                "-200",
+                "--method",
+                m,
             ]);
             assert_eq!(code, 0, "{m}: {out}");
         }
         let (code, _) = run_cmd(&[
-            "query", csv.to_str().unwrap(), "--time", "1h",
-            "--x", "0", "--y", "0", "--method", "quantum",
+            "query",
+            csv.to_str().unwrap(),
+            "--time",
+            "1h",
+            "--x",
+            "0",
+            "--y",
+            "0",
+            "--method",
+            "quantum",
         ]);
         assert_eq!(code, 2);
         std::fs::remove_file(&csv).ok();

@@ -16,6 +16,7 @@
 //! Argument parsing is hand-rolled (`--flag value` pairs after a
 //! subcommand) to stay inside the approved dependency set.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -1,5 +1,7 @@
 //! The `enviro` binary: a thin shell around [`enviro_cli::run`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout();

@@ -95,7 +95,37 @@ impl AdKmnResult {
 
     /// The worst per-region error percentage (0 when empty).
     pub fn worst_error_percent(&self) -> f64 {
-        self.errors.iter().map(ApproximationError::percent).fold(0.0, f64::max)
+        self.errors
+            .iter()
+            .map(ApproximationError::percent)
+            .fold(0.0, f64::max)
+    }
+
+    /// Verifies the result's structural invariants, returning the first
+    /// violation found. Checked (in debug builds) after the split loop:
+    /// * `centroids`, `models` and `errors` are aligned one-to-one;
+    /// * every assignment index names an existing region;
+    /// * every centroid is finite (a NaN centroid would silently swallow
+    ///   its Voronoi cell in nearest-centroid queries).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.models.len() != self.centroids.len() || self.errors.len() != self.centroids.len() {
+            return Err(format!(
+                "misaligned result: {} centroids, {} models, {} errors",
+                self.centroids.len(),
+                self.models.len(),
+                self.errors.len()
+            ));
+        }
+        if let Some(&bad) = self.assignment.iter().find(|&&a| a >= self.centroids.len()) {
+            return Err(format!(
+                "assignment names region {bad} of {}",
+                self.centroids.len()
+            ));
+        }
+        if let Some(i) = self.centroids.iter().position(|c| !c.is_finite()) {
+            return Err(format!("centroid {i} is non-finite"));
+        }
+        Ok(())
     }
 }
 
@@ -197,8 +227,7 @@ impl AdKmn {
             let mut region_tuples: Vec<Vec<RawTuple>> = Vec::with_capacity(members.len());
             for m in &members {
                 let region: Vec<RawTuple> = m.iter().map(|&i| tuples[i]).collect();
-                let model = RegionModel::fit(&region, &cfg.fit)
-                    .unwrap_or(RegionModel::Mean(0.0));
+                let model = RegionModel::fit(&region, &cfg.fit).unwrap_or(RegionModel::Mean(0.0));
                 let error = model.approximation_error(&region, pollutant);
                 models.push(model);
                 errors.push(error);
@@ -214,8 +243,7 @@ impl AdKmn {
                 })
                 .collect();
             let converged = violators.is_empty();
-            let capped = clustering.centroids.len() >= cfg.max_models
-                || rounds >= cfg.max_rounds;
+            let capped = clustering.centroids.len() >= cfg.max_models || rounds >= cfg.max_rounds;
             if converged || capped {
                 let mut result = AdKmnResult {
                     centroids: clustering.centroids,
@@ -228,6 +256,7 @@ impl AdKmn {
                 if cfg.merge_after_converge {
                     merge_regions(&mut result, tuples, pollutant, cfg);
                 }
+                debug_assert_eq!(result.check_invariants(), Ok(()));
                 return result;
             }
 
@@ -465,7 +494,8 @@ mod tests {
                 let x = (i % 20) as f64 * 100.0;
                 let y = (i / 20) as f64 * 100.0;
                 // Non-linear surface: a paraboloid no single plane fits.
-                let v = 400.0 + 0.0003 * (x - 1000.0).powi(2) / 10.0
+                let v = 400.0
+                    + 0.0003 * (x - 1000.0).powi(2) / 10.0
                     + 0.0002 * (y - 500.0).powi(2) / 10.0;
                 tup(i, x, y, v)
             })
@@ -522,7 +552,14 @@ mod tests {
             ..AdKmnConfig::default()
         };
         let noisy: Vec<RawTuple> = (0..100)
-            .map(|i| tup(i, (i * 37 % 100) as f64, (i * 53 % 100) as f64, (i * 91 % 700) as f64))
+            .map(|i| {
+                tup(
+                    i,
+                    (i * 37 % 100) as f64,
+                    (i * 53 % 100) as f64,
+                    (i * 91 % 700) as f64,
+                )
+            })
             .collect();
         let r = AdKmn::new(cfg).run(&noisy, Pollutant::Co2);
         assert!(r.rounds <= 2);
@@ -587,7 +624,12 @@ mod tests {
         // no additional splits and the same model count.
         let warm = adkmn.run_seeded(&data, Pollutant::Co2, &cold.centroids);
         assert!(warm.converged);
-        assert!(warm.rounds <= cold.rounds, "warm {} vs cold {}", warm.rounds, cold.rounds);
+        assert!(
+            warm.rounds <= cold.rounds,
+            "warm {} vs cold {}",
+            warm.rounds,
+            cold.rounds
+        );
         assert_eq!(warm.model_count(), cold.model_count());
     }
 
@@ -623,8 +665,8 @@ mod tests {
             .map(|i| Point::new((i % 4) as f64 * 300.0, (i / 4) as f64 * 300.0))
             .collect();
         let merged = adkmn.run_seeded(&tuples, Pollutant::Co2, &seeds);
-        let unmerged = AdKmn::new(AdKmnConfig::default())
-            .run_seeded(&tuples, Pollutant::Co2, &seeds);
+        let unmerged =
+            AdKmn::new(AdKmnConfig::default()).run_seeded(&tuples, Pollutant::Co2, &seeds);
         assert!(
             merged.model_count() < unmerged.model_count(),
             "merged {} vs unmerged {}",
@@ -642,9 +684,7 @@ mod tests {
             ..AdKmnConfig::default()
         };
         let data = two_regime_data();
-        let seeds: Vec<Point> = (0..10)
-            .map(|i| Point::new(i as f64 * 600.0, 0.0))
-            .collect();
+        let seeds: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 600.0, 0.0)).collect();
         let r = AdKmn::new(cfg).run_seeded(&data, Pollutant::Co2, &seeds);
         assert_eq!(r.centroids.len(), r.models.len());
         assert_eq!(r.centroids.len(), r.errors.len());
@@ -671,7 +711,9 @@ mod tests {
         // All tuples at one position with wildly different values: error can
         // never meet τ, but the region has no second distinct position, so
         // Ad-KMN must detect it cannot split and stop.
-        let tuples: Vec<RawTuple> = (0..20).map(|i| tup(i, 1.0, 1.0, (i * 500) as f64)).collect();
+        let tuples: Vec<RawTuple> = (0..20)
+            .map(|i| tup(i, 1.0, 1.0, (i * 500) as f64))
+            .collect();
         let r = AdKmn::new(AdKmnConfig::default()).run(&tuples, Pollutant::Co2);
         assert!(r.rounds <= 1);
         assert!(r.converged); // no *splittable* violator remains

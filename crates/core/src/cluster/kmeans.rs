@@ -155,7 +155,10 @@ pub fn nearest_centroid(centroids: &[Point], p: &Point) -> usize {
 }
 
 fn assign(points: &[Point], centroids: &[Point]) -> Vec<usize> {
-    points.iter().map(|p| nearest_centroid(centroids, p)).collect()
+    points
+        .iter()
+        .map(|p| nearest_centroid(centroids, p))
+        .collect()
 }
 
 /// k-means++ seeding: first centroid uniform, then each next centroid drawn

@@ -95,12 +95,57 @@ impl ModelCover {
             .map(|r| r.training_error_percent)
             .fold(0.0, f64::max)
     }
+
+    /// Verifies the cover's semantic invariants, returning the first
+    /// violation found.
+    ///
+    /// A cover is what phones cache and query, so a malformed one must be
+    /// caught at the factory ([`CoverBuilder`] checks this in debug
+    /// builds), not discovered as NaN interpolations in the field:
+    /// * every centroid is finite (a NaN centroid wins no nearest-centroid
+    ///   comparison and silently shadows its cell);
+    /// * every model satisfies its own numeric invariants (see
+    ///   [`crate::model::LinearModel::check_invariants`]);
+    /// * every region was trained on at least one tuple (empty Voronoi
+    ///   cells are dropped at assembly);
+    /// * training errors are finite and non-negative.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, region) in self.regions.iter().enumerate() {
+            if !region.centroid.is_finite() {
+                return Err(format!("region {i}: non-finite centroid"));
+            }
+            match &region.model {
+                RegionModel::Mean(v) if !v.is_finite() => {
+                    return Err(format!("region {i}: non-finite mean model"));
+                }
+                RegionModel::Mean(_) => {}
+                RegionModel::Linear(m) => {
+                    m.check_invariants()
+                        .map_err(|e| format!("region {i}: {e}"))?;
+                }
+            }
+            if region.population == 0 {
+                return Err(format!("region {i}: no training tuples"));
+            }
+            if !region.training_error_percent.is_finite() || region.training_error_percent < 0.0 {
+                return Err(format!(
+                    "region {i}: bad training error {}",
+                    region.training_error_percent
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl DeepSize for ModelCover {
     fn heap_size(&self) -> usize {
         self.regions.capacity() * std::mem::size_of::<CoverRegion>()
-            + self.regions.iter().map(|r| r.model.heap_size()).sum::<usize>()
+            + self
+                .regions
+                .iter()
+                .map(|r| r.model.heap_size())
+                .sum::<usize>()
     }
 }
 
@@ -142,8 +187,7 @@ impl CoverBuilder {
         pollutant: Pollutant,
         previous: &ModelCover,
     ) -> ModelCover {
-        let seeds: Vec<enviro_geo::Point> =
-            previous.regions.iter().map(|r| r.centroid).collect();
+        let seeds: Vec<enviro_geo::Point> = previous.regions.iter().map(|r| r.centroid).collect();
         let result = self.adkmn.run_seeded(window.tuples, pollutant, &seeds);
         self.assemble(window, pollutant, result)
     }
@@ -172,12 +216,14 @@ impl CoverBuilder {
                 population: pop,
             })
             .collect();
-        ModelCover {
+        let cover = ModelCover {
             pollutant,
             window_id: window.id,
             valid_until: window.valid_until,
             regions,
-        }
+        };
+        debug_assert_eq!(cover.check_invariants(), Ok(()));
+        cover
     }
 }
 

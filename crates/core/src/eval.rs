@@ -107,11 +107,8 @@ mod tests {
 
     #[test]
     fn report_counts_answered() {
-        let r = AccuracyReport::from_predictions(vec![
-            (Some(1.0), 1.0),
-            (None, 2.0),
-            (Some(3.5), 3.0),
-        ]);
+        let r =
+            AccuracyReport::from_predictions(vec![(Some(1.0), 1.0), (None, 2.0), (Some(3.5), 3.0)]);
         assert_eq!(r.total, 3);
         assert_eq!(r.answered, 2);
         assert!((r.coverage() - 2.0 / 3.0).abs() < 1e-12);

@@ -43,12 +43,7 @@ impl HeatmapBuilder {
     /// Evaluates `cover` over `extent` at time `t`.
     ///
     /// Returns `None` for an empty cover (nothing to render).
-    pub fn build(
-        &self,
-        cover: &ModelCover,
-        extent: BoundingBox,
-        t: Timestamp,
-    ) -> Option<Heatmap> {
+    pub fn build(&self, cover: &ModelCover, extent: BoundingBox, t: Timestamp) -> Option<Heatmap> {
         if cover.is_empty() || extent.is_empty() {
             return None;
         }
@@ -121,9 +116,7 @@ impl Heatmap {
         out.reserve(self.values.len() * 3);
         for row in (0..h).rev() {
             for col in 0..w {
-                let idx = self
-                    .grid
-                    .flat_index(enviro_geo::CellId::new(col, row));
+                let idx = self.grid.flat_index(enviro_geo::CellId::new(col, row));
                 let (r, g, b) = self.color_of(self.values[idx]);
                 out.extend_from_slice(&[r, g, b]);
             }
@@ -165,11 +158,7 @@ mod tests {
             .map(|i| {
                 let x = (i % 10) as f64 * 100.0;
                 let y = (i / 10) as f64 * 100.0;
-                RawTuple::new(
-                    Timestamp::from_secs(i),
-                    Point::new(x, y),
-                    400.0 + 0.5 * x,
-                )
+                RawTuple::new(Timestamp::from_secs(i), Point::new(x, y), 400.0 + 0.5 * x)
             })
             .collect();
         let ds = Dataset::from_tuples(Pollutant::Co2, tuples).unwrap();

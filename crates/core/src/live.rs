@@ -146,10 +146,9 @@ impl LiveEngine {
     pub fn ingest(&mut self, tuple: RawTuple) {
         assert!(tuple.is_finite(), "cannot ingest a non-finite tuple");
         let id = self.window_id_of(tuple.time);
-        if let (Some(retention), Some((&newest, _))) = (
-            self.config.retention_windows,
-            self.windows.last_key_value(),
-        ) {
+        if let (Some(retention), Some((&newest, _))) =
+            (self.config.retention_windows, self.windows.last_key_value())
+        {
             if newest.saturating_sub(id) > retention {
                 return; // beyond the horizon; nothing would ever query it
             }
@@ -273,11 +272,7 @@ impl LiveEngine {
             return;
         };
         let horizon = newest.saturating_sub(retention);
-        let evict: Vec<u64> = self
-            .windows
-            .range(..horizon)
-            .map(|(&k, _)| k)
-            .collect();
+        let evict: Vec<u64> = self.windows.range(..horizon).map(|(&k, _)| k).collect();
         for id in evict {
             self.windows.remove(&id);
             self.stats.windows_evicted += 1;
@@ -318,7 +313,10 @@ mod tests {
             e.ingest(tup(i, i as f64 * 10.0, 400.0 + i as f64));
         }
         let v = e
-            .query(&QueryTuple::new(Timestamp::from_secs(10), Point::new(100.0, 0.0)))
+            .query(&QueryTuple::new(
+                Timestamp::from_secs(10),
+                Point::new(100.0, 0.0),
+            ))
             .unwrap();
         assert!((350.0..500.0).contains(&v), "{v}");
         assert_eq!(e.window_count(), 1);

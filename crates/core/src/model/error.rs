@@ -29,7 +29,11 @@ impl ApproximationError {
             sum_abs += (pred - actual).abs();
             count += 1;
         }
-        let mean_abs = if count == 0 { 0.0 } else { sum_abs / count as f64 };
+        let mean_abs = if count == 0 {
+            0.0
+        } else {
+            sum_abs / count as f64
+        };
         let percent = mean_abs / pollutant.normal_range_width() * 100.0;
         Self {
             mean_abs,

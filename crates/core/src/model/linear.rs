@@ -109,11 +109,7 @@ impl LinearModel {
         };
         let sx = spread(&|t| t.pos.x, cx, config.min_spatial_spread_m);
         let sy = spread(&|t| t.pos.y, cy, config.min_spatial_spread_m);
-        let st = spread(
-            &|t| t.time.as_secs_f64(),
-            ct,
-            config.min_time_spread_s,
-        );
+        let st = spread(&|t| t.time.as_secs_f64(), ct, config.min_time_spread_s);
 
         let mut design = Vec::with_capacity(n * 4);
         for t in tuples {
@@ -177,6 +173,31 @@ impl LinearModel {
             self.value_range.0,
             self.value_range.1,
         ]
+    }
+
+    /// Verifies the model's numeric invariants, returning the first
+    /// violation found:
+    /// * `beta` and `center` are finite;
+    /// * scales are positive, and either finite or the `INFINITY`
+    ///   degenerate-dimension sentinel (never NaN);
+    /// * the value range is finite and ordered.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if !self.beta.iter().all(|b| b.is_finite()) {
+            return Err(format!("non-finite beta {:?}", self.beta));
+        }
+        let (cx, cy, ct) = self.center;
+        if !(cx.is_finite() && cy.is_finite() && ct.is_finite()) {
+            return Err(format!("non-finite center {:?}", self.center));
+        }
+        let (sx, sy, st) = self.scale;
+        if !(sx > 0.0 && sy > 0.0 && st > 0.0) {
+            return Err(format!("non-positive or NaN scale {:?}", self.scale));
+        }
+        let (lo, hi) = self.value_range;
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(format!("bad value range {:?}", self.value_range));
+        }
+        Ok(())
     }
 
     /// Reconstructs a model from wire coefficients.

@@ -164,7 +164,7 @@ mod tests {
     fn approximation_error_scales_with_normal_range() {
         let m = RegionModel::Mean(0.0);
         let tuples = [tup(0, 0.0, 0.0, 11.5)]; // |err| = 11.5
-        // CO2 normal range width = 1150 → 1 %.
+                                               // CO2 normal range width = 1150 → 1 %.
         let err = m.approximation_error(&tuples, Pollutant::Co2);
         assert!((err.percent() - 1.0).abs() < 1e-9);
     }

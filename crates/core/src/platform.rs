@@ -27,12 +27,7 @@ impl EnviroMeter {
     /// * `spec` — how tuples are windowed for model learning.
     /// * `adkmn` — the adaptive-modeling configuration (τ_n etc.).
     /// * `radius` — the radius `r` used by the raw-data query methods.
-    pub fn new(
-        dataset: Dataset,
-        spec: WindowSpec,
-        adkmn: AdKmnConfig,
-        radius: f64,
-    ) -> Self {
+    pub fn new(dataset: Dataset, spec: WindowSpec, adkmn: AdKmnConfig, radius: f64) -> Self {
         let extent = dataset.bounds();
         Self {
             engine: QueryEngine::new(dataset, spec, adkmn, radius),

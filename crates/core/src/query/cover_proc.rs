@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn method_tag() {
         let cover = cover_over_plane();
-        assert_eq!(CoverProcessor::new(&cover).method(), QueryMethod::ModelCover);
+        assert_eq!(
+            CoverProcessor::new(&cover).method(),
+            QueryMethod::ModelCover
+        );
     }
 
     #[test]

@@ -52,12 +52,7 @@ fn kind_slot(kind: IndexKind) -> usize {
 impl QueryEngine {
     /// Creates an engine over `dataset` with the given windowing, Ad-KMN
     /// configuration and raw-data query radius `radius` (meters).
-    pub fn new(
-        dataset: Dataset,
-        spec: WindowSpec,
-        adkmn: AdKmnConfig,
-        radius: f64,
-    ) -> Self {
+    pub fn new(dataset: Dataset, spec: WindowSpec, adkmn: AdKmnConfig, radius: f64) -> Self {
         assert!(radius >= 0.0, "radius must be non-negative");
         let mut windows = Vec::new();
         let mut offset = 0usize;
@@ -73,7 +68,14 @@ impl QueryEngine {
         }
         let covers = (0..windows.len()).map(|_| OnceLock::new()).collect();
         let indexes = (0..windows.len())
-            .map(|_| [OnceLock::new(), OnceLock::new(), OnceLock::new(), OnceLock::new()])
+            .map(|_| {
+                [
+                    OnceLock::new(),
+                    OnceLock::new(),
+                    OnceLock::new(),
+                    OnceLock::new(),
+                ]
+            })
             .collect();
         let idw = (0..windows.len()).map(|_| OnceLock::new()).collect();
         Self {
@@ -153,16 +155,14 @@ impl QueryEngine {
 
     /// The indexed processor of `kind` for window `idx`, cached.
     pub fn indexed(&self, idx: usize, kind: IndexKind) -> &IndexedProcessor {
-        self.indexes[idx][kind_slot(kind)].get_or_init(|| {
-            IndexedProcessor::build(kind, self.window_tuples(idx), self.radius)
-        })
+        self.indexes[idx][kind_slot(kind)]
+            .get_or_init(|| IndexedProcessor::build(kind, self.window_tuples(idx), self.radius))
     }
 
     /// The IDW processor for window `idx`, cached.
     pub fn idw(&self, idx: usize) -> &IdwProcessor {
-        self.idw[idx].get_or_init(|| {
-            IdwProcessor::build(self.window_tuples(idx), IdwConfig::default())
-        })
+        self.idw[idx]
+            .get_or_init(|| IdwProcessor::build(self.window_tuples(idx), IdwConfig::default()))
     }
 
     /// Eagerly builds every per-window structure for `method`, so that a
@@ -246,9 +246,7 @@ impl QueryEngine {
             QueryMethod::KdTree => self.indexed(idx, IndexKind::KdTree).interpolate(q),
             QueryMethod::Grid => self.indexed(idx, IndexKind::Grid).interpolate(q),
             QueryMethod::Idw => self.idw(idx).interpolate(q),
-            QueryMethod::ModelCover => {
-                CoverProcessor::new(self.cover(idx)).interpolate(q)
-            }
+            QueryMethod::ModelCover => CoverProcessor::new(self.cover(idx)).interpolate(q),
         }
     }
 
@@ -310,15 +308,9 @@ mod tests {
             Some(1)
         );
         // Far future → last window.
-        assert_eq!(
-            engine.window_index_for(Timestamp::from_days(40)),
-            Some(3)
-        );
+        assert_eq!(engine.window_index_for(Timestamp::from_days(40)), Some(3));
         // Before epoch → first window.
-        assert_eq!(
-            engine.window_index_for(Timestamp::from_secs(-5)),
-            Some(0)
-        );
+        assert_eq!(engine.window_index_for(Timestamp::from_secs(-5)), Some(0));
     }
 
     #[test]

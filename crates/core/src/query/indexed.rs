@@ -136,7 +136,10 @@ mod tests {
             .map(|i| {
                 RawTuple::new(
                     Timestamp::from_secs(i as i64),
-                    Point::new(rng.gen_range(-2000.0..2000.0), rng.gen_range(-2000.0..2000.0)),
+                    Point::new(
+                        rng.gen_range(-2000.0..2000.0),
+                        rng.gen_range(-2000.0..2000.0),
+                    ),
                     rng.gen_range(300.0..900.0),
                 )
             })

@@ -71,7 +71,11 @@ mod tests {
 
     #[test]
     fn averages_tuples_in_radius() {
-        let tuples = [tup(0.0, 0.0, 10.0), tup(5.0, 0.0, 20.0), tup(100.0, 0.0, 99.0)];
+        let tuples = [
+            tup(0.0, 0.0, 10.0),
+            tup(5.0, 0.0, 20.0),
+            tup(100.0, 0.0, 99.0),
+        ];
         let p = NaiveProcessor::new(&tuples, 10.0);
         assert_eq!(p.interpolate(&q(0.0, 0.0)), Some(15.0));
     }

@@ -77,10 +77,7 @@ impl Route {
     pub fn marker_colors(&self) -> Vec<Option<(u8, u8, u8)>> {
         self.points
             .iter()
-            .map(|p| {
-                p.value
-                    .map(|v| self.pollutant.classify(v).color())
-            })
+            .map(|p| p.value.map(|v| self.pollutant.classify(v).color()))
             .collect()
     }
 

@@ -2,6 +2,10 @@
 //! like, the structural invariants of clustering, covers and query
 //! processing must hold.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{Pollutant, QueryTuple, RawTuple, Timestamp, Window};
 use enviro_geo::Point;
 use enviro_meter::{
@@ -12,7 +16,12 @@ use proptest::prelude::*;
 
 fn arb_tuples(max: usize) -> impl Strategy<Value = Vec<RawTuple>> {
     prop::collection::vec(
-        (0i64..100_000, -5_000.0..5_000.0f64, -5_000.0..5_000.0f64, 100.0..2_000.0f64),
+        (
+            0i64..100_000,
+            -5_000.0..5_000.0f64,
+            -5_000.0..5_000.0f64,
+            100.0..2_000.0f64,
+        ),
         0..max,
     )
     .prop_map(|v| {

@@ -78,12 +78,10 @@ pub fn read_csv<R: Read>(pollutant: Pollutant, r: R) -> Result<Dataset, CsvError
     let reader = BufReader::new(r);
     let mut tuples = Vec::new();
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or(CsvError::Parse {
-            line: 1,
-            message: "empty input (missing header)".into(),
-        })??;
+    let header = lines.next().ok_or(CsvError::Parse {
+        line: 1,
+        message: "empty input (missing header)".into(),
+    })??;
     if header.trim() != HEADER {
         return Err(CsvError::Parse {
             line: 1,
@@ -120,10 +118,7 @@ pub fn read_csv<R: Read>(pollutant: Pollutant, r: R) -> Result<Dataset, CsvError
             value,
         ));
     }
-    Dataset::from_tuples(pollutant, tuples).map_err(|message| CsvError::Parse {
-        line: 0,
-        message,
-    })
+    Dataset::from_tuples(pollutant, tuples).map_err(|message| CsvError::Parse { line: 0, message })
 }
 
 fn parse<T: std::str::FromStr>(s: &str, name: &str, line: usize) -> Result<T, CsvError> {

@@ -44,10 +44,7 @@ impl Dataset {
     ///
     /// Non-finite tuples are rejected with an error naming the offending
     /// index — GPS glitches and sensor dropouts must be cleaned upstream.
-    pub fn from_tuples(
-        pollutant: Pollutant,
-        mut tuples: Vec<RawTuple>,
-    ) -> Result<Self, String> {
+    pub fn from_tuples(pollutant: Pollutant, mut tuples: Vec<RawTuple>) -> Result<Self, String> {
         for (i, t) in tuples.iter().enumerate() {
             if !t.is_finite() {
                 return Err(format!("tuple {i} has non-finite position or value"));
@@ -210,11 +207,8 @@ mod tests {
 
     #[test]
     fn time_span_and_bounds() {
-        let ds = Dataset::from_tuples(
-            Pollutant::Co2,
-            vec![tup(10, -5.0, 1.0), tup(50, 7.0, 2.0)],
-        )
-        .unwrap();
+        let ds = Dataset::from_tuples(Pollutant::Co2, vec![tup(10, -5.0, 1.0), tup(50, 7.0, 2.0)])
+            .unwrap();
         let (a, b) = ds.time_span().unwrap();
         assert_eq!((a.as_secs(), b.as_secs()), (10, 50));
         let bb = ds.bounds();
@@ -262,8 +256,7 @@ mod tests {
 
     #[test]
     fn slice_time_range_empty_when_no_overlap() {
-        let ds =
-            Dataset::from_tuples(Pollutant::Co2, vec![tup(10, 0.0, 1.0)]).unwrap();
+        let ds = Dataset::from_tuples(Pollutant::Co2, vec![tup(10, 0.0, 1.0)]).unwrap();
         assert!(ds
             .slice_time_range(Timestamp::from_secs(100), Timestamp::from_secs(200))
             .is_empty());

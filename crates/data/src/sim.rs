@@ -34,7 +34,11 @@ impl BusLine {
         let travelled = self.speed_mps * t.as_secs_f64().max(0.0);
         // Fold the distance onto [0, 2·len) and reflect the second half.
         let cycle = travelled.rem_euclid(2.0 * len);
-        let s = if cycle <= len { cycle } else { 2.0 * len - cycle };
+        let s = if cycle <= len {
+            cycle
+        } else {
+            2.0 * len - cycle
+        };
         self.route.point_at(s)
     }
 }
@@ -214,7 +218,11 @@ impl LausanneSim {
         let t0 = rng.gen_range(0..self.config.duration_secs.max(2) / 2);
         (0..n)
             .map(|i| {
-                let frac = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+                let frac = if n == 1 {
+                    0.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
                 QueryTuple::new(
                     Timestamp::from_secs(t0 + i as i64 * interval_secs),
                     a.lerp(&b, frac),
@@ -372,17 +380,32 @@ mod tests {
             route: Polyline::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]),
             speed_mps: 10.0,
         };
-        assert_eq!(line.position_at(Timestamp::from_secs(0)), Point::new(0.0, 0.0));
-        assert_eq!(line.position_at(Timestamp::from_secs(5)), Point::new(50.0, 0.0));
+        assert_eq!(
+            line.position_at(Timestamp::from_secs(0)),
+            Point::new(0.0, 0.0)
+        );
+        assert_eq!(
+            line.position_at(Timestamp::from_secs(5)),
+            Point::new(50.0, 0.0)
+        );
         assert_eq!(
             line.position_at(Timestamp::from_secs(10)),
             Point::new(100.0, 0.0)
         );
         // After the terminus the bus heads back.
-        assert_eq!(line.position_at(Timestamp::from_secs(15)), Point::new(50.0, 0.0));
-        assert_eq!(line.position_at(Timestamp::from_secs(20)), Point::new(0.0, 0.0));
+        assert_eq!(
+            line.position_at(Timestamp::from_secs(15)),
+            Point::new(50.0, 0.0)
+        );
+        assert_eq!(
+            line.position_at(Timestamp::from_secs(20)),
+            Point::new(0.0, 0.0)
+        );
         // Full cycle repeats.
-        assert_eq!(line.position_at(Timestamp::from_secs(25)), Point::new(50.0, 0.0));
+        assert_eq!(
+            line.position_at(Timestamp::from_secs(25)),
+            Point::new(50.0, 0.0)
+        );
     }
 
     #[test]
@@ -464,7 +487,10 @@ mod tests {
     #[test]
     fn query_workload_deterministic() {
         let sim = LausanneSim::lausanne(small_config(5));
-        assert_eq!(sim.query_workload(50, 100.0, 1), sim.query_workload(50, 100.0, 1));
+        assert_eq!(
+            sim.query_workload(50, 100.0, 1),
+            sim.query_workload(50, 100.0, 1)
+        );
     }
 
     #[test]
@@ -510,8 +536,7 @@ mod tests {
         let co = LausanneSim::lausanne_for(Pollutant::Co, small_config(32));
         let pm = LausanneSim::lausanne_for(Pollutant::Pm25, small_config(32));
         let ratio = co.config().sensor_noise_std / pm.config().sensor_noise_std;
-        let expected =
-            Pollutant::Co.normal_range_width() / Pollutant::Pm25.normal_range_width();
+        let expected = Pollutant::Co.normal_range_width() / Pollutant::Pm25.normal_range_width();
         assert!((ratio - expected).abs() < 1e-9);
     }
 

@@ -29,9 +29,7 @@ impl WindowSpec {
     pub fn window_id_at(&self, time: Timestamp) -> Option<u64> {
         match self {
             WindowSpec::ByCount(_) => None,
-            WindowSpec::ByDuration(secs) => {
-                Some(time.as_secs().div_euclid(*secs) as u64)
-            }
+            WindowSpec::ByDuration(secs) => Some(time.as_secs().div_euclid(*secs) as u64),
         }
     }
 }
@@ -193,7 +191,9 @@ mod tests {
     #[test]
     fn by_count_covers_every_tuple_once() {
         let d = ds(&[1, 2, 3, 4, 5, 6, 7]);
-        let total: usize = Windows::new(&d, WindowSpec::ByCount(3)).map(|w| w.len()).sum();
+        let total: usize = Windows::new(&d, WindowSpec::ByCount(3))
+            .map(|w| w.len())
+            .sum();
         assert_eq!(total, d.len());
     }
 

@@ -1,24 +1,24 @@
 //! Property tests for the window decomposition `W_c`: every tuple lands in
 //! exactly one window, in order, under both specs.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{Dataset, Pollutant, RawTuple, Timestamp, WindowSpec, Windows};
 use enviro_geo::Point;
 use proptest::prelude::*;
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    prop::collection::vec((0i64..1_000_000, -1e4..1e4f64, 0.0..2_000.0f64), 0..200).prop_map(
-        |v| {
-            Dataset::from_tuples(
-                Pollutant::Co2,
-                v.into_iter()
-                    .map(|(t, x, s)| {
-                        RawTuple::new(Timestamp::from_secs(t), Point::new(x, -x), s)
-                    })
-                    .collect(),
-            )
-            .expect("finite tuples")
-        },
-    )
+    prop::collection::vec((0i64..1_000_000, -1e4..1e4f64, 0.0..2_000.0f64), 0..200).prop_map(|v| {
+        Dataset::from_tuples(
+            Pollutant::Co2,
+            v.into_iter()
+                .map(|(t, x, s)| RawTuple::new(Timestamp::from_secs(t), Point::new(x, -x), s))
+                .collect(),
+        )
+        .expect("finite tuples")
+    })
 }
 
 proptest! {

@@ -159,8 +159,7 @@ impl Grid {
         let c1 = (((hi_x - self.extent.min.x) / self.cell_w) as u32).min(self.cols - 1);
         let r0 = (((lo_y - self.extent.min.y) / self.cell_h) as u32).min(self.rows - 1);
         let r1 = (((hi_y - self.extent.min.y) / self.cell_h) as u32).min(self.rows - 1);
-        let mut out =
-            Vec::with_capacity(((c1 - c0 + 1) as usize) * ((r1 - r0 + 1) as usize));
+        let mut out = Vec::with_capacity(((c1 - c0 + 1) as usize) * ((r1 - r0 + 1) as usize));
         for row in r0..=r1 {
             for col in c0..=c1 {
                 let cell = CellId::new(col, row);
@@ -266,7 +265,9 @@ mod tests {
     #[test]
     fn cells_in_radius_far_outside_is_empty() {
         let g = grid_10x10();
-        assert!(g.cells_in_radius(&Point::new(500.0, 500.0), 10.0).is_empty());
+        assert!(g
+            .cells_in_radius(&Point::new(500.0, 500.0), 10.0)
+            .is_empty());
     }
 
     #[test]

@@ -41,8 +41,7 @@ impl DeepSize for Grid {
 impl DeepSize for Polyline {
     fn heap_size(&self) -> usize {
         // Vertices plus the cumulative-length table (same length).
-        std::mem::size_of_val(self.vertices())
-            + self.vertices().len() * std::mem::size_of::<f64>()
+        std::mem::size_of_val(self.vertices()) + self.vertices().len() * std::mem::size_of::<f64>()
     }
 }
 

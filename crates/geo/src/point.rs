@@ -131,8 +131,7 @@ impl GeoPoint {
         let lat2 = other.lat.to_radians();
         let dlat = (other.lat - self.lat).to_radians();
         let dlon = (other.lon - self.lon).to_radians();
-        let a = (dlat * 0.5).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon * 0.5).sin().powi(2);
+        let a = (dlat * 0.5).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon * 0.5).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
     }
 }

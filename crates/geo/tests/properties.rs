@@ -1,5 +1,9 @@
 //! Property-based tests for the geometric primitives.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_geo::{BoundingBox, GeoPoint, Grid, LocalProjection, Point, Polyline};
 use proptest::prelude::*;
 

@@ -104,9 +104,7 @@ impl SpatialIndex for GridIndex {
                 let mut nn = brute_force_nearest(&hits, center, k);
                 // A hit set of >= k within `radius` is definitive only if
                 // the k-th distance is <= radius; otherwise widen once more.
-                if nn.len() >= k
-                    && nn.last().expect("len >= k >= 1").distance <= radius
-                {
+                if nn.len() >= k && nn.last().expect("len >= k >= 1").distance <= radius {
                     nn.truncate(k);
                     return nn;
                 }

@@ -51,7 +51,9 @@ impl KdTree {
             "cannot index non-finite positions"
         );
         build_rec(&mut entries, 0);
-        Self { entries }
+        let tree = Self { entries };
+        debug_assert_eq!(tree.check_invariants(), Ok(()));
+        tree
     }
 
     /// Tree height: `ceil(log2(n + 1))` by construction (0 when empty).
@@ -119,14 +121,7 @@ impl SpatialIndex for KdTree {
                 rec(&entries[mid + 1..], depth + 1, center, radius, r2, visit);
             }
         }
-        rec(
-            &self.entries,
-            0,
-            center,
-            radius,
-            radius * radius,
-            visit,
-        );
+        rec(&self.entries, 0, center, radius, radius * radius, visit);
     }
 
     fn nearest(&self, center: &Point, k: usize) -> Vec<Neighbor> {
@@ -158,7 +153,13 @@ impl SpatialIndex for KdTree {
             }
         }
 
-        fn rec(entries: &[Entry], depth: usize, center: &Point, k: usize, heap: &mut BinaryHeap<Cand>) {
+        fn rec(
+            entries: &[Entry],
+            depth: usize,
+            center: &Point,
+            k: usize,
+            heap: &mut BinaryHeap<Cand>,
+        ) {
             if entries.is_empty() {
                 return;
             }

@@ -70,9 +70,7 @@ impl Node {
     fn depth(&self) -> usize {
         match self {
             Node::Leaf { .. } => 1,
-            Node::Inner { children, .. } => {
-                1 + children.first().map_or(0, Node::depth)
-            }
+            Node::Inner { children, .. } => 1 + children.first().map_or(0, Node::depth),
         }
     }
 }
@@ -117,6 +115,7 @@ impl RTree {
             leaves = str_pack_inner(leaves, max_entries);
         }
         tree.root = leaves.pop();
+        debug_assert_eq!(tree.check_invariants(), Ok(()));
         tree
     }
 
@@ -163,6 +162,7 @@ impl RTree {
                 }
             }
         }
+        debug_assert_eq!(self.check_invariants(), Ok(()));
     }
 
     /// Collects every entry whose position lies inside `query` (inclusive).
@@ -311,13 +311,7 @@ fn range_rec(node: &Node, query: &BoundingBox, out: &mut Vec<Entry>) {
     }
 }
 
-fn radius_rec(
-    node: &Node,
-    center: &Point,
-    radius: f64,
-    r2: f64,
-    visit: &mut dyn FnMut(&Entry),
-) {
+fn radius_rec(node: &Node, center: &Point, radius: f64, r2: f64, visit: &mut dyn FnMut(&Entry)) {
     if !node.bbox().intersects_circle(center, radius) {
         return;
     }
@@ -365,14 +359,12 @@ fn insert_rec(node: &mut Node, entry: Entry, max: usize, min: usize) -> Option<N
                 .min_by(|(_, a), (_, b)| {
                     let ea = a.bbox().enlargement(entry.pos);
                     let eb = b.bbox().enlargement(entry.pos);
-                    ea.partial_cmp(&eb)
-                        .expect("finite")
-                        .then(
-                            a.bbox()
-                                .area()
-                                .partial_cmp(&b.bbox().area())
-                                .expect("finite"),
-                        )
+                    ea.partial_cmp(&eb).expect("finite").then(
+                        a.bbox()
+                            .area()
+                            .partial_cmp(&b.bbox().area())
+                            .expect("finite"),
+                    )
                 })
                 .map(|(i, _)| i)
                 .expect("inner nodes are never empty");
@@ -402,11 +394,7 @@ fn quadratic_split_entries(
     entries: Vec<Entry>,
     min: usize,
 ) -> ((BoundingBox, Vec<Entry>), (BoundingBox, Vec<Entry>)) {
-    split_generic(
-        entries,
-        min,
-        |e| BoundingBox::from_point(e.pos),
-    )
+    split_generic(entries, min, |e| BoundingBox::from_point(e.pos))
 }
 
 /// Guttman's quadratic split over inner-node children.
@@ -592,9 +580,7 @@ impl enviro_memsize::DeepSize for RTree {
     fn heap_size(&self) -> usize {
         fn node_heap(node: &Node) -> usize {
             match node {
-                Node::Leaf { entries, .. } => {
-                    entries.capacity() * std::mem::size_of::<Entry>()
-                }
+                Node::Leaf { entries, .. } => entries.capacity() * std::mem::size_of::<Entry>(),
                 Node::Inner { children, .. } => {
                     children.capacity() * std::mem::size_of::<Node>()
                         + children.iter().map(node_heap).sum::<usize>()
@@ -619,7 +605,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 Entry::new(
-                    Point::new(rng.gen_range(-1000.0..1000.0), rng.gen_range(-1000.0..1000.0)),
+                    Point::new(
+                        rng.gen_range(-1000.0..1000.0),
+                        rng.gen_range(-1000.0..1000.0),
+                    ),
                     i as u32,
                 )
             })
@@ -688,7 +677,8 @@ mod tests {
             let entries = random_entries(n, 10 + n as u64);
             let t = RTree::bulk_load(entries.clone());
             assert_eq!(t.len(), n, "n={n}");
-            t.check_invariants().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
             let got = t.within_radius(&Point::origin(), 1e6);
             assert_eq!(got.len(), n);
         }
@@ -700,7 +690,11 @@ mod tests {
         let t = RTree::bulk_load(entries.clone());
         let q = BoundingBox::new(Point::new(-200.0, -300.0), Point::new(250.0, 100.0));
         let got = t.range(&q);
-        let want: Vec<Entry> = entries.iter().filter(|e| q.contains(&e.pos)).copied().collect();
+        let want: Vec<Entry> = entries
+            .iter()
+            .filter(|e| q.contains(&e.pos))
+            .copied()
+            .collect();
         assert_eq!(sorted_ids(&got), sorted_ids(&want));
     }
 

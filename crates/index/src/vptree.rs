@@ -61,7 +61,9 @@ impl VpTree {
         );
         let len = entries.len();
         let root = build_rec(&mut entries);
-        Self { root, len }
+        let tree = Self { root, len };
+        debug_assert_eq!(tree.check_invariants(), Ok(()));
+        tree
     }
 
     /// Tree height (0 when empty).
@@ -178,12 +180,7 @@ impl SpatialIndex for VpTree {
             }
         }
 
-        fn rec(
-            n: &Option<Box<VpNode>>,
-            center: &Point,
-            k: usize,
-            heap: &mut BinaryHeap<Cand>,
-        ) {
+        fn rec(n: &Option<Box<VpNode>>, center: &Point, k: usize, heap: &mut BinaryHeap<Cand>) {
             let Some(node) = n else { return };
             let d = node.vantage.pos.distance(center);
             if heap.len() < k {
@@ -192,9 +189,7 @@ impl SpatialIndex for VpTree {
                     entry: node.vantage,
                 });
             } else if let Some(top) = heap.peek() {
-                if d < top.distance
-                    || (d == top.distance && node.vantage.id < top.entry.id)
-                {
+                if d < top.distance || (d == top.distance && node.vantage.id < top.entry.id) {
                     heap.pop();
                     heap.push(Cand {
                         distance: d,
@@ -348,7 +343,8 @@ mod tests {
     fn invariants_hold_on_random_data() {
         for seed in 0..5 {
             let t = VpTree::build(random_entries(200, seed));
-            t.check_invariants().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

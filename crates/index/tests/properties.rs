@@ -1,9 +1,12 @@
 //! Property-based tests: every index must agree with the brute-force scan.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_geo::Point;
 use enviro_index::{
-    brute_force_nearest, brute_force_within, Entry, GridIndex, KdTree, RTree, SpatialIndex,
-    VpTree,
+    brute_force_nearest, brute_force_within, Entry, GridIndex, KdTree, RTree, SpatialIndex, VpTree,
 };
 use proptest::prelude::*;
 

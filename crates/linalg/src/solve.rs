@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn cholesky_dimension_mismatch() {
         let a = Matrix::identity(2);
-        assert_eq!(cholesky_solve(&a, &[1.0]), Err(LinalgError::DimensionMismatch));
+        assert_eq!(
+            cholesky_solve(&a, &[1.0]),
+            Err(LinalgError::DimensionMismatch)
+        );
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Property-based tests for the linear-algebra substrate.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_linalg::{cholesky_solve, gaussian_solve, lstsq_ridge, Matrix};
 use proptest::prelude::*;
 

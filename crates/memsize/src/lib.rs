@@ -13,6 +13,7 @@
 //! for it; the Figure 7(a) harness simply calls
 //! [`DeepSize::deep_size_of`] on the four representations.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
@@ -40,7 +41,25 @@ macro_rules! impl_flat {
     };
 }
 
-impl_flat!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ());
+impl_flat!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
 
 impl<T: DeepSize> DeepSize for Vec<T> {
     fn heap_size(&self) -> usize {

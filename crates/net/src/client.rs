@@ -18,7 +18,34 @@ pub struct SessionStats {
     pub elapsed_secs: f64,
     /// Number of server round-trips performed.
     pub server_exchanges: usize,
+    /// Number of [`Response::Error`] replies received. The session keeps
+    /// going (the affected tuples read as misses); a non-zero count flags
+    /// a protocol-level problem worth investigating.
+    pub protocol_errors: usize,
 }
+
+/// An error that ends a client session.
+///
+/// Note what is *not* here: a server-side [`Response::Error`] reply does
+/// not end the session — it is counted in
+/// [`SessionStats::protocol_errors`] and the session continues, because a
+/// mobile client must survive a flaky server. Only a reply the client
+/// cannot even decode is fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The server's reply bytes failed to decode.
+    BadReply(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::BadReply(m) => write!(f, "undecodable server reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
 
 /// The baseline technique: one server round-trip per query tuple — "simply
 /// responds to each query tuple with the interpolated sensor value ŝ_l,
@@ -40,37 +67,41 @@ impl<C: WireCodec> BaselineClient<C> {
         server: &EnviroServer<C>,
         trajectory: &[QueryTuple],
         link: &mut SimulatedLink,
-    ) -> SessionStats {
+    ) -> Result<SessionStats, ClientError> {
         let start = link.clock_secs();
         let mut values = Vec::with_capacity(trajectory.len());
         let mut exchanges = 0usize;
+        let mut protocol_errors = 0usize;
         for q in trajectory {
             let req = self.codec.encode_request(&Request::Query {
                 time: q.time,
                 pos: q.pos,
             });
-            let resp_bytes = server
-                .handle_bytes(&req)
-                .expect("server rejects its own codec's request");
+            let resp_bytes = server.handle_bytes(&req);
             link.exchange(req.len(), resp_bytes.len());
             exchanges += 1;
             let value = match self
                 .codec
                 .decode_response(&resp_bytes)
-                .expect("server sends well-formed responses")
+                .map_err(|e| ClientError::BadReply(e.to_string()))?
             {
                 Response::Value { value } => Some(value),
                 Response::NoData => None,
+                Response::Error(_) => {
+                    protocol_errors += 1;
+                    None
+                }
                 Response::Cover(_) => None, // protocol misuse; treat as miss
             };
             values.push(value);
         }
-        SessionStats {
+        Ok(SessionStats {
             values,
             usage: link.usage(),
             elapsed_secs: link.clock_secs() - start,
             server_exchanges: exchanges,
-        }
+            protocol_errors,
+        })
     }
 }
 
@@ -112,30 +143,26 @@ impl<C: WireCodec> ModelCacheClient<C> {
         server: &EnviroServer<C>,
         trajectory: &[QueryTuple],
         link: &mut SimulatedLink,
-    ) -> SessionStats {
+    ) -> Result<SessionStats, ClientError> {
         let start = link.clock_secs();
         let pollutant = server.platform().engine().dataset().pollutant();
         let mut values = Vec::with_capacity(trajectory.len());
         let mut exchanges = 0usize;
+        let mut protocol_errors = 0usize;
         for q in trajectory {
             // The §2.3 check: is the cached cover still valid at t_l?
-            let valid = self
-                .cached
-                .as_ref()
-                .is_some_and(|c| c.is_valid_at(q.time));
+            let valid = self.cached.as_ref().is_some_and(|c| c.is_valid_at(q.time));
             if !valid && !self.server_exhausted {
                 let req = self
                     .codec
                     .encode_request(&Request::ModelRequest { time: q.time });
-                let resp_bytes = server
-                    .handle_bytes(&req)
-                    .expect("server rejects its own codec's request");
+                let resp_bytes = server.handle_bytes(&req);
                 link.exchange(req.len(), resp_bytes.len());
                 exchanges += 1;
                 match self
                     .codec
                     .decode_response(&resp_bytes)
-                    .expect("server sends well-formed responses")
+                    .map_err(|e| ClientError::BadReply(e.to_string()))?
                 {
                     Response::Cover(wire) => {
                         let cover = wire.into_cover(pollutant);
@@ -143,6 +170,12 @@ impl<C: WireCodec> ModelCacheClient<C> {
                         // has nothing fresher: serve stale, stop refreshing.
                         self.server_exhausted = !cover.is_valid_at(q.time);
                         self.cached = Some(cover);
+                    }
+                    Response::Error(_) => {
+                        // Counted, but the cache (possibly stale) is kept:
+                        // an error reply says nothing about our cover.
+                        protocol_errors += 1;
+                        self.server_exhausted = true;
                     }
                     _ => {
                         self.cached = None;
@@ -156,12 +189,13 @@ impl<C: WireCodec> ModelCacheClient<C> {
                     .and_then(|c| c.interpolate(q.time, &q.pos)),
             );
         }
-        SessionStats {
+        Ok(SessionStats {
             values,
             usage: link.usage(),
             elapsed_secs: link.clock_secs() - start,
             server_exchanges: exchanges,
-        }
+            protocol_errors,
+        })
     }
 }
 
@@ -196,7 +230,9 @@ mod tests {
         let (server, sim) = setup();
         let traj = sim.continuous_trajectory(50, 60, 1);
         let mut link = SimulatedLink::new(LinkProfile::GPRS);
-        let stats = BaselineClient::new(BinaryCodec).run(&server, &traj, &mut link);
+        let stats = BaselineClient::new(BinaryCodec)
+            .run(&server, &traj, &mut link)
+            .unwrap();
         assert_eq!(stats.server_exchanges, 50);
         assert_eq!(stats.values.len(), 50);
         assert!(stats.values.iter().all(Option::is_some));
@@ -209,7 +245,7 @@ mod tests {
         let traj = sim.continuous_trajectory(50, 60, 2);
         let mut link = SimulatedLink::new(LinkProfile::GPRS);
         let mut client = ModelCacheClient::new(BinaryCodec);
-        let stats = client.run(&server, &traj, &mut link);
+        let stats = client.run(&server, &traj, &mut link).unwrap();
         // At most 2 fetches (trajectory may straddle one window boundary).
         assert!(stats.server_exchanges <= 2, "{}", stats.server_exchanges);
         assert!(client.cached_cover().is_some());
@@ -223,7 +259,7 @@ mod tests {
         let traj = sim.continuous_trajectory(120, 120, 3);
         let mut link = SimulatedLink::new(LinkProfile::GPRS);
         let mut client = ModelCacheClient::new(BinaryCodec);
-        let stats = client.run(&server, &traj, &mut link);
+        let stats = client.run(&server, &traj, &mut link).unwrap();
         assert!(stats.server_exchanges >= 2, "{}", stats.server_exchanges);
         assert!(stats.server_exchanges < 10);
     }
@@ -234,11 +270,14 @@ mod tests {
         let traj = sim.continuous_trajectory(100, 30, 4);
 
         let mut base_link = SimulatedLink::new(LinkProfile::GPRS);
-        let base = BaselineClient::new(BinaryCodec).run(&server, &traj, &mut base_link);
+        let base = BaselineClient::new(BinaryCodec)
+            .run(&server, &traj, &mut base_link)
+            .unwrap();
 
         let mut cache_link = SimulatedLink::new(LinkProfile::GPRS);
-        let cache =
-            ModelCacheClient::new(BinaryCodec).run(&server, &traj, &mut cache_link);
+        let cache = ModelCacheClient::new(BinaryCodec)
+            .run(&server, &traj, &mut cache_link)
+            .unwrap();
 
         assert!(
             cache.usage.sent_bytes * 10 < base.usage.sent_bytes,
@@ -266,9 +305,13 @@ mod tests {
         let (server, sim) = setup();
         let traj = sim.continuous_trajectory(40, 60, 5);
         let mut l1 = SimulatedLink::new(LinkProfile::IDEAL);
-        let base = BaselineClient::new(BinaryCodec).run(&server, &traj, &mut l1);
+        let base = BaselineClient::new(BinaryCodec)
+            .run(&server, &traj, &mut l1)
+            .unwrap();
         let mut l2 = SimulatedLink::new(LinkProfile::IDEAL);
-        let cache = ModelCacheClient::new(BinaryCodec).run(&server, &traj, &mut l2);
+        let cache = ModelCacheClient::new(BinaryCodec)
+            .run(&server, &traj, &mut l2)
+            .unwrap();
         for (i, (a, b)) in base.values.iter().zip(&cache.values).enumerate() {
             match (a, b) {
                 (Some(x), Some(y)) => {
@@ -295,7 +338,7 @@ mod tests {
         )];
         let mut link = SimulatedLink::new(LinkProfile::IDEAL);
         let mut client = ModelCacheClient::new(BinaryCodec);
-        let stats = client.run(&server, &traj, &mut link);
+        let stats = client.run(&server, &traj, &mut link).unwrap();
         assert_eq!(stats.values, vec![None]);
     }
 }

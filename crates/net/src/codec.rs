@@ -11,7 +11,9 @@
 //!   JSON-over-HTTP encodings typical of 2013 mobile backends; the
 //!   `abl-codec` ablation quantifies what the binary layout saves.
 
-use crate::protocol::{Request, Response, WireCover, WireModel, WireRegion};
+use crate::protocol::{
+    ErrorCode, ProtocolError, Request, Response, WireCover, WireModel, WireRegion,
+};
 use bytes::{Buf, BufMut};
 use enviro_data::Timestamp;
 use enviro_geo::Point;
@@ -71,6 +73,7 @@ const TAG_MODEL_REQUEST: u8 = 0x02;
 const TAG_VALUE: u8 = 0x81;
 const TAG_NO_DATA: u8 = 0x82;
 const TAG_COVER: u8 = 0x83;
+const TAG_ERROR: u8 = 0x84;
 const MODEL_MEAN: u8 = 0x01;
 const MODEL_LINEAR: u8 = 0x02;
 
@@ -147,6 +150,13 @@ impl WireCodec for BinaryCodec {
                     }
                 }
             }
+            Response::Error(err) => {
+                out.put_u8(TAG_ERROR);
+                out.put_u8(err.code.as_u8());
+                let msg = err.wire_message().as_bytes();
+                out.put_u32_le(msg.len() as u32);
+                out.extend_from_slice(msg);
+            }
         }
         out
     }
@@ -195,6 +205,25 @@ impl WireCodec for BinaryCodec {
                     valid_until,
                     regions,
                 }))
+            }
+            TAG_ERROR => {
+                let code = ErrorCode::from_u8(take_u8(&mut bytes)?)
+                    .ok_or_else(|| CodecError::Malformed("bad error code".into()))?;
+                let len = take_u32(&mut bytes)? as usize;
+                if len > ProtocolError::MAX_MESSAGE_BYTES {
+                    return Err(CodecError::Malformed(format!(
+                        "error message of {len} bytes"
+                    )));
+                }
+                if bytes.remaining() < len {
+                    return Err(CodecError::Truncated);
+                }
+                let message = std::str::from_utf8(&bytes[..len])
+                    .map_err(|e| CodecError::Malformed(e.to_string()))?
+                    .to_string();
+                bytes.advance(len);
+                ensure_empty(bytes)?;
+                Ok(Response::Error(ProtocolError { code, message }))
             }
             other => Err(CodecError::BadTag(other)),
         }
@@ -269,8 +298,7 @@ impl WireCodec for TextCodec {
     }
 
     fn decode_request(&self, bytes: &[u8]) -> Result<Request, CodecError> {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|e| CodecError::Malformed(e.to_string()))?;
+        let text = std::str::from_utf8(bytes).map_err(|e| CodecError::Malformed(e.to_string()))?;
         let mut parts = text.split_whitespace();
         expect_token(&mut parts, "REQUEST")?;
         match parts.next() {
@@ -321,13 +349,17 @@ impl WireCodec for TextCodec {
                 }
                 out
             }
+            Response::Error(err) => format!(
+                "RESPONSE error code={} message={}\n",
+                err.code.name(),
+                escape_message(err.wire_message())
+            ),
         }
         .into_bytes()
     }
 
     fn decode_response(&self, bytes: &[u8]) -> Result<Response, CodecError> {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|e| CodecError::Malformed(e.to_string()))?;
+        let text = std::str::from_utf8(bytes).map_err(|e| CodecError::Malformed(e.to_string()))?;
         let mut lines = text.lines();
         let header = lines
             .next()
@@ -352,15 +384,16 @@ impl WireCodec for TextCodec {
                     let kind = kv_str(&mut p, "model")?;
                     let coeffs = kv_str(&mut p, "coeffs")?;
                     let model = match kind {
-                        "mean" => WireModel::Mean(coeffs.parse().map_err(|_| {
-                            CodecError::Malformed(format!("bad mean {coeffs:?}"))
-                        })?),
+                        "mean" => {
+                            WireModel::Mean(coeffs.parse().map_err(|_| {
+                                CodecError::Malformed(format!("bad mean {coeffs:?}"))
+                            })?)
+                        }
                         "linear" => {
                             let vals: Result<Vec<f64>, _> =
                                 coeffs.split(',').map(str::parse).collect();
-                            let vals = vals.map_err(|_| {
-                                CodecError::Malformed("bad linear coeffs".into())
-                            })?;
+                            let vals = vals
+                                .map_err(|_| CodecError::Malformed("bad linear coeffs".into()))?;
                             if vals.len() != LinearModel::COEFFICIENT_COUNT {
                                 return Err(CodecError::Malformed(format!(
                                     "expected {} coeffs, got {}",
@@ -373,9 +406,7 @@ impl WireCodec for TextCodec {
                             WireModel::Linear(arr)
                         }
                         other => {
-                            return Err(CodecError::Malformed(format!(
-                                "bad model kind {other:?}"
-                            )))
+                            return Err(CodecError::Malformed(format!("bad model kind {other:?}")))
                         }
                     };
                     regions.push(WireRegion {
@@ -394,9 +425,59 @@ impl WireCodec for TextCodec {
                     regions,
                 }))
             }
+            Some("error") => {
+                let code = ErrorCode::from_name(kv_str(&mut parts, "code")?)
+                    .ok_or_else(|| CodecError::Malformed("bad error code".into()))?;
+                let message = unescape_message(kv_str(&mut parts, "message")?)?;
+                if message.len() > ProtocolError::MAX_MESSAGE_BYTES {
+                    return Err(CodecError::Malformed(format!(
+                        "error message of {} bytes",
+                        message.len()
+                    )));
+                }
+                Ok(Response::Error(ProtocolError { code, message }))
+            }
             other => Err(CodecError::Malformed(format!("bad verb {other:?}"))),
         }
     }
+}
+
+/// Percent-escapes `%` and whitespace so a diagnostic survives the text
+/// codec's whitespace-based tokenizer.
+fn escape_message(message: &str) -> String {
+    let mut out = String::with_capacity(message.len());
+    for c in message.chars() {
+        match c {
+            '%' | ' ' | '\t' | '\n' | '\r' => {
+                out.push('%');
+                out.push_str(&format!("{:02X}", c as u32));
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_message`]; rejects malformed escapes and non-UTF-8.
+fn unescape_message(escaped: &str) -> Result<String, CodecError> {
+    let bytes = escaped.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+                .ok_or_else(|| CodecError::Malformed("bad escape".into()))?;
+            out.push(hex);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|e| CodecError::Malformed(e.to_string()))
 }
 
 fn expect_token<'a>(
@@ -411,10 +492,7 @@ fn expect_token<'a>(
     }
 }
 
-fn kv_str<'a>(
-    parts: &mut impl Iterator<Item = &'a str>,
-    key: &str,
-) -> Result<&'a str, CodecError> {
+fn kv_str<'a>(parts: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<&'a str, CodecError> {
     let token = parts
         .next()
         .ok_or_else(|| CodecError::Malformed(format!("missing {key}")))?;
@@ -424,19 +502,13 @@ fn kv_str<'a>(
         .ok_or_else(|| CodecError::Malformed(format!("expected {key}=…, got {token:?}")))
 }
 
-fn kv_f64<'a>(
-    parts: &mut impl Iterator<Item = &'a str>,
-    key: &str,
-) -> Result<f64, CodecError> {
+fn kv_f64<'a>(parts: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<f64, CodecError> {
     kv_str(parts, key)?
         .parse()
         .map_err(|_| CodecError::Malformed(format!("bad float for {key}")))
 }
 
-fn kv_i64<'a>(
-    parts: &mut impl Iterator<Item = &'a str>,
-    key: &str,
-) -> Result<i64, CodecError> {
+fn kv_i64<'a>(parts: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<i64, CodecError> {
     kv_str(parts, key)?
         .parse()
         .map_err(|_| CodecError::Malformed(format!("bad int for {key}")))
@@ -457,8 +529,7 @@ mod tests {
                 WireRegion {
                     centroid: Point::new(-300.25, 900.125),
                     model: WireModel::Linear([
-                        400.0, 1.5, -2.25, 0.125, 10.0, 20.0, 30.0, 1.0, 2.0, 3.0,
-                        350.0, 900.0,
+                        400.0, 1.5, -2.25, 0.125, 10.0, 20.0, 30.0, 1.0, 2.0, 3.0, 350.0, 900.0,
                     ]),
                 },
             ],
@@ -495,6 +566,10 @@ mod tests {
             Response::Value { value: 456.789 },
             Response::NoData,
             Response::Cover(sample_cover()),
+            Response::Error(ProtocolError::new(
+                ErrorCode::BadRequest,
+                "unknown tag 0xFF — resync % retry\n(σ=2)",
+            )),
         ];
         for codec in codecs() {
             for resp in &resps {
@@ -577,6 +652,42 @@ mod tests {
             .decode_response(b"RESPONSE cover valid-until=0 regions=2\n")
             .is_err());
         assert!(TextCodec.decode_response(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn error_message_is_bounded_on_the_wire() {
+        let long = "x".repeat(10 * ProtocolError::MAX_MESSAGE_BYTES);
+        let err = Response::Error(ProtocolError {
+            code: ErrorCode::Internal,
+            message: long,
+        });
+        for codec in codecs() {
+            let bytes = codec.encode_response(&err);
+            assert!(
+                bytes.len() < 2 * ProtocolError::MAX_MESSAGE_BYTES,
+                "{}: {} bytes",
+                codec.name(),
+                bytes.len()
+            );
+            match codec.decode_response(&bytes).unwrap() {
+                Response::Error(e) => {
+                    assert_eq!(e.message.len(), ProtocolError::MAX_MESSAGE_BYTES);
+                }
+                other => panic!("{}: {other:?}", codec.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_rejects_oversized_error_length() {
+        let mut bytes = Vec::new();
+        bytes.put_u8(TAG_ERROR);
+        bytes.put_u8(1);
+        bytes.put_u32_le(u32::MAX);
+        assert!(matches!(
+            BinaryCodec.decode_response(&bytes),
+            Err(CodecError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
 
 pub mod client;
 pub mod codec;
@@ -33,9 +34,9 @@ pub mod protocol;
 pub mod server;
 pub mod transport;
 
-pub use client::{BaselineClient, ModelCacheClient, SessionStats};
+pub use client::{BaselineClient, ClientError, ModelCacheClient, SessionStats};
 pub use codec::{BinaryCodec, TextCodec, WireCodec};
 pub use link::{LinkProfile, SimulatedLink};
-pub use protocol::{Request, Response, WireCover, WireRegion};
+pub use protocol::{ErrorCode, ProtocolError, Request, Response, WireCover, WireRegion};
 pub use server::EnviroServer;
-pub use transport::ChannelTransport;
+pub use transport::{ChannelTransport, TransportError};

@@ -63,7 +63,10 @@ impl LinkProfile {
     /// on a congested cell). Lost attempts are detected by timeout
     /// (2 × RTT) and retransmitted, costing their bytes again.
     pub fn with_loss(self, p: f64) -> LinkProfile {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1)"
+        );
         LinkProfile {
             loss_probability: p,
             ..self

@@ -36,6 +36,109 @@ pub enum Response {
     NoData,
     /// The model cover `(t_n, µ, M)` for a [`Request::ModelRequest`].
     Cover(WireCover),
+    /// The request could not be served; the connection stays usable.
+    ///
+    /// A malformed or unexpected message must degrade into this reply —
+    /// never into a server panic or a torn connection: community-sensed
+    /// deployments talk to fleets of flaky phones over lossy links, so a
+    /// single corrupt frame taking down the endpoint is unacceptable.
+    Error(ProtocolError),
+}
+
+/// Machine-readable reason classes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request could not be decoded (bad tag, truncation, bad payload).
+    BadRequest,
+    /// The request was well-formed but names an unsupported operation.
+    Unsupported,
+    /// The server failed internally while serving a valid request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire value of the code.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::Unsupported => 2,
+            ErrorCode::Internal => 3,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ErrorCode::BadRequest),
+            2 => Some(ErrorCode::Unsupported),
+            3 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+
+    /// Stable text name (used by the text codec).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a stable text name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "bad-request" => Some(ErrorCode::BadRequest),
+            "unsupported" => Some(ErrorCode::Unsupported),
+            "internal" => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// The payload of an error reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Why the request failed.
+    pub code: ErrorCode,
+    /// Human-readable diagnostic (bounded; not meant for parsing).
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Builds an error reply, truncating oversized diagnostics so a hostile
+    /// peer cannot make us echo unbounded payloads.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        let mut message = message.into();
+        if message.len() > Self::MAX_MESSAGE_BYTES {
+            let mut cut = Self::MAX_MESSAGE_BYTES;
+            while !message.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            message.truncate(cut);
+        }
+        Self { code, message }
+    }
+
+    /// Upper bound on the diagnostic length, on and off the wire.
+    pub const MAX_MESSAGE_BYTES: usize = 512;
+
+    /// The diagnostic as it goes on the wire: truncated to
+    /// [`Self::MAX_MESSAGE_BYTES`] at a char boundary, so encoders stay
+    /// within bounds even for errors built without [`Self::new`].
+    pub fn wire_message(&self) -> &str {
+        let mut cut = Self::MAX_MESSAGE_BYTES.min(self.message.len());
+        while !self.message.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        &self.message[..cut]
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.name(), self.message)
+    }
 }
 
 /// A model cover in wire form: exactly the items §2.3 lists —

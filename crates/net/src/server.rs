@@ -1,7 +1,7 @@
 //! The EnviroMeter server endpoint.
 
-use crate::codec::{CodecError, WireCodec};
-use crate::protocol::{Request, Response, WireCover};
+use crate::codec::WireCodec;
+use crate::protocol::{ErrorCode, ProtocolError, Request, Response, WireCover};
 use enviro_data::QueryTuple;
 use enviro_meter::{EnviroMeter, QueryMethod};
 
@@ -49,21 +49,25 @@ impl<C: WireCodec> EnviroServer<C> {
                 }
             }
             Request::ModelRequest { time } => match self.platform.cover_at(*time) {
-                Some(cover) if !cover.is_empty() => {
-                    Response::Cover(WireCover::from_cover(cover))
-                }
+                Some(cover) if !cover.is_empty() => Response::Cover(WireCover::from_cover(cover)),
                 _ => Response::NoData,
             },
         }
     }
 
     /// Handles one encoded request: the byte-in/byte-out entry point used
-    /// by transports. Decode errors are reported to the caller — a real
-    /// deployment would also log them.
-    pub fn handle_bytes(&self, request_bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
-        let request = self.codec.decode_request(request_bytes)?;
-        let response = self.handle(&request);
-        Ok(self.codec.encode_response(&response))
+    /// by transports.
+    ///
+    /// This is infallible by design: a frame that fails to decode produces
+    /// an encoded [`Response::Error`] reply instead of an `Err`, so one
+    /// corrupt message from a flaky phone can never tear down the
+    /// connection or panic the endpoint.
+    pub fn handle_bytes(&self, request_bytes: &[u8]) -> Vec<u8> {
+        let response = match self.codec.decode_request(request_bytes) {
+            Ok(request) => self.handle(&request),
+            Err(e) => Response::Error(ProtocolError::new(ErrorCode::BadRequest, e.to_string())),
+        };
+        self.codec.encode_response(&response)
     }
 }
 
@@ -125,15 +129,33 @@ mod tests {
             time: Timestamp::from_secs(60),
             pos: Point::new(100.0, 0.0),
         });
-        let resp_bytes = s.handle_bytes(&req).unwrap();
+        let resp_bytes = s.handle_bytes(&req);
         let resp = BinaryCodec.decode_response(&resp_bytes).unwrap();
         assert!(matches!(resp, Response::Value { .. }));
     }
 
     #[test]
-    fn handle_bytes_rejects_garbage() {
+    fn handle_bytes_replies_to_garbage_with_protocol_error() {
         let s = server();
-        assert!(s.handle_bytes(&[0xAB, 0xCD]).is_err());
+        let resp_bytes = s.handle_bytes(&[0xAB, 0xCD]);
+        match BinaryCodec.decode_response(&resp_bytes).unwrap() {
+            Response::Error(e) => assert_eq!(e.code, crate::protocol::ErrorCode::BadRequest),
+            other => panic!("expected error reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_stays_usable_after_bad_frame() {
+        let s = server();
+        // A garbage frame, then a valid query: the error reply must not
+        // poison the endpoint.
+        let _ = s.handle_bytes(b"\xFF\xFF\xFF");
+        let req = BinaryCodec.encode_request(&Request::Query {
+            time: Timestamp::from_secs(60),
+            pos: Point::new(100.0, 0.0),
+        });
+        let resp = BinaryCodec.decode_response(&s.handle_bytes(&req)).unwrap();
+        assert!(matches!(resp, Response::Value { .. }));
     }
 
     #[test]

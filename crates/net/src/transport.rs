@@ -10,10 +10,29 @@ use crate::server::EnviroServer;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::thread::JoinHandle;
 
+/// Errors crossing the channel wire (the transport layer, not the
+/// protocol: a malformed request comes back as `Ok` bytes encoding a
+/// [`crate::protocol::Response::Error`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The server thread is gone (shut down or panicked).
+    Disconnected,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => f.write_str("server thread terminated"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// A request envelope: opaque bytes plus a reply channel.
 struct Envelope {
     request: Vec<u8>,
-    reply_to: Sender<Result<Vec<u8>, String>>,
+    reply_to: Sender<Vec<u8>>,
 }
 
 /// A handle to a server running on a background thread.
@@ -26,8 +45,9 @@ pub struct ChannelTransport {
 }
 
 impl ChannelTransport {
-    /// Spawns `server` on a background thread.
-    pub fn spawn<C>(server: EnviroServer<C>) -> Self
+    /// Spawns `server` on a background thread. `Err` means the OS refused
+    /// to create the thread.
+    pub fn spawn<C>(server: EnviroServer<C>) -> std::io::Result<Self>
     where
         C: WireCodec + Send + 'static,
     {
@@ -36,34 +56,30 @@ impl ChannelTransport {
             .name("enviro-server".into())
             .spawn(move || {
                 for envelope in rx {
-                    let result = server
-                        .handle_bytes(&envelope.request)
-                        .map_err(|e| e.to_string());
+                    let reply = server.handle_bytes(&envelope.request);
                     // A dropped reply channel just means the client gave up.
-                    let _ = envelope.reply_to.send(result);
+                    let _ = envelope.reply_to.send(reply);
                 }
-            })
-            .expect("spawn server thread");
-        Self {
+            })?;
+        Ok(Self {
             requests: Some(tx),
             worker: Some(worker),
-        }
+        })
     }
 
     /// Performs one request/response exchange over the channel wire.
-    pub fn call(&self, request: Vec<u8>) -> Result<Vec<u8>, String> {
+    pub fn call(&self, request: Vec<u8>) -> Result<Vec<u8>, TransportError> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.requests
-            .as_ref()
-            .expect("transport not shut down")
+        let Some(requests) = self.requests.as_ref() else {
+            return Err(TransportError::Disconnected);
+        };
+        requests
             .send(Envelope {
                 request,
                 reply_to: reply_tx,
             })
-            .map_err(|_| "server thread terminated".to_string())?;
-        reply_rx
-            .recv()
-            .map_err(|_| "server dropped the request".to_string())?
+            .map_err(|_| TransportError::Disconnected)?;
+        reply_rx.recv().map_err(|_| TransportError::Disconnected)
     }
 }
 
@@ -102,6 +118,7 @@ mod tests {
             BinaryCodec,
             QueryMethod::ModelCover,
         ))
+        .unwrap()
     }
 
     #[test]
@@ -129,9 +146,20 @@ mod tests {
     }
 
     #[test]
-    fn garbage_request_returns_error_not_panic() {
+    fn garbage_request_returns_error_reply_not_panic() {
         let t = transport();
-        assert!(t.call(vec![0xDE, 0xAD]).is_err());
+        // The transport succeeds; the *protocol* reports the error, so the
+        // connection stays usable for the next request.
+        let reply = t.call(vec![0xDE, 0xAD]).unwrap();
+        assert!(matches!(
+            BinaryCodec.decode_response(&reply).unwrap(),
+            Response::Error(_)
+        ));
+        let req = BinaryCodec.encode_request(&Request::Query {
+            time: Timestamp::from_secs(100),
+            pos: Point::new(0.0, -200.0),
+        });
+        assert!(t.call(req).is_ok());
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! Codec robustness: arbitrary inputs must never panic, and arbitrary
 //! well-formed messages must round-trip exactly.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::Timestamp;
 use enviro_geo::Point;
 use enviro_meter::LinearModel;
 use enviro_net::protocol::WireModel;
 use enviro_net::{
-    BinaryCodec, Request, Response, TextCodec, WireCodec, WireCover, WireRegion,
+    BinaryCodec, ErrorCode, ProtocolError, Request, Response, TextCodec, WireCodec, WireCover,
+    WireRegion,
 };
 use proptest::prelude::*;
 
@@ -37,10 +42,39 @@ fn arb_model() -> impl Strategy<Value = WireModel> {
     ]
 }
 
+/// Diagnostic alphabet: letters, digits, codec-hostile specials
+/// (whitespace, `%`, `=`), and multi-byte UTF-8.
+const MESSAGE_CHARS: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', '%', ' ', '\t', '\n', '\r', '=', '-', '_', ':', '.', 'µ',
+    'σ', '€', '💧',
+];
+
+fn arb_error() -> impl Strategy<Value = ProtocolError> {
+    (
+        0usize..3,
+        prop::collection::vec(0usize..MESSAGE_CHARS.len(), 0..80),
+    )
+        .prop_map(|(code, chars)| {
+            let code = match code {
+                0 => ErrorCode::BadRequest,
+                1 => ErrorCode::Unsupported,
+                _ => ErrorCode::Internal,
+            };
+            ProtocolError::new(
+                code,
+                chars
+                    .into_iter()
+                    .map(|i| MESSAGE_CHARS[i])
+                    .collect::<String>(),
+            )
+        })
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
         finite().prop_map(|value| Response::Value { value }),
         Just(Response::NoData),
+        arb_error().prop_map(Response::Error),
         (
             any::<i64>(),
             prop::collection::vec((finite(), finite(), arb_model()), 0..12)
@@ -94,6 +128,15 @@ proptest! {
             ) => prop_assert_eq!(t1, t2),
             other => prop_assert!(false, "variant mismatch: {:?}", other),
         }
+    }
+
+    #[test]
+    fn text_error_roundtrip(err in arb_error()) {
+        // Error diagnostics carry whitespace and `%`, the characters the
+        // text codec's escaping exists for — they must survive exactly.
+        let resp = Response::Error(err);
+        let bytes = TextCodec.encode_response(&resp);
+        prop_assert_eq!(TextCodec.decode_response(&bytes).unwrap(), resp);
     }
 
     #[test]

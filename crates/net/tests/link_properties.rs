@@ -1,6 +1,10 @@
 //! Property tests for the simulated link: accounting must be exact and
 //! monotone whatever the traffic pattern.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_net::{LinkProfile, SimulatedLink};
 use proptest::prelude::*;
 

@@ -35,6 +35,7 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

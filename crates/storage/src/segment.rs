@@ -153,14 +153,14 @@ pub fn read_segment(path: &Path) -> io::Result<SegmentContents> {
             format!("{}: not a segment file", path.display()),
         ));
     }
-    let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    let version = u32_at(&data, 8);
     if version != VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("{}: unsupported version {version}", path.display()),
         ));
     }
-    let seq = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes"));
+    let seq = u32_at(&data, 12);
 
     let mut tuples = Vec::new();
     let mut offset = HEADER_SIZE;
@@ -171,10 +171,8 @@ pub fn read_segment(path: &Path) -> io::Result<SegmentContents> {
             truncated_tail = true;
             break;
         }
-        let len =
-            u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
-        let crc =
-            u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let len = u32_at(&data, offset) as usize;
+        let crc = u32_at(&data, offset + 4);
         let start = offset + 8;
         let end = match start.checked_add(len) {
             Some(e) if e <= data.len() => e,
@@ -203,6 +201,14 @@ pub fn read_segment(path: &Path) -> io::Result<SegmentContents> {
         clean_len: offset as u64,
         truncated_tail,
     })
+}
+
+/// Little-endian `u32` at `at`; the caller has already bounds-checked
+/// `at + 4 <= data.len()`.
+fn u32_at(data: &[u8], at: usize) -> u32 {
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(&data[at..at + 4]);
+    u32::from_le_bytes(bytes)
 }
 
 #[cfg(test)]

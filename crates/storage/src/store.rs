@@ -110,11 +110,7 @@ impl TupleStore {
         // Discover segments.
         let mut seqs: Vec<u32> = std::fs::read_dir(&dir)?
             .filter_map(|e| e.ok())
-            .filter_map(|e| {
-                e.file_name()
-                    .to_str()
-                    .and_then(parse_segment_file_name)
-            })
+            .filter_map(|e| e.file_name().to_str().and_then(parse_segment_file_name))
             .collect();
         seqs.sort_unstable();
         // The manifest (if present) names the live segments; files not
@@ -167,13 +163,69 @@ impl TupleStore {
                 w
             }
         };
-        Ok(Self {
+        let store = Self {
             dir,
             segments,
             writer,
             max_segment_bytes,
             recovered_torn_tail,
-        })
+        };
+        // Recovery is exactly where a subtly-wrong store would enter the
+        // system; fail loudly in debug builds before it can serve reads.
+        debug_assert_eq!(store.check_invariants(), Ok(()));
+        Ok(store)
+    }
+
+    /// Verifies the store's structural invariants, returning the first
+    /// violation found.
+    ///
+    /// Checked (in debug builds) after recovery and after every mutation:
+    /// * at least one segment exists (the active one);
+    /// * segment sequence numbers are strictly increasing;
+    /// * every segment accounts for at least its header bytes;
+    /// * the writer is positioned on the last segment, at its clean length.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let Some(last) = self.segments.last() else {
+            return Err("no active segment".into());
+        };
+        for pair in self.segments.windows(2) {
+            if pair[0].seq >= pair[1].seq {
+                return Err(format!(
+                    "segment seqs not strictly increasing: {} then {}",
+                    pair[0].seq, pair[1].seq
+                ));
+            }
+        }
+        for seg in &self.segments {
+            if seg.bytes < HEADER_SIZE as u64 {
+                return Err(format!(
+                    "segment {} accounts for {} bytes, less than its header",
+                    seg.seq, seg.bytes
+                ));
+            }
+            if seg.tuples.is_empty() && seg.bytes > HEADER_SIZE as u64 {
+                return Err(format!(
+                    "segment {} has {} data bytes but no tuples",
+                    seg.seq, seg.bytes
+                ));
+            }
+        }
+        if self.writer.seq() != last.seq {
+            return Err(format!(
+                "writer on segment {}, but last segment is {}",
+                self.writer.seq(),
+                last.seq
+            ));
+        }
+        if self.writer.len() != last.bytes {
+            return Err(format!(
+                "writer at {} bytes, but segment {} accounts for {}",
+                self.writer.len(),
+                last.seq,
+                last.bytes
+            ));
+        }
+        Ok(())
     }
 
     /// The store directory.
@@ -202,12 +254,17 @@ impl TupleStore {
             self.rotate()?;
         }
         self.writer.append_batch(tuples)?;
-        let active = self
-            .segments
-            .last_mut()
-            .expect("store always has an active segment");
+        let Some(active) = self.segments.last_mut() else {
+            // Unreachable by construction (open always installs an active
+            // segment), but a torn internal state must not become a panic
+            // in the ingest path.
+            return Err(StorageError::Io(io::Error::other(
+                "no active segment in store state",
+            )));
+        };
         active.tuples.extend_from_slice(tuples);
         active.bytes = self.writer.len();
+        debug_assert_eq!(self.check_invariants(), Ok(()));
         Ok(())
     }
 
@@ -259,6 +316,7 @@ impl TupleStore {
             },
         ];
         self.writer = active;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
         Ok(())
     }
 
@@ -277,6 +335,7 @@ impl TupleStore {
             let seqs: Vec<u32> = self.segments.iter().map(|s| s.seq).collect();
             write_manifest(&self.dir, &seqs)?;
         }
+        debug_assert_eq!(self.check_invariants(), Ok(()));
         Ok(())
     }
 
@@ -312,11 +371,9 @@ impl TupleStore {
             .flat_map(|s| s.tuples.iter())
             .copied()
             .collect();
-        Dataset::from_tuples(pollutant, tuples).map_err(|reason| {
-            StorageError::InvalidSegment {
-                path: self.dir.clone(),
-                reason,
-            }
+        Dataset::from_tuples(pollutant, tuples).map_err(|reason| StorageError::InvalidSegment {
+            path: self.dir.clone(),
+            reason,
         })
     }
 }
@@ -376,8 +433,7 @@ mod tests {
     }
 
     fn tempdir(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("enviro-store-{name}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("enviro-store-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -499,6 +555,88 @@ mod tests {
     }
 
     #[test]
+    fn bad_magic_segment_fails_open_with_typed_error() {
+        let dir = tempdir("badmagic");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(crate::segment::segment_file_name(0)),
+            b"NOTASEGM\x01\x00\x00\x00\x00\x00\x00\x00",
+        )
+        .unwrap();
+        match TupleStore::open(&dir) {
+            Err(StorageError::InvalidSegment { path, reason }) => {
+                assert!(path.ends_with(crate::segment::segment_file_name(0)));
+                assert!(reason.contains("not a segment"), "{reason}");
+            }
+            other => panic!("expected InvalidSegment, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsupported_version_fails_open_with_typed_error() {
+        let dir = tempdir("badversion");
+        {
+            let mut store = TupleStore::open(&dir).unwrap();
+            store.append(&[tuple(1)]).unwrap();
+            store.sync().unwrap();
+        }
+        let seg = dir.join(crate::segment::segment_file_name(0));
+        let mut data = std::fs::read(&seg).unwrap();
+        data[8] = 0xEE; // version field
+        std::fs::write(&seg, &data).unwrap();
+        match TupleStore::open(&dir) {
+            Err(StorageError::InvalidSegment { reason, .. }) => {
+                assert!(reason.contains("version"), "{reason}")
+            }
+            other => panic!("expected InvalidSegment, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_only_truncation_fails_open_with_typed_error() {
+        let dir = tempdir("shortheader");
+        {
+            let mut store = TupleStore::open(&dir).unwrap();
+            store.append(&[tuple(1)]).unwrap();
+            store.sync().unwrap();
+        }
+        // Chop into the 16-byte header itself: not even a valid empty
+        // segment remains, so this is a hard error, not a torn tail.
+        let seg = dir.join(crate::segment::segment_file_name(0));
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(9)
+            .unwrap();
+        assert!(matches!(
+            TupleStore::open(&dir),
+            Err(StorageError::InvalidSegment { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_through_append_rotate_compact_recover() {
+        let dir = tempdir("invariants");
+        let mut store = TupleStore::open_with_segment_size(&dir, 80).unwrap();
+        assert_eq!(store.check_invariants(), Ok(()));
+        for i in 0..10 {
+            store.append(&[tuple(i)]).unwrap();
+            assert_eq!(store.check_invariants(), Ok(()));
+        }
+        store.compact().unwrap();
+        assert_eq!(store.check_invariants(), Ok(()));
+        store.sync().unwrap();
+        drop(store);
+        let store = TupleStore::open_with_segment_size(&dir, 80).unwrap();
+        assert_eq!(store.check_invariants(), Ok(()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn load_dataset_sorted_for_engine() {
         let dir = tempdir("dataset");
         let mut store = TupleStore::open(&dir).unwrap();
@@ -575,8 +713,7 @@ mod tests {
         // Simulate a crash mid-compaction: an orphan segment that is not in
         // the manifest.
         {
-            let mut orphan =
-                crate::segment::SegmentWriter::create(&dir, 999).unwrap();
+            let mut orphan = crate::segment::SegmentWriter::create(&dir, 999).unwrap();
             orphan.append_batch(&[tuple(777)]).unwrap();
             orphan.sync().unwrap();
         }
@@ -586,9 +723,7 @@ mod tests {
             .scan_range(Timestamp::from_secs(0), Timestamp::from_secs(10_000))
             .unwrap();
         assert_eq!(all.len(), 9);
-        assert!(!dir
-            .join(crate::segment::segment_file_name(999))
-            .exists());
+        assert!(!dir.join(crate::segment::segment_file_name(999)).exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,6 +1,10 @@
 //! Property tests: the store must never lose acknowledged data and never
 //! panic on arbitrary tail damage.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{RawTuple, Timestamp};
 use enviro_geo::Point;
 use enviro_storage::TupleStore;
@@ -34,9 +38,7 @@ fn arb_batches() -> impl Strategy<Value = Vec<Vec<RawTuple>>> {
             .map(|batch| {
                 batch
                     .into_iter()
-                    .map(|(t, x, y, v)| {
-                        RawTuple::new(Timestamp::from_secs(t), Point::new(x, y), v)
-                    })
+                    .map(|(t, x, y, v)| RawTuple::new(Timestamp::from_secs(t), Point::new(x, y), v))
                     .collect()
             })
             .collect()

@@ -1,0 +1,63 @@
+//! CLI entry point: `cargo run -p xtask -- lint [--update-baseline]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let update = args.iter().any(|a| a == "--update-baseline");
+            if let Some(unknown) = args[1..].iter().find(|a| *a != "--update-baseline") {
+                eprintln!("xtask: unknown argument `{unknown}`");
+                return usage();
+            }
+            lint(update)
+        }
+        _ => usage(),
+    }
+}
+
+fn lint(update_baseline: bool) -> ExitCode {
+    // The binary always runs from a source checkout, so the workspace root
+    // is two levels above this crate's manifest.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent);
+    let Some(root) = root else {
+        eprintln!("xtask: cannot locate the workspace root");
+        return ExitCode::FAILURE;
+    };
+    let outcome = xtask::run_lint(root, update_baseline);
+    for w in &outcome.warnings {
+        eprintln!("warning: {w}");
+    }
+    for e in &outcome.errors {
+        eprintln!("error: {e}");
+    }
+    let crates = outcome.counts.len();
+    let sites: usize = outcome.counts.values().sum();
+    if outcome.passed() {
+        println!(
+            "xtask lint: OK — {crates} crates, {sites} baselined panic-prone sites, \
+             layering + invariant hooks clean"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: FAILED with {} error(s)", outcome.errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--update-baseline]\n\n\
+         Runs the workspace static-analysis gate:\n  \
+         * dependency-DAG layering check (+ [lints] workspace adoption)\n  \
+         * panic-policy ratchet against crates/xtask/panic-baseline.toml\n  \
+         * debug_assertions invariant-hook audit"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,142 @@
+//! A minimal `Cargo.toml` reader.
+//!
+//! The linter needs four facts per crate — package name, dependency names,
+//! dev-dependency names, and whether `[lints] workspace = true` is set — so
+//! this module implements just enough line-oriented TOML to extract them,
+//! instead of pulling a TOML parser into the offline build.
+
+/// The subset of a crate manifest the linter inspects.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// `package.name`.
+    pub name: String,
+    /// Keys of `[dependencies]` (and `[dependencies.<key>]` headers).
+    pub deps: Vec<String>,
+    /// Keys of `[dev-dependencies]` (and `[dev-dependencies.<key>]` headers).
+    pub dev_deps: Vec<String>,
+    /// `true` when the manifest opts into `[lints] workspace = true`.
+    pub workspace_lints: bool,
+}
+
+/// Parses the linter-relevant subset out of manifest text.
+///
+/// Unknown sections and keys are ignored, so manifests may grow freely
+/// without breaking the linter.
+pub fn parse(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = section_header(line) {
+            section = name.to_string();
+            // `[dependencies.foo]` declares the dependency `foo` directly
+            // in the header.
+            for (prefix, out) in [
+                ("dependencies.", DepKind::Normal),
+                ("dev-dependencies.", DepKind::Dev),
+            ] {
+                if let Some(dep) = section.strip_prefix(prefix) {
+                    push_dep(&mut m, out, dep);
+                }
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match section.as_str() {
+            "package" if key == "name" => m.name = value.trim_matches('"').to_string(),
+            "dependencies" => push_dep(&mut m, DepKind::Normal, key),
+            "dev-dependencies" => push_dep(&mut m, DepKind::Dev, key),
+            "lints" if key == "workspace" => m.workspace_lints = value == "true",
+            _ => {}
+        }
+    }
+    m
+}
+
+#[derive(Clone, Copy)]
+enum DepKind {
+    Normal,
+    Dev,
+}
+
+fn push_dep(m: &mut Manifest, kind: DepKind, name: &str) {
+    let name = name.trim().trim_matches('"').to_string();
+    let list = match kind {
+        DepKind::Normal => &mut m.deps,
+        DepKind::Dev => &mut m.dev_deps,
+    };
+    if !list.contains(&name) {
+        list.push(name);
+    }
+}
+
+fn section_header(line: &str) -> Option<&str> {
+    let inner = line.strip_prefix('[')?.strip_suffix(']')?;
+    Some(inner.trim().trim_matches('"'))
+}
+
+/// Drops a trailing `# comment`, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_deps_and_lints() {
+        let m = parse(
+            r#"
+[package]
+name = "enviro-net" # the wire crate
+version.workspace = true
+
+[dependencies]
+enviro-geo = { workspace = true }
+bytes = { workspace = true }
+
+[dev-dependencies]
+proptest = { workspace = true }
+
+[dev-dependencies.enviro-storage]
+workspace = true
+
+[lints]
+workspace = true
+"#,
+        );
+        assert_eq!(m.name, "enviro-net");
+        assert_eq!(m.deps, vec!["enviro-geo", "bytes"]);
+        assert_eq!(m.dev_deps, vec!["proptest", "enviro-storage"]);
+        assert!(m.workspace_lints);
+    }
+
+    #[test]
+    fn missing_lints_table_is_reported() {
+        let m = parse("[package]\nname = \"x\"\n");
+        assert!(!m.workspace_lints);
+        assert!(m.deps.is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_hide_sections() {
+        let m = parse("[dependencies] # heavy\nfoo = \"1\" # pinned\n");
+        assert_eq!(m.deps, vec!["foo"]);
+    }
+}

@@ -1,0 +1,256 @@
+//! The panic-policy ratchet.
+//!
+//! Counts panic-prone call sites — `.unwrap()`, `.expect(…)`, `panic!`,
+//! `todo!`, `unimplemented!` — in non-`#[cfg(test)]` source, per crate, and
+//! compares against the checked-in baseline
+//! (`crates/xtask/panic-baseline.toml`). Counts may only go **down**: a
+//! crate above its baseline fails the lint; a crate below it produces a
+//! warning asking for a `--update-baseline` run so the improvement is
+//! locked in.
+
+use crate::scan;
+use std::collections::BTreeMap;
+
+/// Panic-prone sites found in one crate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrateCount {
+    /// Total non-test sites across the crate's `src/`.
+    pub total: usize,
+    /// Per-file `(relative path, line, kind)` detail for reporting.
+    pub sites: Vec<(String, usize, &'static str)>,
+}
+
+/// Methods counted when invoked as `.name(`.
+const METHODS: &[&str] = &["unwrap", "expect"];
+/// Macros counted when invoked as `name!`.
+const MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Counts panic-prone sites in one file's source. `rel_path` is used to
+/// label the recorded sites.
+pub fn count_file(rel_path: &str, src: &str) -> CrateCount {
+    let masked = scan::strip_cfg_test(scan::mask(src));
+    let mut out = CrateCount::default();
+    for id in scan::idents(&masked) {
+        let counted = if METHODS.contains(&id.text) {
+            scan::prev_nonspace(&masked, id.start) == Some(b'.')
+                && scan::next_nonspace(&masked, id.end) == Some(b'(')
+        } else if MACROS.contains(&id.text) {
+            scan::next_nonspace(&masked, id.end) == Some(b'!')
+        } else {
+            false
+        };
+        if counted {
+            out.total += 1;
+            let kind = METHODS
+                .iter()
+                .chain(MACROS.iter())
+                .find(|k| **k == id.text)
+                .copied()
+                .unwrap_or("?");
+            out.sites
+                .push((rel_path.to_string(), scan::line_of(&masked, id.start), kind));
+        }
+    }
+    out
+}
+
+/// Merges per-file counts into a per-crate total.
+pub fn merge(counts: impl IntoIterator<Item = CrateCount>) -> CrateCount {
+    let mut out = CrateCount::default();
+    for c in counts {
+        out.total += c.total;
+        out.sites.extend(c.sites);
+    }
+    out
+}
+
+/// Parses the `[counts]` table of a baseline file into `crate -> count`.
+pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let mut in_counts = false;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_counts = line == "[counts]";
+            continue;
+        }
+        if !in_counts {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                out.insert(key.trim().trim_matches('"').to_string(), n);
+            }
+        }
+    }
+    out
+}
+
+/// Renders a baseline file from per-crate counts.
+pub fn render_baseline(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# Panic-policy baseline: non-test `.unwrap()` / `.expect(` / `panic!` /\n\
+         # `todo!` / `unimplemented!` sites per crate, as counted by\n\
+         # `cargo run -p xtask -- lint`. The ratchet only lets these numbers go\n\
+         # DOWN; after burning sites down, lock the gain in with\n\
+         #     cargo run -p xtask -- lint --update-baseline\n\
+         # (See DESIGN.md \"Static analysis & code policy\".)\n\n[counts]\n",
+    );
+    for (name, n) in counts {
+        out.push_str(&format!("{name} = {n}\n"));
+    }
+    out
+}
+
+/// Outcome of comparing fresh counts against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Hard failures: crates above their baseline.
+    pub errors: Vec<String>,
+    /// Improvements not yet locked in.
+    pub warnings: Vec<String>,
+}
+
+/// Compares `counts` against `baseline`. Crates absent from the baseline
+/// are held to zero, so new crates start clean.
+pub fn compare(
+    counts: &BTreeMap<String, CrateCount>,
+    baseline: &BTreeMap<String, usize>,
+) -> RatchetReport {
+    let mut report = RatchetReport::default();
+    for (name, count) in counts {
+        let allowed = baseline.get(name).copied().unwrap_or(0);
+        if count.total > allowed {
+            let mut msg = format!(
+                "panic-ratchet: `{name}` has {} panic-prone sites, baseline allows {allowed}:",
+                count.total
+            );
+            for (file, line, kind) in &count.sites {
+                msg.push_str(&format!("\n    {file}:{line}: {kind}"));
+            }
+            report.errors.push(msg);
+        } else if count.total < allowed {
+            report.warnings.push(format!(
+                "panic-ratchet: `{name}` improved to {} (baseline {allowed}) — run \
+                 `cargo run -p xtask -- lint --update-baseline` to lock it in",
+                count.total
+            ));
+        }
+    }
+    for name in baseline.keys() {
+        if !counts.contains_key(name) {
+            report.warnings.push(format!(
+                "panic-ratchet: baseline lists `{name}` but the crate no longer exists — \
+                 run `cargo run -p xtask -- lint --update-baseline`"
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_all_five_kinds() {
+        let src = r#"
+fn f(o: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = o.unwrap();
+    let b = r.expect("msg");
+    if a == 0 { panic!("zero"); }
+    if b == 1 { todo!(); }
+    if b == 2 { unimplemented!("later"); }
+    a + b
+}
+"#;
+        let c = count_file("f.rs", src);
+        assert_eq!(c.total, 5);
+        let kinds: Vec<_> = c.sites.iter().map(|s| s.2).collect();
+        assert_eq!(
+            kinds,
+            vec!["unwrap", "expect", "panic", "todo", "unimplemented"]
+        );
+    }
+
+    #[test]
+    fn ignores_strings_comments_and_test_modules() {
+        let src = r#"
+/// Never call `.unwrap()` here; prefer `expect("…")`.
+fn f() { let _ = "panic!('no')"; }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); panic!("fine in tests"); }
+}
+"#;
+        assert_eq!(count_file("f.rs", src).total, 0);
+    }
+
+    #[test]
+    fn ignores_lookalikes() {
+        let src = r#"
+fn f(o: Option<u32>) -> u32 {
+    let a = o.unwrap_or(3);            // not unwrap()
+    let b = std::panic::catch_unwind(|| 1).unwrap_or(Ok(2));
+    let _ = o.map(Option2::unwrap_fn);
+    a
+}
+"#;
+        assert_eq!(count_file("f.rs", src).total, 0);
+    }
+
+    #[test]
+    fn qualified_macro_counts() {
+        assert_eq!(
+            count_file("f.rs", "fn f() { core::panic!(\"x\"); }").total,
+            1
+        );
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let mut counts = BTreeMap::new();
+        counts.insert("enviro-net".to_string(), 0usize);
+        counts.insert("enviro-bench".to_string(), 12usize);
+        let parsed = parse_baseline(&render_baseline(&counts));
+        assert_eq!(parsed, counts);
+    }
+
+    #[test]
+    fn ratchet_fails_above_and_warns_below() {
+        let mut counts = BTreeMap::new();
+        counts.insert(
+            "a".to_string(),
+            CrateCount {
+                total: 3,
+                sites: vec![("x.rs".into(), 7, "unwrap")],
+            },
+        );
+        counts.insert("b".to_string(), CrateCount::default());
+        let mut baseline = BTreeMap::new();
+        baseline.insert("a".to_string(), 1usize);
+        baseline.insert("b".to_string(), 2usize);
+        let r = compare(&counts, &baseline);
+        assert_eq!(r.errors.len(), 1);
+        assert!(r.errors[0].contains("x.rs:7"), "{:?}", r.errors);
+        assert_eq!(r.warnings.len(), 1);
+    }
+
+    #[test]
+    fn unknown_crate_is_held_to_zero() {
+        let mut counts = BTreeMap::new();
+        counts.insert(
+            "newcrate".to_string(),
+            CrateCount {
+                total: 1,
+                sites: vec![("y.rs".into(), 1, "panic")],
+            },
+        );
+        let r = compare(&counts, &BTreeMap::new());
+        assert_eq!(r.errors.len(), 1);
+    }
+}

@@ -7,12 +7,16 @@
 //! cargo run -p enviro-net --example bandwidth_demo
 //! ```
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{LausanneSim, SimConfig, Timestamp, WindowSpec};
 use enviro_geo::Point;
 use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
 use enviro_net::{
-    BaselineClient, BinaryCodec, ChannelTransport, EnviroServer, LinkProfile,
-    ModelCacheClient, Request, Response, SimulatedLink, WireCodec,
+    BaselineClient, BinaryCodec, ChannelTransport, EnviroServer, LinkProfile, ModelCacheClient,
+    Request, Response, SimulatedLink, WireCodec,
 };
 
 fn main() {
@@ -33,10 +37,13 @@ fn main() {
     for profile in [LinkProfile::GPRS, LinkProfile::THREE_G] {
         println!("--- bearer: {} ---", profile.name);
         let mut base_link = SimulatedLink::new(profile);
-        let base = BaselineClient::new(BinaryCodec).run(&server, &trajectory, &mut base_link);
+        let base = BaselineClient::new(BinaryCodec)
+            .run(&server, &trajectory, &mut base_link)
+            .expect("baseline session");
         let mut cache_link = SimulatedLink::new(profile);
-        let cache =
-            ModelCacheClient::new(BinaryCodec).run(&server, &trajectory, &mut cache_link);
+        let cache = ModelCacheClient::new(BinaryCodec)
+            .run(&server, &trajectory, &mut cache_link)
+            .expect("model-cache session");
         for (name, s) in [("baseline", &base), ("model-cache", &cache)] {
             println!(
                 "  {name:>11}: sent {:>6} B, received {:>6} B, {:>7.2} s, {} round-trips",
@@ -54,13 +61,16 @@ fn main() {
     // The same protocol across a real thread boundary: the server runs on
     // its own thread; the phone talks to it in raw bytes.
     println!("--- channel transport (server on its own thread) ---");
-    let transport = ChannelTransport::spawn(server);
+    let transport = ChannelTransport::spawn(server).expect("spawn server thread");
     let req = BinaryCodec.encode_request(&Request::Query {
         time: Timestamp::from_hours(8),
         pos: Point::new(0.0, -200.0),
     });
     let resp_bytes = transport.call(req).expect("server thread alive");
-    match BinaryCodec.decode_response(&resp_bytes).expect("well-formed") {
+    match BinaryCodec
+        .decode_response(&resp_bytes)
+        .expect("well-formed")
+    {
         Response::Value { value } => {
             println!("  CO2 at the interchange via thread-server: {value:.1} ppm")
         }

@@ -6,6 +6,10 @@
 //! cargo run -p enviro-meter --example commute_route
 //! ```
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{LausanneSim, QueryTuple, SimConfig, Timestamp, WindowSpec};
 use enviro_geo::{Point, Polyline};
 use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};

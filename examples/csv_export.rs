@@ -6,6 +6,10 @@
 //! cargo run -p enviro-data --example csv_export
 //! ```
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::csv::{read_csv, write_csv};
 use enviro_data::{LausanneSim, Pollutant, SimConfig};
 
@@ -27,9 +31,7 @@ fn main() {
     );
 
     let path = std::env::temp_dir().join("enviro_lausanne_sim.csv");
-    let mut file = std::io::BufWriter::new(
-        std::fs::File::create(&path).expect("create CSV file"),
-    );
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path).expect("create CSV file"));
     write_csv(&dataset, &mut file).expect("write CSV");
     drop(file);
     let bytes = std::fs::metadata(&path).expect("stat CSV").len();
@@ -41,7 +43,10 @@ fn main() {
     )
     .expect("parse CSV");
     assert_eq!(reloaded, dataset, "round trip must be lossless");
-    println!("reloaded {} tuples — byte-exact round trip ✓", reloaded.len());
+    println!(
+        "reloaded {} tuples — byte-exact round trip ✓",
+        reloaded.len()
+    );
 
     let (from, to) = reloaded.time_span().expect("non-empty");
     let bounds = reloaded.bounds();

@@ -6,6 +6,10 @@
 //! cargo run -p enviro-meter --example heatmap_ascii
 //! ```
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{LausanneSim, SimConfig, Timestamp, WindowSpec};
 use enviro_meter::{AdKmnConfig, EnviroMeter};
 
@@ -42,10 +46,7 @@ fn main() {
         );
 
         // Also write the PPM the web UI would color-map.
-        let path = std::env::temp_dir().join(format!(
-            "enviro_heatmap_{}.ppm",
-            t.as_secs() / 3_600
-        ));
+        let path = std::env::temp_dir().join(format!("enviro_heatmap_{}.ppm", t.as_secs() / 3_600));
         std::fs::write(&path, hm.to_ppm()).expect("write heatmap image");
         println!("PPM image written to {}", path.display());
     }

@@ -7,6 +7,10 @@
 //! cargo run -p enviro-meter --example live_ingest
 //! ```
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{LausanneSim, QueryTuple, SimConfig, Timestamp};
 use enviro_geo::Point;
 use enviro_meter::{LiveConfig, LiveEngine};

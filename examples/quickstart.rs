@@ -5,6 +5,10 @@
 //! cargo run -p enviro-meter --example quickstart
 //! ```
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{LausanneSim, QueryTuple, SimConfig, Timestamp, WindowSpec};
 use enviro_geo::Point;
 use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
@@ -41,10 +45,7 @@ fn main() {
             None => println!("  {method:>10}: no data within radius"),
         }
     }
-    println!(
-        "  ground truth: {:7.1} ppm",
-        sim.true_value(q.time, &q.pos)
-    );
+    println!("  ground truth: {:7.1} ppm", sim.true_value(q.time, &q.pos));
 
     // 4. A continuous query: a pedestrian walks for 30 minutes; the model
     //    cover answers every tick.

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adkmn_build-974012c0ad282f1b.d: /root/repo/clippy.toml crates/bench/benches/adkmn_build.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadkmn_build-974012c0ad282f1b.rmeta: /root/repo/clippy.toml crates/bench/benches/adkmn_build.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/adkmn_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-3fd9616ee83f76b6.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-3fd9616ee83f76b6: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bytes-471aa2c9a237bcd3.d: /root/repo/clippy.toml vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-471aa2c9a237bcd3.rmeta: /root/repo/clippy.toml vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bytes-64e158cc5af85011.d: /root/repo/clippy.toml vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-64e158cc5af85011.rmeta: /root/repo/clippy.toml vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

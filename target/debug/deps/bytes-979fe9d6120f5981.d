@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-979fe9d6120f5981.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-979fe9d6120f5981.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-979fe9d6120f5981.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

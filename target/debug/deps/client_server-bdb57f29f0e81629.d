@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/client_server-bdb57f29f0e81629.d: crates/net/../../tests/client_server.rs
+
+/root/repo/target/debug/deps/client_server-bdb57f29f0e81629: crates/net/../../tests/client_server.rs
+
+crates/net/../../tests/client_server.rs:

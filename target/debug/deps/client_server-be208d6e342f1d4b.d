@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/client_server-be208d6e342f1d4b.d: /root/repo/clippy.toml crates/net/../../tests/client_server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclient_server-be208d6e342f1d4b.rmeta: /root/repo/clippy.toml crates/net/../../tests/client_server.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/net/../../tests/client_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

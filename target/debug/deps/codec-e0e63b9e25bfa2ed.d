@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/codec-e0e63b9e25bfa2ed.d: /root/repo/clippy.toml crates/bench/benches/codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec-e0e63b9e25bfa2ed.rmeta: /root/repo/clippy.toml crates/bench/benches/codec.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_fuzz-8a6797b141e4de67.d: crates/net/tests/codec_fuzz.rs
+
+/root/repo/target/debug/deps/codec_fuzz-8a6797b141e4de67: crates/net/tests/codec_fuzz.rs
+
+crates/net/tests/codec_fuzz.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/codec_fuzz-e65a0bb41ec95a85.d: /root/repo/clippy.toml crates/net/tests/codec_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_fuzz-e65a0bb41ec95a85.rmeta: /root/repo/clippy.toml crates/net/tests/codec_fuzz.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/net/tests/codec_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

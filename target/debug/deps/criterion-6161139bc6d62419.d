@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-6161139bc6d62419.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6161139bc6d62419.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6161139bc6d62419.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

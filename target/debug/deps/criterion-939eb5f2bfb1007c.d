@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/criterion-939eb5f2bfb1007c.d: /root/repo/clippy.toml vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-939eb5f2bfb1007c.rmeta: /root/repo/clippy.toml vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

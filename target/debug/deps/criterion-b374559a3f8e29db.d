@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/criterion-b374559a3f8e29db.d: /root/repo/clippy.toml vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-b374559a3f8e29db.rmeta: /root/repo/clippy.toml vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

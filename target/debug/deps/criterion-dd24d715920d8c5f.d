@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-dd24d715920d8c5f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-dd24d715920d8c5f: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

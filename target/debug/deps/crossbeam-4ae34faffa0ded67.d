@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-4ae34faffa0ded67.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-4ae34faffa0ded67: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crossbeam-a5eda297301e8169.d: /root/repo/clippy.toml vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-a5eda297301e8169.rmeta: /root/repo/clippy.toml vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

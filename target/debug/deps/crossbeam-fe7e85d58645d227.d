@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-fe7e85d58645d227.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-fe7e85d58645d227.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-fe7e85d58645d227.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deployment-1a73c8452cd2a4dc.d: crates/net/../../tests/deployment.rs
+
+/root/repo/target/debug/deps/deployment-1a73c8452cd2a4dc: crates/net/../../tests/deployment.rs
+
+crates/net/../../tests/deployment.rs:

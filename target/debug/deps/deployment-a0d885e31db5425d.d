@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/deployment-a0d885e31db5425d.d: /root/repo/clippy.toml crates/net/../../tests/deployment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeployment-a0d885e31db5425d.rmeta: /root/repo/clippy.toml crates/net/../../tests/deployment.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/net/../../tests/deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

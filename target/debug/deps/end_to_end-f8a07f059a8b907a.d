@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f8a07f059a8b907a.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f8a07f059a8b907a: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enviro-560e7c4925e742a6.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/enviro-560e7c4925e742a6: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/enviro-85e112310d178d24.d: /root/repo/clippy.toml crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro-85e112310d178d24.rmeta: /root/repo/clippy.toml crates/cli/src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/enviro-b7d4a3b8b4aab929.d: /root/repo/clippy.toml crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro-b7d4a3b8b4aab929.rmeta: /root/repo/clippy.toml crates/cli/src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/enviro_bench-7517b7aee5be13ef.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/fig6a.rs crates/bench/src/fig6b.rs crates/bench/src/fig7a.rs crates/bench/src/fig7b.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libenviro_bench-7517b7aee5be13ef.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/fig6a.rs crates/bench/src/fig6b.rs crates/bench/src/fig7a.rs crates/bench/src/fig7b.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libenviro_bench-7517b7aee5be13ef.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/fig6a.rs crates/bench/src/fig6b.rs crates/bench/src/fig7a.rs crates/bench/src/fig7b.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/fig6a.rs:
+crates/bench/src/fig6b.rs:
+crates/bench/src/fig7a.rs:
+crates/bench/src/fig7b.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

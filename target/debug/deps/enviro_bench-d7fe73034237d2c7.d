@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/enviro_bench-d7fe73034237d2c7.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/fig6a.rs crates/bench/src/fig6b.rs crates/bench/src/fig7a.rs crates/bench/src/fig7b.rs crates/bench/src/table.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro_bench-d7fe73034237d2c7.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/fig6a.rs crates/bench/src/fig6b.rs crates/bench/src/fig7a.rs crates/bench/src/fig7b.rs crates/bench/src/table.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/fig6a.rs:
+crates/bench/src/fig6b.rs:
+crates/bench/src/fig7a.rs:
+crates/bench/src/fig7b.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/enviro_bench-f6c66c62195ffbe5.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/fig6a.rs crates/bench/src/fig6b.rs crates/bench/src/fig7a.rs crates/bench/src/fig7b.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/enviro_bench-f6c66c62195ffbe5: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/fig6a.rs crates/bench/src/fig6b.rs crates/bench/src/fig7a.rs crates/bench/src/fig7b.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/fig6a.rs:
+crates/bench/src/fig6b.rs:
+crates/bench/src/fig7a.rs:
+crates/bench/src/fig7b.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

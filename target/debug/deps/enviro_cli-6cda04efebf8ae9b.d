@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/enviro_cli-6cda04efebf8ae9b.d: /root/repo/clippy.toml crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro_cli-6cda04efebf8ae9b.rmeta: /root/repo/clippy.toml crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/enviro_data-88c6fe334fac1fd6.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/field.rs crates/data/src/memsize_impls.rs crates/data/src/pollutant.rs crates/data/src/sim.rs crates/data/src/tuple.rs crates/data/src/window.rs
+
+/root/repo/target/debug/deps/enviro_data-88c6fe334fac1fd6: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/field.rs crates/data/src/memsize_impls.rs crates/data/src/pollutant.rs crates/data/src/sim.rs crates/data/src/tuple.rs crates/data/src/window.rs
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/field.rs:
+crates/data/src/memsize_impls.rs:
+crates/data/src/pollutant.rs:
+crates/data/src/sim.rs:
+crates/data/src/tuple.rs:
+crates/data/src/window.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/enviro_data-98b6302fe1ac2ef5.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/field.rs crates/data/src/memsize_impls.rs crates/data/src/pollutant.rs crates/data/src/sim.rs crates/data/src/tuple.rs crates/data/src/window.rs
+
+/root/repo/target/debug/deps/libenviro_data-98b6302fe1ac2ef5.rlib: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/field.rs crates/data/src/memsize_impls.rs crates/data/src/pollutant.rs crates/data/src/sim.rs crates/data/src/tuple.rs crates/data/src/window.rs
+
+/root/repo/target/debug/deps/libenviro_data-98b6302fe1ac2ef5.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/field.rs crates/data/src/memsize_impls.rs crates/data/src/pollutant.rs crates/data/src/sim.rs crates/data/src/tuple.rs crates/data/src/window.rs
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/field.rs:
+crates/data/src/memsize_impls.rs:
+crates/data/src/pollutant.rs:
+crates/data/src/sim.rs:
+crates/data/src/tuple.rs:
+crates/data/src/window.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/enviro_data-ae68f490ab0e08c2.d: /root/repo/clippy.toml crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/field.rs crates/data/src/memsize_impls.rs crates/data/src/pollutant.rs crates/data/src/sim.rs crates/data/src/tuple.rs crates/data/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro_data-ae68f490ab0e08c2.rmeta: /root/repo/clippy.toml crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/field.rs crates/data/src/memsize_impls.rs crates/data/src/pollutant.rs crates/data/src/sim.rs crates/data/src/tuple.rs crates/data/src/window.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/field.rs:
+crates/data/src/memsize_impls.rs:
+crates/data/src/pollutant.rs:
+crates/data/src/sim.rs:
+crates/data/src/tuple.rs:
+crates/data/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/enviro_geo-091c5ca2078469f5.d: /root/repo/clippy.toml crates/geo/src/lib.rs crates/geo/src/bbox.rs crates/geo/src/grid.rs crates/geo/src/memsize_impls.rs crates/geo/src/point.rs crates/geo/src/polyline.rs crates/geo/src/projection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro_geo-091c5ca2078469f5.rmeta: /root/repo/clippy.toml crates/geo/src/lib.rs crates/geo/src/bbox.rs crates/geo/src/grid.rs crates/geo/src/memsize_impls.rs crates/geo/src/point.rs crates/geo/src/polyline.rs crates/geo/src/projection.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/geo/src/lib.rs:
+crates/geo/src/bbox.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/memsize_impls.rs:
+crates/geo/src/point.rs:
+crates/geo/src/polyline.rs:
+crates/geo/src/projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/enviro_geo-1eff45f9d0dfe1c9.d: crates/geo/src/lib.rs crates/geo/src/bbox.rs crates/geo/src/grid.rs crates/geo/src/memsize_impls.rs crates/geo/src/point.rs crates/geo/src/polyline.rs crates/geo/src/projection.rs
+
+/root/repo/target/debug/deps/libenviro_geo-1eff45f9d0dfe1c9.rlib: crates/geo/src/lib.rs crates/geo/src/bbox.rs crates/geo/src/grid.rs crates/geo/src/memsize_impls.rs crates/geo/src/point.rs crates/geo/src/polyline.rs crates/geo/src/projection.rs
+
+/root/repo/target/debug/deps/libenviro_geo-1eff45f9d0dfe1c9.rmeta: crates/geo/src/lib.rs crates/geo/src/bbox.rs crates/geo/src/grid.rs crates/geo/src/memsize_impls.rs crates/geo/src/point.rs crates/geo/src/polyline.rs crates/geo/src/projection.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/bbox.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/memsize_impls.rs:
+crates/geo/src/point.rs:
+crates/geo/src/polyline.rs:
+crates/geo/src/projection.rs:

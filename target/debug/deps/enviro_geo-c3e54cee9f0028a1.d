@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/enviro_geo-c3e54cee9f0028a1.d: crates/geo/src/lib.rs crates/geo/src/bbox.rs crates/geo/src/grid.rs crates/geo/src/memsize_impls.rs crates/geo/src/point.rs crates/geo/src/polyline.rs crates/geo/src/projection.rs
+
+/root/repo/target/debug/deps/enviro_geo-c3e54cee9f0028a1: crates/geo/src/lib.rs crates/geo/src/bbox.rs crates/geo/src/grid.rs crates/geo/src/memsize_impls.rs crates/geo/src/point.rs crates/geo/src/polyline.rs crates/geo/src/projection.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/bbox.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/memsize_impls.rs:
+crates/geo/src/point.rs:
+crates/geo/src/polyline.rs:
+crates/geo/src/projection.rs:

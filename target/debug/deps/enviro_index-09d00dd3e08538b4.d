@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/enviro_index-09d00dd3e08538b4.d: crates/index/src/lib.rs crates/index/src/grid_index.rs crates/index/src/kdtree.rs crates/index/src/rtree.rs crates/index/src/vptree.rs
+
+/root/repo/target/debug/deps/libenviro_index-09d00dd3e08538b4.rlib: crates/index/src/lib.rs crates/index/src/grid_index.rs crates/index/src/kdtree.rs crates/index/src/rtree.rs crates/index/src/vptree.rs
+
+/root/repo/target/debug/deps/libenviro_index-09d00dd3e08538b4.rmeta: crates/index/src/lib.rs crates/index/src/grid_index.rs crates/index/src/kdtree.rs crates/index/src/rtree.rs crates/index/src/vptree.rs
+
+crates/index/src/lib.rs:
+crates/index/src/grid_index.rs:
+crates/index/src/kdtree.rs:
+crates/index/src/rtree.rs:
+crates/index/src/vptree.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/enviro_index-40d22e40a80b97b3.d: /root/repo/clippy.toml crates/index/src/lib.rs crates/index/src/grid_index.rs crates/index/src/kdtree.rs crates/index/src/rtree.rs crates/index/src/vptree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro_index-40d22e40a80b97b3.rmeta: /root/repo/clippy.toml crates/index/src/lib.rs crates/index/src/grid_index.rs crates/index/src/kdtree.rs crates/index/src/rtree.rs crates/index/src/vptree.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/index/src/lib.rs:
+crates/index/src/grid_index.rs:
+crates/index/src/kdtree.rs:
+crates/index/src/rtree.rs:
+crates/index/src/vptree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

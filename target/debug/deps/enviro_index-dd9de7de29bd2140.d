@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enviro_index-dd9de7de29bd2140.d: crates/index/src/lib.rs crates/index/src/grid_index.rs crates/index/src/kdtree.rs crates/index/src/rtree.rs crates/index/src/vptree.rs
+
+/root/repo/target/debug/deps/enviro_index-dd9de7de29bd2140: crates/index/src/lib.rs crates/index/src/grid_index.rs crates/index/src/kdtree.rs crates/index/src/rtree.rs crates/index/src/vptree.rs
+
+crates/index/src/lib.rs:
+crates/index/src/grid_index.rs:
+crates/index/src/kdtree.rs:
+crates/index/src/rtree.rs:
+crates/index/src/vptree.rs:

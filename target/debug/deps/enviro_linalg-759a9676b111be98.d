@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enviro_linalg-759a9676b111be98.d: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs
+
+/root/repo/target/debug/deps/libenviro_linalg-759a9676b111be98.rlib: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs
+
+/root/repo/target/debug/deps/libenviro_linalg-759a9676b111be98.rmeta: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/solve.rs:

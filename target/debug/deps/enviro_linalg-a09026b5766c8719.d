@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/enviro_linalg-a09026b5766c8719.d: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro_linalg-a09026b5766c8719.rmeta: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/src/lib.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/enviro_linalg-d5a1ba669b69e1e2.d: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs
+
+/root/repo/target/debug/deps/enviro_linalg-d5a1ba669b69e1e2: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/solve.rs:

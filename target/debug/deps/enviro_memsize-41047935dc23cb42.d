@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enviro_memsize-41047935dc23cb42.d: crates/memsize/src/lib.rs
+
+/root/repo/target/debug/deps/enviro_memsize-41047935dc23cb42: crates/memsize/src/lib.rs
+
+crates/memsize/src/lib.rs:

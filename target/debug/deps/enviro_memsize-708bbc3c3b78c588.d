@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/enviro_memsize-708bbc3c3b78c588.d: crates/memsize/src/lib.rs
+
+/root/repo/target/debug/deps/libenviro_memsize-708bbc3c3b78c588.rlib: crates/memsize/src/lib.rs
+
+/root/repo/target/debug/deps/libenviro_memsize-708bbc3c3b78c588.rmeta: crates/memsize/src/lib.rs
+
+crates/memsize/src/lib.rs:

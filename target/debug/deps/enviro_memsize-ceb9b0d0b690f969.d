@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/enviro_memsize-ceb9b0d0b690f969.d: /root/repo/clippy.toml crates/memsize/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro_memsize-ceb9b0d0b690f969.rmeta: /root/repo/clippy.toml crates/memsize/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/memsize/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/enviro_meter-b856a6034d76849e.d: crates/core/src/lib.rs crates/core/src/cluster/mod.rs crates/core/src/cluster/adkmn.rs crates/core/src/cluster/kmeans.rs crates/core/src/cover.rs crates/core/src/eval.rs crates/core/src/heatmap.rs crates/core/src/live.rs crates/core/src/model/mod.rs crates/core/src/model/error.rs crates/core/src/model/linear.rs crates/core/src/platform.rs crates/core/src/query/mod.rs crates/core/src/query/cover_proc.rs crates/core/src/query/engine.rs crates/core/src/query/idw.rs crates/core/src/query/indexed.rs crates/core/src/query/naive.rs crates/core/src/route.rs
+
+/root/repo/target/debug/deps/libenviro_meter-b856a6034d76849e.rlib: crates/core/src/lib.rs crates/core/src/cluster/mod.rs crates/core/src/cluster/adkmn.rs crates/core/src/cluster/kmeans.rs crates/core/src/cover.rs crates/core/src/eval.rs crates/core/src/heatmap.rs crates/core/src/live.rs crates/core/src/model/mod.rs crates/core/src/model/error.rs crates/core/src/model/linear.rs crates/core/src/platform.rs crates/core/src/query/mod.rs crates/core/src/query/cover_proc.rs crates/core/src/query/engine.rs crates/core/src/query/idw.rs crates/core/src/query/indexed.rs crates/core/src/query/naive.rs crates/core/src/route.rs
+
+/root/repo/target/debug/deps/libenviro_meter-b856a6034d76849e.rmeta: crates/core/src/lib.rs crates/core/src/cluster/mod.rs crates/core/src/cluster/adkmn.rs crates/core/src/cluster/kmeans.rs crates/core/src/cover.rs crates/core/src/eval.rs crates/core/src/heatmap.rs crates/core/src/live.rs crates/core/src/model/mod.rs crates/core/src/model/error.rs crates/core/src/model/linear.rs crates/core/src/platform.rs crates/core/src/query/mod.rs crates/core/src/query/cover_proc.rs crates/core/src/query/engine.rs crates/core/src/query/idw.rs crates/core/src/query/indexed.rs crates/core/src/query/naive.rs crates/core/src/route.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster/mod.rs:
+crates/core/src/cluster/adkmn.rs:
+crates/core/src/cluster/kmeans.rs:
+crates/core/src/cover.rs:
+crates/core/src/eval.rs:
+crates/core/src/heatmap.rs:
+crates/core/src/live.rs:
+crates/core/src/model/mod.rs:
+crates/core/src/model/error.rs:
+crates/core/src/model/linear.rs:
+crates/core/src/platform.rs:
+crates/core/src/query/mod.rs:
+crates/core/src/query/cover_proc.rs:
+crates/core/src/query/engine.rs:
+crates/core/src/query/idw.rs:
+crates/core/src/query/indexed.rs:
+crates/core/src/query/naive.rs:
+crates/core/src/route.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/enviro_net-1ed21937054f14b9.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/codec.rs crates/net/src/link.rs crates/net/src/protocol.rs crates/net/src/server.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libenviro_net-1ed21937054f14b9.rlib: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/codec.rs crates/net/src/link.rs crates/net/src/protocol.rs crates/net/src/server.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libenviro_net-1ed21937054f14b9.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/codec.rs crates/net/src/link.rs crates/net/src/protocol.rs crates/net/src/server.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/codec.rs:
+crates/net/src/link.rs:
+crates/net/src/protocol.rs:
+crates/net/src/server.rs:
+crates/net/src/transport.rs:

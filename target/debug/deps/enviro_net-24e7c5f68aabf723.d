@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/enviro_net-24e7c5f68aabf723.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/codec.rs crates/net/src/link.rs crates/net/src/protocol.rs crates/net/src/server.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/enviro_net-24e7c5f68aabf723: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/codec.rs crates/net/src/link.rs crates/net/src/protocol.rs crates/net/src/server.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/codec.rs:
+crates/net/src/link.rs:
+crates/net/src/protocol.rs:
+crates/net/src/server.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/enviro_net-a3b5658edb56fc5f.d: /root/repo/clippy.toml crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/codec.rs crates/net/src/link.rs crates/net/src/protocol.rs crates/net/src/server.rs crates/net/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro_net-a3b5658edb56fc5f.rmeta: /root/repo/clippy.toml crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/codec.rs crates/net/src/link.rs crates/net/src/protocol.rs crates/net/src/server.rs crates/net/src/transport.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/codec.rs:
+crates/net/src/link.rs:
+crates/net/src/protocol.rs:
+crates/net/src/server.rs:
+crates/net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

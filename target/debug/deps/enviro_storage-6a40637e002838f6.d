@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enviro_storage-6a40637e002838f6.d: crates/storage/src/lib.rs crates/storage/src/crc.rs crates/storage/src/record.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+/root/repo/target/debug/deps/enviro_storage-6a40637e002838f6: crates/storage/src/lib.rs crates/storage/src/crc.rs crates/storage/src/record.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/crc.rs:
+crates/storage/src/record.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/store.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/enviro_storage-cc5bde839b0351b8.d: /root/repo/clippy.toml crates/storage/src/lib.rs crates/storage/src/crc.rs crates/storage/src/record.rs crates/storage/src/segment.rs crates/storage/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenviro_storage-cc5bde839b0351b8.rmeta: /root/repo/clippy.toml crates/storage/src/lib.rs crates/storage/src/crc.rs crates/storage/src/record.rs crates/storage/src/segment.rs crates/storage/src/store.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/storage/src/lib.rs:
+crates/storage/src/crc.rs:
+crates/storage/src/record.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/enviro_storage-d784e6991ac5b439.d: crates/storage/src/lib.rs crates/storage/src/crc.rs crates/storage/src/record.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+/root/repo/target/debug/deps/libenviro_storage-d784e6991ac5b439.rlib: crates/storage/src/lib.rs crates/storage/src/crc.rs crates/storage/src/record.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+/root/repo/target/debug/deps/libenviro_storage-d784e6991ac5b439.rmeta: crates/storage/src/lib.rs crates/storage/src/crc.rs crates/storage/src/record.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/crc.rs:
+crates/storage/src/record.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/store.rs:

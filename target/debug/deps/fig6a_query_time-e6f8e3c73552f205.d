@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig6a_query_time-e6f8e3c73552f205.d: /root/repo/clippy.toml crates/bench/benches/fig6a_query_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6a_query_time-e6f8e3c73552f205.rmeta: /root/repo/clippy.toml crates/bench/benches/fig6a_query_time.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/fig6a_query_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7b_bandwidth-bc5596349b305e3b.d: /root/repo/clippy.toml crates/bench/benches/fig7b_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7b_bandwidth-bc5596349b305e3b.rmeta: /root/repo/clippy.toml crates/bench/benches/fig7b_bandwidth.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/fig7b_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

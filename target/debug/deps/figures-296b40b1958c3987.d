@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-296b40b1958c3987.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-296b40b1958c3987: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

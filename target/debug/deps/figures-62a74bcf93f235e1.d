@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figures-62a74bcf93f235e1.d: /root/repo/clippy.toml crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-62a74bcf93f235e1.rmeta: /root/repo/clippy.toml crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-829aa20b6d3e59c6.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-829aa20b6d3e59c6: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

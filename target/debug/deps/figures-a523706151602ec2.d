@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figures-a523706151602ec2.d: /root/repo/clippy.toml crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-a523706151602ec2.rmeta: /root/repo/clippy.toml crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

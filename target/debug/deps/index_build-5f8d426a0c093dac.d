@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/index_build-5f8d426a0c093dac.d: /root/repo/clippy.toml crates/bench/benches/index_build.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_build-5f8d426a0c093dac.rmeta: /root/repo/clippy.toml crates/bench/benches/index_build.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/index_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/link_properties-0dea08c385ff5a4e.d: crates/net/tests/link_properties.rs
+
+/root/repo/target/debug/deps/link_properties-0dea08c385ff5a4e: crates/net/tests/link_properties.rs
+
+crates/net/tests/link_properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/link_properties-1e6e561d24923ba3.d: /root/repo/clippy.toml crates/net/tests/link_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblink_properties-1e6e561d24923ba3.rmeta: /root/repo/clippy.toml crates/net/tests/link_properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/net/tests/link_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

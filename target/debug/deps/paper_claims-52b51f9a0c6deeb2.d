@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-52b51f9a0c6deeb2.d: crates/bench/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-52b51f9a0c6deeb2: crates/bench/../../tests/paper_claims.rs
+
+crates/bench/../../tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-054ccc14d83ef3f0.d: crates/storage/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-054ccc14d83ef3f0: crates/storage/tests/properties.rs
+
+crates/storage/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-395b9a0bda1f76a1.d: crates/geo/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-395b9a0bda1f76a1: crates/geo/tests/properties.rs
+
+crates/geo/tests/properties.rs:

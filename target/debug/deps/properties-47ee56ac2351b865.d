@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-47ee56ac2351b865.d: /root/repo/clippy.toml crates/geo/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-47ee56ac2351b865.rmeta: /root/repo/clippy.toml crates/geo/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/geo/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

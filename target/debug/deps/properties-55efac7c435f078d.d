@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-55efac7c435f078d.d: /root/repo/clippy.toml crates/index/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-55efac7c435f078d.rmeta: /root/repo/clippy.toml crates/index/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/index/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

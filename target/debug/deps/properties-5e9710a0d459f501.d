@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5e9710a0d459f501.d: crates/linalg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5e9710a0d459f501: crates/linalg/tests/properties.rs
+
+crates/linalg/tests/properties.rs:

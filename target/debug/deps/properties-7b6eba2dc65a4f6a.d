@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-7b6eba2dc65a4f6a.d: /root/repo/clippy.toml crates/storage/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7b6eba2dc65a4f6a.rmeta: /root/repo/clippy.toml crates/storage/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/storage/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

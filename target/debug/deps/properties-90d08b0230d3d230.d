@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-90d08b0230d3d230.d: crates/index/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-90d08b0230d3d230: crates/index/tests/properties.rs
+
+crates/index/tests/properties.rs:

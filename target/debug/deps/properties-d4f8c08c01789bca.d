@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d4f8c08c01789bca.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d4f8c08c01789bca: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

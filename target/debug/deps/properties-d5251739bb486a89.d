@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-d5251739bb486a89.d: /root/repo/clippy.toml crates/linalg/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d5251739bb486a89.rmeta: /root/repo/clippy.toml crates/linalg/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

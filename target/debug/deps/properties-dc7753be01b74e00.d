@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-dc7753be01b74e00.d: /root/repo/clippy.toml crates/core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-dc7753be01b74e00.rmeta: /root/repo/clippy.toml crates/core/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

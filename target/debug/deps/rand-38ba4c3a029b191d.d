@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-38ba4c3a029b191d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-38ba4c3a029b191d: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-a994e6d08d31c698.d: /root/repo/clippy.toml vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-a994e6d08d31c698.rmeta: /root/repo/clippy.toml vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

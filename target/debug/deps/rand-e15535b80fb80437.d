@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e15535b80fb80437.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e15535b80fb80437.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e15535b80fb80437.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

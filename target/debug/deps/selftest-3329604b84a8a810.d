@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/selftest-3329604b84a8a810.d: /root/repo/clippy.toml crates/xtask/tests/selftest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselftest-3329604b84a8a810.rmeta: /root/repo/clippy.toml crates/xtask/tests/selftest.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xtask/tests/selftest.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/selftest-a2ab6c138214719a.d: crates/xtask/tests/selftest.rs
+
+/root/repo/target/debug/deps/selftest-a2ab6c138214719a: crates/xtask/tests/selftest.rs
+
+crates/xtask/tests/selftest.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/window_properties-62f5d3f08ae1a7b5.d: /root/repo/clippy.toml crates/data/tests/window_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwindow_properties-62f5d3f08ae1a7b5.rmeta: /root/repo/clippy.toml crates/data/tests/window_properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/data/tests/window_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/window_properties-9b6e798fed790851.d: crates/data/tests/window_properties.rs
+
+/root/repo/target/debug/deps/window_properties-9b6e798fed790851: crates/data/tests/window_properties.rs
+
+crates/data/tests/window_properties.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xtask-77ef6a3f4f13ac97.d: /root/repo/clippy.toml crates/xtask/src/lib.rs crates/xtask/src/invariants.rs crates/xtask/src/layering.rs crates/xtask/src/manifest.rs crates/xtask/src/ratchet.rs crates/xtask/src/scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-77ef6a3f4f13ac97.rmeta: /root/repo/clippy.toml crates/xtask/src/lib.rs crates/xtask/src/invariants.rs crates/xtask/src/layering.rs crates/xtask/src/manifest.rs crates/xtask/src/ratchet.rs crates/xtask/src/scan.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xtask/src/lib.rs:
+crates/xtask/src/invariants.rs:
+crates/xtask/src/layering.rs:
+crates/xtask/src/manifest.rs:
+crates/xtask/src/ratchet.rs:
+crates/xtask/src/scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtask-e9cda8f165ea47d2.d: /root/repo/clippy.toml crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-e9cda8f165ea47d2.rmeta: /root/repo/clippy.toml crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xtask/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f.d: crates/xtask/src/lib.rs crates/xtask/src/invariants.rs crates/xtask/src/layering.rs crates/xtask/src/manifest.rs crates/xtask/src/ratchet.rs crates/xtask/src/scan.rs
+
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f: crates/xtask/src/lib.rs crates/xtask/src/invariants.rs crates/xtask/src/layering.rs crates/xtask/src/manifest.rs crates/xtask/src/ratchet.rs crates/xtask/src/scan.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/invariants.rs:
+crates/xtask/src/layering.rs:
+crates/xtask/src/manifest.rs:
+crates/xtask/src/ratchet.rs:
+crates/xtask/src/scan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xtask-fef9f4cda5c828a0.d: crates/xtask/src/lib.rs crates/xtask/src/invariants.rs crates/xtask/src/layering.rs crates/xtask/src/manifest.rs crates/xtask/src/ratchet.rs crates/xtask/src/scan.rs
+
+/root/repo/target/debug/deps/libxtask-fef9f4cda5c828a0.rlib: crates/xtask/src/lib.rs crates/xtask/src/invariants.rs crates/xtask/src/layering.rs crates/xtask/src/manifest.rs crates/xtask/src/ratchet.rs crates/xtask/src/scan.rs
+
+/root/repo/target/debug/deps/libxtask-fef9f4cda5c828a0.rmeta: crates/xtask/src/lib.rs crates/xtask/src/invariants.rs crates/xtask/src/layering.rs crates/xtask/src/manifest.rs crates/xtask/src/ratchet.rs crates/xtask/src/scan.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/invariants.rs:
+crates/xtask/src/layering.rs:
+crates/xtask/src/manifest.rs:
+crates/xtask/src/ratchet.rs:
+crates/xtask/src/scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bandwidth_demo-0c08df26fb02c7eb.d: crates/net/../../examples/bandwidth_demo.rs
+
+/root/repo/target/debug/examples/bandwidth_demo-0c08df26fb02c7eb: crates/net/../../examples/bandwidth_demo.rs
+
+crates/net/../../examples/bandwidth_demo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/bandwidth_demo-42f287a16fdc5bff.d: /root/repo/clippy.toml crates/net/../../examples/bandwidth_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbandwidth_demo-42f287a16fdc5bff.rmeta: /root/repo/clippy.toml crates/net/../../examples/bandwidth_demo.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/net/../../examples/bandwidth_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/commute_route-582db00cb11de645.d: /root/repo/clippy.toml crates/core/../../examples/commute_route.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcommute_route-582db00cb11de645.rmeta: /root/repo/clippy.toml crates/core/../../examples/commute_route.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../examples/commute_route.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

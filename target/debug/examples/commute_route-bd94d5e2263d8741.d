@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/commute_route-bd94d5e2263d8741.d: crates/core/../../examples/commute_route.rs
+
+/root/repo/target/debug/examples/commute_route-bd94d5e2263d8741: crates/core/../../examples/commute_route.rs
+
+crates/core/../../examples/commute_route.rs:

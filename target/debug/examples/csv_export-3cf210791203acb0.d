@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/csv_export-3cf210791203acb0.d: /root/repo/clippy.toml crates/data/../../examples/csv_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcsv_export-3cf210791203acb0.rmeta: /root/repo/clippy.toml crates/data/../../examples/csv_export.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/data/../../examples/csv_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

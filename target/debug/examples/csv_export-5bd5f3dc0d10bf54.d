@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/csv_export-5bd5f3dc0d10bf54.d: crates/data/../../examples/csv_export.rs
+
+/root/repo/target/debug/examples/csv_export-5bd5f3dc0d10bf54: crates/data/../../examples/csv_export.rs
+
+crates/data/../../examples/csv_export.rs:

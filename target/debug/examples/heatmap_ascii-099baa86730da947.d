@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heatmap_ascii-099baa86730da947.d: crates/core/../../examples/heatmap_ascii.rs
+
+/root/repo/target/debug/examples/heatmap_ascii-099baa86730da947: crates/core/../../examples/heatmap_ascii.rs
+
+crates/core/../../examples/heatmap_ascii.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/heatmap_ascii-74b43c81e3ae11c6.d: /root/repo/clippy.toml crates/core/../../examples/heatmap_ascii.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheatmap_ascii-74b43c81e3ae11c6.rmeta: /root/repo/clippy.toml crates/core/../../examples/heatmap_ascii.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../examples/heatmap_ascii.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

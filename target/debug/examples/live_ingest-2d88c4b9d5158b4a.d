@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/live_ingest-2d88c4b9d5158b4a.d: /root/repo/clippy.toml crates/core/../../examples/live_ingest.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_ingest-2d88c4b9d5158b4a.rmeta: /root/repo/clippy.toml crates/core/../../examples/live_ingest.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../examples/live_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_ingest-88b385dff09abc7c.d: crates/core/../../examples/live_ingest.rs
+
+/root/repo/target/debug/examples/live_ingest-88b385dff09abc7c: crates/core/../../examples/live_ingest.rs
+
+crates/core/../../examples/live_ingest.rs:

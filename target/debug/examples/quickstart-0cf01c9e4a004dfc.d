@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/quickstart-0cf01c9e4a004dfc.d: /root/repo/clippy.toml crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-0cf01c9e4a004dfc.rmeta: /root/repo/clippy.toml crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

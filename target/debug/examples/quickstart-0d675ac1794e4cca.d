@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0d675ac1794e4cca.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0d675ac1794e4cca: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-ab3c6262ce509d02.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ab3c6262ce509d02.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ab3c6262ce509d02.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

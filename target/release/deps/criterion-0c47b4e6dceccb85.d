@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0c47b4e6dceccb85.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0c47b4e6dceccb85.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0c47b4e6dceccb85.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

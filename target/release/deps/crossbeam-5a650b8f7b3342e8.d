@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-5a650b8f7b3342e8.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-5a650b8f7b3342e8.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-5a650b8f7b3342e8.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/enviro-9060099365428223.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/enviro-9060099365428223: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

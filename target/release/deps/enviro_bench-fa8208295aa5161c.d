@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/enviro_bench-fa8208295aa5161c.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/fig6a.rs crates/bench/src/fig6b.rs crates/bench/src/fig7a.rs crates/bench/src/fig7b.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libenviro_bench-fa8208295aa5161c.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/fig6a.rs crates/bench/src/fig6b.rs crates/bench/src/fig7a.rs crates/bench/src/fig7b.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libenviro_bench-fa8208295aa5161c.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/fig6a.rs crates/bench/src/fig6b.rs crates/bench/src/fig7a.rs crates/bench/src/fig7b.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/fig6a.rs:
+crates/bench/src/fig6b.rs:
+crates/bench/src/fig7a.rs:
+crates/bench/src/fig7b.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

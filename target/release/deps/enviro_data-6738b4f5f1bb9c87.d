@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/enviro_data-6738b4f5f1bb9c87.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/field.rs crates/data/src/memsize_impls.rs crates/data/src/pollutant.rs crates/data/src/sim.rs crates/data/src/tuple.rs crates/data/src/window.rs
+
+/root/repo/target/release/deps/libenviro_data-6738b4f5f1bb9c87.rlib: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/field.rs crates/data/src/memsize_impls.rs crates/data/src/pollutant.rs crates/data/src/sim.rs crates/data/src/tuple.rs crates/data/src/window.rs
+
+/root/repo/target/release/deps/libenviro_data-6738b4f5f1bb9c87.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/field.rs crates/data/src/memsize_impls.rs crates/data/src/pollutant.rs crates/data/src/sim.rs crates/data/src/tuple.rs crates/data/src/window.rs
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/field.rs:
+crates/data/src/memsize_impls.rs:
+crates/data/src/pollutant.rs:
+crates/data/src/sim.rs:
+crates/data/src/tuple.rs:
+crates/data/src/window.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/enviro_geo-5004e19a02d409a7.d: crates/geo/src/lib.rs crates/geo/src/bbox.rs crates/geo/src/grid.rs crates/geo/src/memsize_impls.rs crates/geo/src/point.rs crates/geo/src/polyline.rs crates/geo/src/projection.rs
+
+/root/repo/target/release/deps/libenviro_geo-5004e19a02d409a7.rlib: crates/geo/src/lib.rs crates/geo/src/bbox.rs crates/geo/src/grid.rs crates/geo/src/memsize_impls.rs crates/geo/src/point.rs crates/geo/src/polyline.rs crates/geo/src/projection.rs
+
+/root/repo/target/release/deps/libenviro_geo-5004e19a02d409a7.rmeta: crates/geo/src/lib.rs crates/geo/src/bbox.rs crates/geo/src/grid.rs crates/geo/src/memsize_impls.rs crates/geo/src/point.rs crates/geo/src/polyline.rs crates/geo/src/projection.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/bbox.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/memsize_impls.rs:
+crates/geo/src/point.rs:
+crates/geo/src/polyline.rs:
+crates/geo/src/projection.rs:

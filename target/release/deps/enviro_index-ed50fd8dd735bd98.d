@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/enviro_index-ed50fd8dd735bd98.d: crates/index/src/lib.rs crates/index/src/grid_index.rs crates/index/src/kdtree.rs crates/index/src/rtree.rs crates/index/src/vptree.rs
+
+/root/repo/target/release/deps/libenviro_index-ed50fd8dd735bd98.rlib: crates/index/src/lib.rs crates/index/src/grid_index.rs crates/index/src/kdtree.rs crates/index/src/rtree.rs crates/index/src/vptree.rs
+
+/root/repo/target/release/deps/libenviro_index-ed50fd8dd735bd98.rmeta: crates/index/src/lib.rs crates/index/src/grid_index.rs crates/index/src/kdtree.rs crates/index/src/rtree.rs crates/index/src/vptree.rs
+
+crates/index/src/lib.rs:
+crates/index/src/grid_index.rs:
+crates/index/src/kdtree.rs:
+crates/index/src/rtree.rs:
+crates/index/src/vptree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/enviro_linalg-5339d5dd3fe3f197.d: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs
+
+/root/repo/target/release/deps/libenviro_linalg-5339d5dd3fe3f197.rlib: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs
+
+/root/repo/target/release/deps/libenviro_linalg-5339d5dd3fe3f197.rmeta: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/solve.rs:

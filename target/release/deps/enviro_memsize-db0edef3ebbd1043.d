@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/enviro_memsize-db0edef3ebbd1043.d: crates/memsize/src/lib.rs
+
+/root/repo/target/release/deps/libenviro_memsize-db0edef3ebbd1043.rlib: crates/memsize/src/lib.rs
+
+/root/repo/target/release/deps/libenviro_memsize-db0edef3ebbd1043.rmeta: crates/memsize/src/lib.rs
+
+crates/memsize/src/lib.rs:

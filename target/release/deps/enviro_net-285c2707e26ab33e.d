@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/enviro_net-285c2707e26ab33e.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/codec.rs crates/net/src/link.rs crates/net/src/protocol.rs crates/net/src/server.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libenviro_net-285c2707e26ab33e.rlib: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/codec.rs crates/net/src/link.rs crates/net/src/protocol.rs crates/net/src/server.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libenviro_net-285c2707e26ab33e.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/codec.rs crates/net/src/link.rs crates/net/src/protocol.rs crates/net/src/server.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/codec.rs:
+crates/net/src/link.rs:
+crates/net/src/protocol.rs:
+crates/net/src/server.rs:
+crates/net/src/transport.rs:

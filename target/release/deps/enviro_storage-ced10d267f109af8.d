@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/enviro_storage-ced10d267f109af8.d: crates/storage/src/lib.rs crates/storage/src/crc.rs crates/storage/src/record.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+/root/repo/target/release/deps/libenviro_storage-ced10d267f109af8.rlib: crates/storage/src/lib.rs crates/storage/src/crc.rs crates/storage/src/record.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+/root/repo/target/release/deps/libenviro_storage-ced10d267f109af8.rmeta: crates/storage/src/lib.rs crates/storage/src/crc.rs crates/storage/src/record.rs crates/storage/src/segment.rs crates/storage/src/store.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/crc.rs:
+crates/storage/src/record.rs:
+crates/storage/src/segment.rs:
+crates/storage/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-51875ef82ec49456.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-51875ef82ec49456: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

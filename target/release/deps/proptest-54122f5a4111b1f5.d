@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/proptest-54122f5a4111b1f5.d: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/rng.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-54122f5a4111b1f5.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/rng.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-54122f5a4111b1f5.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/rng.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/rng.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

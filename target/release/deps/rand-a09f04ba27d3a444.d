@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a09f04ba27d3a444.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a09f04ba27d3a444.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a09f04ba27d3a444.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xtask-34f7d781b42867db.d: crates/xtask/src/lib.rs crates/xtask/src/invariants.rs crates/xtask/src/layering.rs crates/xtask/src/manifest.rs crates/xtask/src/ratchet.rs crates/xtask/src/scan.rs
+
+/root/repo/target/release/deps/libxtask-34f7d781b42867db.rlib: crates/xtask/src/lib.rs crates/xtask/src/invariants.rs crates/xtask/src/layering.rs crates/xtask/src/manifest.rs crates/xtask/src/ratchet.rs crates/xtask/src/scan.rs
+
+/root/repo/target/release/deps/libxtask-34f7d781b42867db.rmeta: crates/xtask/src/lib.rs crates/xtask/src/invariants.rs crates/xtask/src/layering.rs crates/xtask/src/manifest.rs crates/xtask/src/ratchet.rs crates/xtask/src/scan.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/invariants.rs:
+crates/xtask/src/layering.rs:
+crates/xtask/src/manifest.rs:
+crates/xtask/src/ratchet.rs:
+crates/xtask/src/scan.rs:

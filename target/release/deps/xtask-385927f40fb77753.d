@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xtask-385927f40fb77753.d: crates/xtask/src/main.rs
+
+/root/repo/target/release/deps/xtask-385927f40fb77753: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

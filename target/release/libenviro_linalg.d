@@ -1,0 +1,1 @@
+/root/repo/target/release/libenviro_linalg.rlib: /root/repo/crates/linalg/src/lib.rs /root/repo/crates/linalg/src/matrix.rs /root/repo/crates/linalg/src/solve.rs

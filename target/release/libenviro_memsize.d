@@ -1,0 +1,1 @@
+/root/repo/target/release/libenviro_memsize.rlib: /root/repo/crates/memsize/src/lib.rs

@@ -1,12 +1,16 @@
 //! Cross-crate integration: the full mobile protocol — codec, link,
 //! server, clients, thread transport — against a live platform.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{LausanneSim, SimConfig, Timestamp, WindowSpec};
 use enviro_geo::Point;
 use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
 use enviro_net::{
-    BaselineClient, BinaryCodec, ChannelTransport, EnviroServer, LinkProfile,
-    ModelCacheClient, Request, Response, SimulatedLink, TextCodec, WireCodec,
+    BaselineClient, BinaryCodec, ChannelTransport, EnviroServer, LinkProfile, ModelCacheClient,
+    Request, Response, SimulatedLink, TextCodec, WireCodec,
 };
 
 fn server<C: WireCodec>(codec: C, seed: u64) -> (EnviroServer<C>, LausanneSim) {
@@ -32,15 +36,18 @@ fn cached_cover_answers_match_server_answers() {
     let (srv, sim) = server(BinaryCodec, 1);
     let traj = sim.continuous_trajectory(80, 60, 2);
     let mut l1 = SimulatedLink::new(LinkProfile::IDEAL);
-    let base = BaselineClient::new(BinaryCodec).run(&srv, &traj, &mut l1);
+    let base = BaselineClient::new(BinaryCodec)
+        .run(&srv, &traj, &mut l1)
+        .unwrap();
     let mut l2 = SimulatedLink::new(LinkProfile::IDEAL);
-    let cache = ModelCacheClient::new(BinaryCodec).run(&srv, &traj, &mut l2);
+    let cache = ModelCacheClient::new(BinaryCodec)
+        .run(&srv, &traj, &mut l2)
+        .unwrap();
     for (i, (a, b)) in base.values.iter().zip(&cache.values).enumerate() {
         match (a, b) {
-            (Some(x), Some(y)) => assert!(
-                (x - y).abs() < 1e-9,
-                "tuple {i}: server {x} vs cached {y}"
-            ),
+            (Some(x), Some(y)) => {
+                assert!((x - y).abs() < 1e-9, "tuple {i}: server {x} vs cached {y}")
+            }
             (None, None) => {}
             other => panic!("tuple {i}: {other:?}"),
         }
@@ -53,9 +60,13 @@ fn text_and_binary_codecs_give_identical_values() {
     let (txt_srv, _) = server(TextCodec, 3);
     let traj = sim.continuous_trajectory(40, 60, 4);
     let mut l1 = SimulatedLink::new(LinkProfile::IDEAL);
-    let bin = BaselineClient::new(BinaryCodec).run(&bin_srv, &traj, &mut l1);
+    let bin = BaselineClient::new(BinaryCodec)
+        .run(&bin_srv, &traj, &mut l1)
+        .unwrap();
     let mut l2 = SimulatedLink::new(LinkProfile::IDEAL);
-    let txt = BaselineClient::new(TextCodec).run(&txt_srv, &traj, &mut l2);
+    let txt = BaselineClient::new(TextCodec)
+        .run(&txt_srv, &traj, &mut l2)
+        .unwrap();
     for (a, b) in bin.values.iter().zip(&txt.values) {
         match (a, b) {
             // Text codec prints 9 decimal places; equality up to that.
@@ -75,9 +86,13 @@ fn model_cache_bandwidth_savings_hold_over_3g_too() {
     let traj = sim.continuous_trajectory(100, 60, 6);
     for profile in [LinkProfile::GPRS, LinkProfile::THREE_G] {
         let mut l1 = SimulatedLink::new(profile);
-        let base = BaselineClient::new(BinaryCodec).run(&srv, &traj, &mut l1);
+        let base = BaselineClient::new(BinaryCodec)
+            .run(&srv, &traj, &mut l1)
+            .unwrap();
         let mut l2 = SimulatedLink::new(profile);
-        let cache = ModelCacheClient::new(BinaryCodec).run(&srv, &traj, &mut l2);
+        let cache = ModelCacheClient::new(BinaryCodec)
+            .run(&srv, &traj, &mut l2)
+            .unwrap();
         assert!(
             base.usage.sent_bytes > cache.usage.sent_bytes * 20,
             "{}: sent {} vs {}",
@@ -85,14 +100,18 @@ fn model_cache_bandwidth_savings_hold_over_3g_too() {
             base.usage.sent_bytes,
             cache.usage.sent_bytes
         );
-        assert!(base.elapsed_secs > cache.elapsed_secs * 20.0, "{}", profile.name);
+        assert!(
+            base.elapsed_secs > cache.elapsed_secs * 20.0,
+            "{}",
+            profile.name
+        );
     }
 }
 
 #[test]
 fn thread_transport_serves_both_request_kinds() {
     let (srv, _) = server(BinaryCodec, 7);
-    let transport = ChannelTransport::spawn(srv);
+    let transport = ChannelTransport::spawn(srv).unwrap();
 
     let q = BinaryCodec.encode_request(&Request::Query {
         time: Timestamp::from_hours(8),

@@ -2,20 +2,20 @@
 //! simulate → durable store → crash → recover → platform → server →
 //! phone client over a lossy cellular link.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{LausanneSim, Pollutant, SimConfig, WindowSpec};
 use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
 use enviro_net::{
-    BaselineClient, BinaryCodec, EnviroServer, LinkProfile, ModelCacheClient,
-    SimulatedLink,
+    BaselineClient, BinaryCodec, EnviroServer, LinkProfile, ModelCacheClient, SimulatedLink,
 };
 use enviro_storage::TupleStore;
 use std::path::PathBuf;
 
 fn tempdir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "enviro-deploy-{name}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("enviro-deploy-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -64,7 +64,10 @@ fn sensing_to_phone_through_storage_and_crash() {
     let store = TupleStore::open_with_segment_size(&dir, 8_192).unwrap();
     let stats = store.stats();
     assert!(stats.recovered_torn_tail);
-    assert!(stats.tuples > dataset.len() - 240, "lost too much: {stats:?}");
+    assert!(
+        stats.tuples > dataset.len() - 240,
+        "lost too much: {stats:?}"
+    );
     let recovered = store.load_dataset(Pollutant::Co2).unwrap();
 
     // Server over the recovered data; phone session over a lossy GPRS cell.
@@ -78,9 +81,13 @@ fn sensing_to_phone_through_storage_and_crash() {
     let trajectory = sim.continuous_trajectory(60, 60, 5);
 
     let mut base_link = SimulatedLink::with_seed(LinkProfile::GPRS.with_loss(0.1), 1);
-    let baseline = BaselineClient::new(BinaryCodec).run(&server, &trajectory, &mut base_link);
+    let baseline = BaselineClient::new(BinaryCodec)
+        .run(&server, &trajectory, &mut base_link)
+        .unwrap();
     let mut cache_link = SimulatedLink::with_seed(LinkProfile::GPRS.with_loss(0.1), 2);
-    let cache = ModelCacheClient::new(BinaryCodec).run(&server, &trajectory, &mut cache_link);
+    let cache = ModelCacheClient::new(BinaryCodec)
+        .run(&server, &trajectory, &mut cache_link)
+        .unwrap();
 
     // Both clients answer the whole trajectory with identical values.
     assert!(baseline.values.iter().all(Option::is_some));

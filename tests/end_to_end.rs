@@ -1,6 +1,10 @@
 //! Cross-crate integration: simulator → dataset → platform → every query
 //! surface the demo exposes (point, continuous, heatmap, route).
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_data::{LausanneSim, QueryTuple, SimConfig, Timestamp, WindowSpec};
 use enviro_geo::Point;
 use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod, SplitStrategy};

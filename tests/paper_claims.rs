@@ -6,6 +6,10 @@
 //! live in the release-mode `figures` binary; here we assert everything
 //! that is robust under an unoptimized test build.
 
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use enviro_bench::workload::{build, Scale};
 use enviro_bench::{ablations, fig6a, fig6b, fig7a, fig7b};
 use enviro_meter::QueryMethod;
@@ -66,7 +70,11 @@ fn fig7a_memory_ordering_cover_naive_rtree_vptree() {
 fn fig7b_model_cache_dominates_on_all_three_axes() {
     let c = fig7b::run(102);
     assert!(c.sent_factor() > 20.0, "sent {}", c.sent_factor());
-    assert!(c.received_factor() > 2.0, "received {}", c.received_factor());
+    assert!(
+        c.received_factor() > 2.0,
+        "received {}",
+        c.received_factor()
+    );
     assert!(c.time_factor() > 20.0, "time {}", c.time_factor());
     // And the answers are the same values the baseline got.
     for (a, b) in c.baseline.values.iter().zip(&c.model_cache.values) {

@@ -1,0 +1,171 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the criterion 0.5 API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros. Instead of
+//! criterion's statistical machinery this shim does a warm-up, then times
+//! a fixed wall-clock budget per benchmark and reports mean ns/iter —
+//! enough to compare orders of magnitude offline, not a substitute for
+//! real criterion runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement budget.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up budget before measurement starts.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; the shim only
+    /// consumes the handle).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The per-benchmark timing handle passed to closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            // Check the clock in batches to keep timer overhead off the
+            // measured path for fast bodies.
+            if iters.is_multiple_of(16) && start.elapsed() >= BUDGET {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Runs one benchmark closure and prints its mean iteration time.
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label}: no measurement (closure never called iter)");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    println!(
+        "{label}: {ns_per_iter:.1} ns/iter ({} iters)",
+        bencher.iters
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

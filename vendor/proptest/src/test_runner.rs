@@ -1,0 +1,146 @@
+//! Case execution: config, runner loop, and failure reporting.
+
+use crate::rng::TestRng;
+use std::fmt::Write as _;
+
+/// How a single generated case can fail.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it is not counted.
+    Reject(&'static str),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with a rendered message.
+    pub fn fail(message: String) -> Self {
+        Self::Fail(message)
+    }
+
+    /// A rejection naming the violated assumption.
+    pub fn reject(assumption: &'static str) -> Self {
+        Self::Reject(assumption)
+    }
+}
+
+/// The result type property-test bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// The generated inputs of one case, for the failure report.
+#[derive(Debug, Default)]
+pub struct CaseReport {
+    inputs: String,
+}
+
+impl CaseReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one named input.
+    pub fn record(&mut self, name: &str, value: &dyn std::fmt::Debug) {
+        let _ = write!(self.inputs, "\n    {name} = {value:?}");
+    }
+}
+
+/// Drives the case loop of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: TestRng,
+    seed: u64,
+    passed: u32,
+    rejected: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner; the RNG seed derives from the test name (override
+    /// with `PROPTEST_SEED`).
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        Self {
+            config,
+            name,
+            rng: TestRng::new(seed),
+            seed,
+            passed: 0,
+            rejected: 0,
+        }
+    }
+
+    /// `true` once the required number of cases has passed.
+    pub fn done(&self) -> bool {
+        self.passed >= self.config.cases
+    }
+
+    /// The input-synthesis RNG.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Accounts for one executed case; panics (failing the test) on
+    /// assertion failure or rejection overflow.
+    pub fn finish_case(&mut self, outcome: TestCaseResult, case: &CaseReport) {
+        match outcome {
+            Ok(()) => self.passed += 1,
+            Err(TestCaseError::Reject(assumption)) => {
+                self.rejected += 1;
+                assert!(
+                    self.rejected <= self.config.max_global_rejects,
+                    "proptest '{}': too many prop_assume! rejections ({}), last: {}",
+                    self.name,
+                    self.rejected,
+                    assumption,
+                );
+            }
+            Err(TestCaseError::Fail(message)) => panic!(
+                "proptest '{}' failed at case {} (seed {}): {}\n  inputs:{}",
+                self.name, self.passed, self.seed, message, case.inputs,
+            ),
+        }
+    }
+}
+
+/// FNV-1a, used to derive per-test seeds from names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
