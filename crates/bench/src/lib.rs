@@ -12,6 +12,7 @@
 //! | [`fig7a`] | Figure 7(a): memory at `H = 5000`, four representations |
 //! | [`fig7b`] | Figure 7(b): bandwidth/time, baseline vs model-cache |
 //! | [`ablations`] | abl-k0 / abl-split / abl-tau / abl-codec / abl-radius |
+//! | [`throughput`] | concurrent serving: qps & wire bytes, workers × batch |
 
 #![forbid(unsafe_code)]
 // Panic-prone sites in this crate are legacy debt tracked by the xtask
@@ -28,4 +29,5 @@ pub mod fig6b;
 pub mod fig7a;
 pub mod fig7b;
 pub mod table;
+pub mod throughput;
 pub mod workload;

@@ -5,7 +5,8 @@ use crate::{CliError, USAGE};
 use enviro_data::csv::{read_csv, write_csv};
 use enviro_data::{Dataset, LausanneSim, Pollutant, QueryTuple, SimConfig, WindowSpec};
 use enviro_geo::{Point, Polyline};
-use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+use enviro_meter::{default_parallelism, AdKmnConfig, EnviroMeter, QueryMethod};
+use enviro_net::{BinaryCodec, ConcurrentTransport, EnviroClient, EnviroServer, Wire};
 use enviro_storage::TupleStore;
 use std::io::Write;
 
@@ -22,6 +23,7 @@ pub fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "query" => cmd_query(&args, out),
         "heatmap" => cmd_heatmap(&args, out),
         "route" => cmd_route(&args, out),
+        "serve" => cmd_serve(&args, out),
         "store" => cmd_store(&args, out),
         "--help" | "help" => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
@@ -287,6 +289,134 @@ fn cmd_route(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Counts wire bytes crossing an [`EnviroClient`] session.
+struct MeteredWire<W> {
+    inner: W,
+    bytes: u64,
+}
+
+impl<W: Wire> Wire for MeteredWire<W> {
+    fn exchange(&mut self, request: &[u8]) -> Result<&[u8], enviro_net::TransportError> {
+        self.bytes += request.len() as u64;
+        let reply = self.inner.exchange(request)?;
+        self.bytes += reply.len() as u64;
+        Ok(reply)
+    }
+}
+
+fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.has("help") {
+        writeln!(
+            out,
+            "usage: enviro serve FILE [--workers N] [--batch B] [--clients K] \
+             [--requests M] [--method M] [--window H | --window-secs S]\n\
+             runs the concurrent server over FILE and drives it with K \
+             in-process clients issuing M queries each;\n\
+             --workers defaults to the detected CPU parallelism"
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+    let dataset = load_dataset(args)?;
+    let pollutant = dataset.pollutant();
+    let (from, to) = dataset
+        .time_span()
+        .ok_or_else(|| CliError::runtime("dataset is empty".to_string()))?;
+    let bounds = dataset.bounds();
+    let platform = platform_from(args, dataset)?;
+    let method = parse_method(args)?;
+    let workers: usize = args.get_or("workers", default_parallelism())?;
+    let batch: usize = args.get_or("batch", 64)?;
+    let clients: usize = args.get_or("clients", 4)?;
+    let requests: usize = args.get_or("requests", 10_000)?;
+    if workers == 0 || batch == 0 || clients == 0 || requests == 0 {
+        return Err(CliError::usage(
+            "--workers, --batch, --clients and --requests must be positive",
+        ));
+    }
+
+    // Build every per-window structure up front (in parallel across the
+    // worker count) so the measured load sees steady-state serving.
+    platform.engine().prepare_parallel(method, workers);
+    let server = std::sync::Arc::new(EnviroServer::new(platform, BinaryCodec, method));
+    let transport = ConcurrentTransport::spawn_shared(server, workers)
+        .map_err(|e| CliError::runtime(format!("cannot spawn workers: {e}")))?;
+
+    // Each client walks its own diagonal of the dataset's extent over its
+    // full time span: deterministic, allocation-cheap, and distinct per
+    // client so cross-session reply mixups would surface as misses.
+    let span_secs = (to - from).max(1);
+    let trajectories: Vec<Vec<QueryTuple>> = (0..clients)
+        .map(|k| {
+            (0..requests)
+                .map(|i| {
+                    let f = i as f64 / requests.max(1) as f64;
+                    let g = ((i + k * 7919) % requests.max(1)) as f64 / requests.max(1) as f64;
+                    QueryTuple::new(
+                        from + (f * span_secs as f64) as i64,
+                        Point::new(
+                            bounds.min.x + g * bounds.width(),
+                            bounds.min.y + (1.0 - g) * bounds.height(),
+                        ),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    let results: Vec<(u64, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = trajectories
+            .iter()
+            .map(|traj| {
+                let transport = &transport;
+                scope.spawn(move || {
+                    let mut wire = MeteredWire {
+                        inner: transport.session(),
+                        bytes: 0,
+                    };
+                    let mut client = EnviroClient::new(BinaryCodec, pollutant).with_batch(batch);
+                    let mut values = Vec::new();
+                    match client.query_batch(&mut wire, traj, &mut values) {
+                        Ok(()) => {
+                            let answered = values.iter().filter(|v| v.is_some()).count();
+                            (wire.bytes, values.len(), answered)
+                        }
+                        Err(_) => (wire.bytes, 0, 0),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or((0, 0, 0)))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let total: usize = results.iter().map(|r| r.1).sum();
+    let answered: usize = results.iter().map(|r| r.2).sum();
+    let bytes: u64 = results.iter().map(|r| r.0).sum();
+    if total == 0 {
+        return Err(CliError::runtime("no queries completed".to_string()));
+    }
+    writeln!(
+        out,
+        "served {total} queries ({answered} answered) with {workers} workers, \
+         batch {batch}, {clients} clients"
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "throughput: {:.0} queries/s; wire: {:.1} bytes/query; elapsed {:.3} s",
+        total as f64 / elapsed.max(1e-9),
+        bytes as f64 / total as f64,
+        elapsed
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
 fn cmd_store(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let sub = args
         .positional
@@ -515,6 +645,38 @@ mod tests {
         std::fs::remove_file(&csv).ok();
         std::fs::remove_file(&back).ok();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_drives_concurrent_load() {
+        let csv = temp_path("serve.csv");
+        run_cmd(&["simulate", "--hours", "4", "--out", csv.to_str().unwrap()]);
+        let (code, out) = run_cmd(&[
+            "serve",
+            csv.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--batch",
+            "16",
+            "--clients",
+            "2",
+            "--requests",
+            "200",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("served 400 queries"), "{out}");
+        assert!(out.contains("queries/s"), "{out}");
+        assert!(out.contains("bytes/query"), "{out}");
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn serve_rejects_zero_workers() {
+        let csv = temp_path("serve-zero.csv");
+        run_cmd(&["simulate", "--hours", "1", "--out", csv.to_str().unwrap()]);
+        let (code, _) = run_cmd(&["serve", csv.to_str().unwrap(), "--workers", "0"]);
+        assert_eq!(code, 2);
+        std::fs::remove_file(&csv).ok();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! enviro query day.csv --time 8h --x 0 --y -200     # point query
 //! enviro heatmap day.csv --time 8h --out map.ppm    # web UI's heatmap mode
 //! enviro route day.csv --start 7h --points "x,y;…"  # app's route summary
+//! enviro serve day.csv --workers 4 --batch 64       # concurrent load drive
 //! enviro store ingest day.csv --dir ./store         # durable segment store
 //! enviro store export --dir ./store --out back.csv
 //! ```
@@ -82,6 +83,7 @@ commands:
   query      interpolate the pollutant value at a time and position
   heatmap    render the model cover as a PPM image
   route      evaluate a route and print the OSHA summary
+  serve      run the concurrent server and drive it with in-process clients
   store      durable segment-store operations (ingest | export | stats)
 
 run `enviro <command> --help` for the command's flags";

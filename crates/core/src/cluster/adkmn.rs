@@ -222,10 +222,10 @@ impl AdKmn {
         loop {
             // Fit a model per region and measure its error.
             let members = clustering.members();
-            let mut models = Vec::with_capacity(members.len());
-            let mut errors = Vec::with_capacity(members.len());
-            let mut region_tuples: Vec<Vec<RawTuple>> = Vec::with_capacity(members.len());
-            for m in &members {
+            let mut models = Vec::with_capacity(members.cluster_count());
+            let mut errors = Vec::with_capacity(members.cluster_count());
+            let mut region_tuples: Vec<Vec<RawTuple>> = Vec::with_capacity(members.cluster_count());
+            for m in members.iter() {
                 let region: Vec<RawTuple> = m.iter().map(|&i| tuples[i]).collect();
                 let model = RegionModel::fit(&region, &cfg.fit).unwrap_or(RegionModel::Mean(0.0));
                 let error = model.approximation_error(&region, pollutant);
@@ -236,7 +236,7 @@ impl AdKmn {
 
             // Which regions violate τ and can actually be split (two or more
             // distinct positions)?
-            let violators: Vec<usize> = (0..members.len())
+            let violators: Vec<usize> = (0..members.cluster_count())
                 .filter(|&r| {
                     errors[r].exceeds(cfg.tau_percent)
                         && has_two_distinct_positions(&region_tuples[r])

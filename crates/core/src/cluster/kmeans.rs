@@ -33,14 +33,72 @@ pub struct Clustering {
     pub iterations: usize,
 }
 
+/// Cluster membership in counting-sort form: all member indices in one flat
+/// vector plus per-cluster offsets.
+///
+/// Ad-KMN recomputes membership every split round, and the old Vec-of-Vecs
+/// representation paid `k` growing allocations per call. This layout costs
+/// two exact-sized allocations total and hands out each cluster as a slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMembers {
+    /// `offsets[c]..offsets[c + 1]` indexes cluster `c` in `indices`.
+    offsets: Vec<usize>,
+    /// Member indices, grouped by cluster, in input order within a cluster.
+    indices: Vec<usize>,
+}
+
+impl ClusterMembers {
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The member indices of cluster `c`, in input order.
+    ///
+    /// # Panics
+    /// Panics when `c` is out of range.
+    pub fn cluster(&self, c: usize) -> &[usize] {
+        &self.indices[self.offsets[c]..self.offsets[c + 1]]
+    }
+
+    /// Iterates over the clusters as slices, in cluster order.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> + '_ {
+        (0..self.cluster_count()).map(|c| self.cluster(c))
+    }
+
+    /// Total number of member indices across all clusters.
+    pub fn total_len(&self) -> usize {
+        self.indices.len()
+    }
+}
+
 impl Clustering {
     /// The member indices of each cluster, in input order.
-    pub fn members(&self) -> Vec<Vec<usize>> {
-        let mut out = vec![Vec::new(); self.centroids.len()];
-        for (i, &c) in self.assignment.iter().enumerate() {
-            out[c].push(i);
+    pub fn members(&self) -> ClusterMembers {
+        let k = self.centroids.len();
+        // Counting sort: histogram, prefix-sum to starts, then place each
+        // point while using `offsets[c]` as the cluster's write cursor.
+        let mut offsets = vec![0usize; k + 1];
+        for &c in &self.assignment {
+            offsets[c + 1] += 1;
         }
-        out
+        for c in 1..=k {
+            offsets[c] += offsets[c - 1];
+        }
+        let mut indices = vec![0usize; self.assignment.len()];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            indices[offsets[c]] = i;
+            offsets[c] += 1;
+        }
+        // The cursors have advanced to each cluster's end, which is the
+        // next cluster's start: shift right to restore the offsets.
+        for c in (1..=k).rev() {
+            offsets[c] = offsets[c - 1];
+        }
+        if let Some(first) = offsets.first_mut() {
+            *first = 0;
+        }
+        ClusterMembers { offsets, indices }
     }
 
     /// Sum of squared distances from points to their centroids (inertia).
@@ -327,8 +385,32 @@ mod tests {
         let pts = three_blobs();
         let c = KMeans::fit(&pts, 3, &KMeansConfig::default());
         let members = c.members();
-        let total: usize = members.iter().map(Vec::len).sum();
+        let total: usize = members.iter().map(<[usize]>::len).sum();
         assert_eq!(total, pts.len());
+        assert_eq!(members.total_len(), pts.len());
+    }
+
+    #[test]
+    fn members_match_assignment_in_input_order() {
+        let pts = three_blobs();
+        let c = KMeans::fit(&pts, 3, &KMeansConfig::default());
+        let members = c.members();
+        assert_eq!(members.cluster_count(), c.centroids.len());
+        for (cluster, m) in members.iter().enumerate() {
+            assert!(m.windows(2).all(|w| w[0] < w[1]), "input order violated");
+            for &i in m {
+                assert_eq!(c.assignment[i], cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn members_of_empty_clustering() {
+        let c = KMeans::fit(&[], 3, &KMeansConfig::default());
+        let members = c.members();
+        assert_eq!(members.cluster_count(), 0);
+        assert_eq!(members.total_len(), 0);
+        assert!(members.iter().next().is_none());
     }
 
     #[test]

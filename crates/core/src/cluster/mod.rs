@@ -10,4 +10,4 @@ mod adkmn;
 mod kmeans;
 
 pub use adkmn::{AdKmn, AdKmnConfig, AdKmnResult, SplitStrategy};
-pub use kmeans::{Clustering, KMeans, KMeansConfig};
+pub use kmeans::{ClusterMembers, Clustering, KMeans, KMeansConfig};

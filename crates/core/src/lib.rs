@@ -81,7 +81,7 @@ pub mod platform;
 pub mod query;
 pub mod route;
 
-pub use cluster::{AdKmn, AdKmnConfig, KMeans, KMeansConfig, SplitStrategy};
+pub use cluster::{AdKmn, AdKmnConfig, ClusterMembers, KMeans, KMeansConfig, SplitStrategy};
 pub use cover::{CoverBuilder, CoverRegion, ModelCover};
 pub use eval::{nrmse_percent, AccuracyReport};
 pub use heatmap::{Heatmap, HeatmapBuilder};
@@ -89,7 +89,7 @@ pub use live::{LiveConfig, LiveEngine, LiveStats};
 pub use model::{ApproximationError, FitConfig, LinearModel, RegionModel};
 pub use platform::EnviroMeter;
 pub use query::{
-    CoverProcessor, IdwConfig, IdwProcessor, IndexKind, IndexedProcessor, NaiveProcessor,
-    PointQueryProcessor, QueryEngine, QueryMethod,
+    default_parallelism, CoverProcessor, IdwConfig, IdwProcessor, IndexKind, IndexedProcessor,
+    NaiveProcessor, PointQueryProcessor, QueryEngine, QueryMethod,
 };
 pub use route::{Route, RouteSummary};

@@ -60,6 +60,18 @@ impl EnviroMeter {
         self.engine.continuous_query(trajectory, method)
     }
 
+    /// Answers a batch of point queries into a caller-owned buffer
+    /// (cleared first) — the allocation-free serving path behind the wire
+    /// protocol's `QueryBatch` frames.
+    pub fn point_query_batch_into(
+        &self,
+        queries: &[QueryTuple],
+        method: QueryMethod,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        self.engine.query_batch_into(queries, method, out);
+    }
+
     /// The model cover in force at time `t` — what the model-cache protocol
     /// ships to phones. `None` for an empty dataset.
     pub fn cover_at(&self, t: Timestamp) -> Option<&ModelCover> {

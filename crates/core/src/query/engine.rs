@@ -165,32 +165,38 @@ impl QueryEngine {
             .get_or_init(|| IdwProcessor::build(self.window_tuples(idx), IdwConfig::default()))
     }
 
+    /// Builds the structure `method` needs for window `idx` (no-op for the
+    /// scan-based naive method).
+    fn build_window(&self, idx: usize, method: QueryMethod) {
+        match method {
+            QueryMethod::Naive => {}
+            QueryMethod::ModelCover => {
+                let _ = self.cover(idx);
+            }
+            QueryMethod::RTree => {
+                let _ = self.indexed(idx, IndexKind::RTree);
+            }
+            QueryMethod::VpTree => {
+                let _ = self.indexed(idx, IndexKind::VpTree);
+            }
+            QueryMethod::KdTree => {
+                let _ = self.indexed(idx, IndexKind::KdTree);
+            }
+            QueryMethod::Grid => {
+                let _ = self.indexed(idx, IndexKind::Grid);
+            }
+            QueryMethod::Idw => {
+                let _ = self.idw(idx);
+            }
+        }
+    }
+
     /// Eagerly builds every per-window structure for `method`, so that a
     /// subsequent timed query loop measures pure query cost (the evaluation
     /// regime of Figure 6a).
     pub fn prepare(&self, method: QueryMethod) {
         for idx in 0..self.windows.len() {
-            match method {
-                QueryMethod::Naive => {}
-                QueryMethod::ModelCover => {
-                    let _ = self.cover(idx);
-                }
-                QueryMethod::RTree => {
-                    let _ = self.indexed(idx, IndexKind::RTree);
-                }
-                QueryMethod::VpTree => {
-                    let _ = self.indexed(idx, IndexKind::VpTree);
-                }
-                QueryMethod::KdTree => {
-                    let _ = self.indexed(idx, IndexKind::KdTree);
-                }
-                QueryMethod::Grid => {
-                    let _ = self.indexed(idx, IndexKind::Grid);
-                }
-                QueryMethod::Idw => {
-                    let _ = self.idw(idx);
-                }
-            }
+            self.build_window(idx, method);
         }
     }
 
@@ -208,30 +214,16 @@ impl QueryEngine {
                     if idx >= self.windows.len() {
                         break;
                     }
-                    match method {
-                        QueryMethod::Naive => {}
-                        QueryMethod::ModelCover => {
-                            let _ = self.cover(idx);
-                        }
-                        QueryMethod::RTree => {
-                            let _ = self.indexed(idx, IndexKind::RTree);
-                        }
-                        QueryMethod::VpTree => {
-                            let _ = self.indexed(idx, IndexKind::VpTree);
-                        }
-                        QueryMethod::KdTree => {
-                            let _ = self.indexed(idx, IndexKind::KdTree);
-                        }
-                        QueryMethod::Grid => {
-                            let _ = self.indexed(idx, IndexKind::Grid);
-                        }
-                        QueryMethod::Idw => {
-                            let _ = self.idw(idx);
-                        }
-                    }
+                    self.build_window(idx, method);
                 });
             }
         });
+    }
+
+    /// [`QueryEngine::prepare_parallel`] with [`default_parallelism`]
+    /// worker threads — the deployment default.
+    pub fn prepare_parallel_auto(&self, method: QueryMethod) {
+        self.prepare_parallel(method, default_parallelism());
     }
 
     /// Answers one point query with the chosen method.
@@ -250,14 +242,77 @@ impl QueryEngine {
         }
     }
 
+    /// Answers a batch of point queries, appending one answer per query to
+    /// `out` (which is cleared first).
+    ///
+    /// This is the serving path behind `Request::QueryBatch`: the caller
+    /// owns and reuses `out` across frames, so a warmed-up server does no
+    /// per-query allocation here. Consecutive queries that fall in the same
+    /// window share one processor binding instead of re-dispatching per
+    /// tuple — trajectory chunks are strongly time-sorted, so runs are long.
+    pub fn query_batch_into(
+        &self,
+        queries: &[QueryTuple],
+        method: QueryMethod,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        out.clear();
+        out.reserve(queries.len());
+        let mut start = 0usize;
+        while start < queries.len() {
+            let Some(idx) = self.window_index_for(queries[start].time) else {
+                // Empty dataset: nothing can answer any query.
+                out.resize(queries.len(), None);
+                return;
+            };
+            let mut end = start + 1;
+            while end < queries.len() && self.window_index_for(queries[end].time) == Some(idx) {
+                end += 1;
+            }
+            let run = &queries[start..end];
+            match method {
+                QueryMethod::Naive => NaiveProcessor::new(self.window_tuples(idx), self.radius)
+                    .interpolate_batch(run, out),
+                QueryMethod::RTree => self
+                    .indexed(idx, IndexKind::RTree)
+                    .interpolate_batch(run, out),
+                QueryMethod::VpTree => self
+                    .indexed(idx, IndexKind::VpTree)
+                    .interpolate_batch(run, out),
+                QueryMethod::KdTree => self
+                    .indexed(idx, IndexKind::KdTree)
+                    .interpolate_batch(run, out),
+                QueryMethod::Grid => self
+                    .indexed(idx, IndexKind::Grid)
+                    .interpolate_batch(run, out),
+                QueryMethod::Idw => self.idw(idx).interpolate_batch(run, out),
+                QueryMethod::ModelCover => {
+                    CoverProcessor::new(self.cover(idx)).interpolate_batch(run, out)
+                }
+            }
+            start = end;
+        }
+    }
+
     /// Answers a continuous query (a whole trajectory) with one method.
     pub fn continuous_query(
         &self,
         trajectory: &[QueryTuple],
         method: QueryMethod,
     ) -> Vec<Option<f64>> {
-        trajectory.iter().map(|q| self.query(q, method)).collect()
+        let mut out = Vec::new();
+        self.query_batch_into(trajectory, method, &mut out);
+        out
     }
+}
+
+/// The default worker-thread count for parallel preparation and concurrent
+/// serving: the machine's available hardware parallelism, or 1 when the OS
+/// cannot report it.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -384,6 +439,68 @@ mod tests {
         let traj = sim.continuous_trajectory(25, 30, 5);
         let vals = engine.continuous_query(&traj, QueryMethod::ModelCover);
         assert_eq!(vals.len(), 25);
+    }
+
+    #[test]
+    fn batch_matches_per_query_for_all_methods() {
+        let (engine, sim) = small_engine();
+        // A workload that crosses window boundaries mid-batch, plus an
+        // unsorted tail so the run detection sees window regressions.
+        let mut queries = sim.continuous_trajectory(60, 300, 11);
+        queries.extend(sim.query_workload(40, 300.0, 12));
+        let mut out = Vec::new();
+        for m in QueryMethod::ALL {
+            engine.query_batch_into(&queries, m, &mut out);
+            assert_eq!(out.len(), queries.len(), "{m}");
+            for (i, q) in queries.iter().enumerate() {
+                let single = engine.query(q, m);
+                match (single, out[i]) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{m} query {i}")
+                    }
+                    other => panic!("{m} query {i}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_buffer() {
+        let (engine, sim) = small_engine();
+        let queries = sim.query_workload(30, 300.0, 21);
+        let mut out = Vec::new();
+        engine.query_batch_into(&queries, QueryMethod::ModelCover, &mut out);
+        let cap = out.capacity();
+        engine.query_batch_into(&queries, QueryMethod::ModelCover, &mut out);
+        assert_eq!(out.capacity(), cap, "buffer must be reused, not regrown");
+        assert_eq!(out.len(), queries.len());
+    }
+
+    #[test]
+    fn batch_on_empty_dataset_answers_all_none() {
+        let engine = QueryEngine::new(
+            Dataset::new(Pollutant::Co2),
+            WindowSpec::ByCount(10),
+            AdKmnConfig::default(),
+            100.0,
+        );
+        let queries = vec![QueryTuple::new(Timestamp::ZERO, Point::origin()); 5];
+        let mut out = Vec::new();
+        engine.query_batch_into(&queries, QueryMethod::ModelCover, &mut out);
+        assert_eq!(out, vec![None; 5]);
+    }
+
+    #[test]
+    fn default_parallelism_is_positive() {
+        assert!(default_parallelism() >= 1);
+    }
+
+    #[test]
+    fn prepare_parallel_auto_populates_caches() {
+        let (engine, _) = small_engine();
+        engine.prepare_parallel_auto(QueryMethod::ModelCover);
+        assert!(engine.covers.iter().all(|c| c.get().is_some()));
     }
 
     #[test]

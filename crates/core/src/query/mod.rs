@@ -22,7 +22,7 @@ mod indexed;
 mod naive;
 
 pub use cover_proc::CoverProcessor;
-pub use engine::QueryEngine;
+pub use engine::{default_parallelism, QueryEngine};
 pub use idw::{IdwConfig, IdwProcessor};
 pub use indexed::{IndexKind, IndexedProcessor};
 pub use naive::NaiveProcessor;
@@ -87,6 +87,19 @@ pub trait PointQueryProcessor {
     /// Interpolates the sensor value at the query tuple, or `None` when the
     /// method has no data to answer from (e.g. no tuple within `r`).
     fn interpolate(&self, q: &QueryTuple) -> Option<f64>;
+
+    /// Interpolates a batch of query tuples, appending one answer per tuple
+    /// to `out`.
+    ///
+    /// The batched serving path ([`QueryEngine::query_batch_into`]) reuses
+    /// one result buffer across frames, so this must append into the
+    /// caller's buffer rather than allocate its own.
+    fn interpolate_batch(&self, queries: &[QueryTuple], out: &mut Vec<Option<f64>>) {
+        out.reserve(queries.len());
+        for q in queries {
+            out.push(self.interpolate(q));
+        }
+    }
 
     /// The method implemented by this processor.
     fn method(&self) -> QueryMethod;

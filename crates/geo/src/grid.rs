@@ -143,31 +143,43 @@ impl Grid {
         )
     }
 
-    /// Iterates over all cells intersecting the disk of `radius` around `p`.
+    /// Visits every cell intersecting the disk of `radius` around `p`,
+    /// without allocating.
     ///
-    /// The result is conservative at cell granularity: every returned cell's
-    /// box intersects the disk; cells are yielded in row-major order.
-    pub fn cells_in_radius(&self, p: &Point, radius: f64) -> Vec<CellId> {
+    /// The visit is conservative at cell granularity: every visited cell's
+    /// box intersects the disk; cells arrive in row-major order. This is
+    /// the radius-scan primitive of the serving hot path, so it must not
+    /// heap-allocate per call — collectors should go through
+    /// [`Grid::cells_in_radius`] instead.
+    pub fn for_each_cell_in_radius(&self, p: &Point, radius: f64, visit: &mut dyn FnMut(CellId)) {
         let lo_x = (p.x - radius).max(self.extent.min.x);
         let hi_x = (p.x + radius).min(self.extent.max.x);
         let lo_y = (p.y - radius).max(self.extent.min.y);
         let hi_y = (p.y + radius).min(self.extent.max.y);
         if lo_x > hi_x || lo_y > hi_y {
-            return Vec::new();
+            return;
         }
         let c0 = (((lo_x - self.extent.min.x) / self.cell_w) as u32).min(self.cols - 1);
         let c1 = (((hi_x - self.extent.min.x) / self.cell_w) as u32).min(self.cols - 1);
         let r0 = (((lo_y - self.extent.min.y) / self.cell_h) as u32).min(self.rows - 1);
         let r1 = (((hi_y - self.extent.min.y) / self.cell_h) as u32).min(self.rows - 1);
-        let mut out = Vec::with_capacity(((c1 - c0 + 1) as usize) * ((r1 - r0 + 1) as usize));
         for row in r0..=r1 {
             for col in c0..=c1 {
                 let cell = CellId::new(col, row);
                 if self.cell_bounds(cell).intersects_circle(p, radius) {
-                    out.push(cell);
+                    visit(cell);
                 }
             }
         }
+    }
+
+    /// Collects all cells intersecting the disk of `radius` around `p`.
+    ///
+    /// Allocating convenience over [`Grid::for_each_cell_in_radius`]; same
+    /// conservative semantics and row-major order.
+    pub fn cells_in_radius(&self, p: &Point, radius: f64) -> Vec<CellId> {
+        let mut out = Vec::new();
+        self.for_each_cell_in_radius(p, radius, &mut |cell| out.push(cell));
         out
     }
 

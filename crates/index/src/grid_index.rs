@@ -70,13 +70,15 @@ impl SpatialIndex for GridIndex {
     fn for_each_within(&self, center: &Point, radius: f64, visit: &mut dyn FnMut(&Entry)) {
         let Some(grid) = &self.grid else { return };
         let r2 = radius * radius;
-        for cell in grid.cells_in_radius(center, radius) {
+        // Stream the candidate cells: a Vec of cell ids here would be the
+        // only per-query allocation in the radius-scan hot path.
+        grid.for_each_cell_in_radius(center, radius, &mut |cell| {
             for e in &self.buckets[grid.flat_index(cell)] {
                 if e.pos.distance_sq(center) <= r2 {
                     visit(e);
                 }
             }
-        }
+        });
     }
 
     fn nearest(&self, center: &Point, k: usize) -> Vec<Neighbor> {

@@ -1,10 +1,19 @@
-//! The two mobile clients of the bandwidth evaluation (§2.3, Figure 7b).
+//! The mobile clients: the two Figure 7(b) baselines plus the batched
+//! production client.
+//!
+//! [`BaselineClient`] and [`ModelCacheClient`] reproduce the paper's §2.3
+//! comparison over a simulated link. [`EnviroClient`] is the deployment
+//! client: it speaks `QueryBatch` frames over any [`Wire`] (a concurrent
+//! session, a simulated link, …) and can optionally layer the model-cache
+//! technique on top, answering locally while the cached cover is valid.
 
+use crate::buffers;
 use crate::codec::WireCodec;
 use crate::link::{LinkUsage, SimulatedLink};
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, MAX_BATCH};
 use crate::server::EnviroServer;
-use enviro_data::QueryTuple;
+use crate::transport::TransportError;
+use enviro_data::{Pollutant, QueryTuple, Timestamp};
 use enviro_meter::ModelCover;
 
 /// The outcome of running one continuous query session.
@@ -35,17 +44,26 @@ pub struct SessionStats {
 pub enum ClientError {
     /// The server's reply bytes failed to decode.
     BadReply(String),
+    /// The transport underneath the session failed (e.g. server gone).
+    Transport(TransportError),
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::BadReply(m) => write!(f, "undecodable server reply: {m}"),
+            ClientError::Transport(e) => write!(f, "transport failure: {e}"),
         }
     }
 }
 
 impl std::error::Error for ClientError {}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        ClientError::Transport(e)
+    }
+}
 
 /// The baseline technique: one server round-trip per query tuple — "simply
 /// responds to each query tuple with the interpolated sensor value ŝ_l,
@@ -91,7 +109,8 @@ impl<C: WireCodec> BaselineClient<C> {
                     protocol_errors += 1;
                     None
                 }
-                Response::Cover(_) => None, // protocol misuse; treat as miss
+                // Cover/ValueBatch: protocol misuse; treat as miss.
+                Response::Cover(_) | Response::ValueBatch { .. } => None,
             };
             values.push(value);
         }
@@ -196,6 +215,233 @@ impl<C: WireCodec> ModelCacheClient<C> {
             server_exchanges: exchanges,
             protocol_errors,
         })
+    }
+}
+
+/// One request/response exchange over some transport.
+///
+/// The returned reply slice stays valid until the next `exchange` call.
+/// Implemented by [`crate::concurrent::Session`] (the real thread-pool
+/// deployment) and [`LoopbackWire`] (in-process, with simulated-link byte
+/// accounting), so [`EnviroClient`] runs unchanged over both.
+pub trait Wire {
+    /// Sends `request` and blocks for the reply.
+    fn exchange(&mut self, request: &[u8]) -> Result<&[u8], TransportError>;
+}
+
+impl Wire for crate::concurrent::Session<'_> {
+    fn exchange(&mut self, request: &[u8]) -> Result<&[u8], TransportError> {
+        self.call_with(|out| out.extend_from_slice(request))
+    }
+}
+
+/// A [`Wire`] that calls the server in-process and charges every exchange
+/// to a [`SimulatedLink`] — the bandwidth-evaluation harness for
+/// [`EnviroClient`].
+pub struct LoopbackWire<'a, C: WireCodec> {
+    server: &'a EnviroServer<C>,
+    link: &'a mut SimulatedLink,
+    reply: Vec<u8>,
+}
+
+impl<'a, C: WireCodec> LoopbackWire<'a, C> {
+    /// Wires `server` and `link` together.
+    pub fn new(server: &'a EnviroServer<C>, link: &'a mut SimulatedLink) -> Self {
+        Self {
+            server,
+            link,
+            reply: Vec::new(),
+        }
+    }
+}
+
+impl<C: WireCodec> Wire for LoopbackWire<'_, C> {
+    fn exchange(&mut self, request: &[u8]) -> Result<&[u8], TransportError> {
+        self.server.handle_bytes_into(request, &mut self.reply);
+        self.link.exchange(request.len(), self.reply.len());
+        Ok(&self.reply)
+    }
+}
+
+/// The production mobile client: batched wire queries, optional model
+/// caching.
+///
+/// Two serving modes, chosen per the query method the deployment runs:
+///
+/// * **Batched** (default) — trajectory chunks go to the server as
+///   `QueryBatch` frames of up to `batch` tuples, amortizing framing and
+///   round-trip cost. This is the only option for the raw-data methods
+///   (naive/indexed/IDW), whose full window data never leaves the server.
+/// * **Model-cache** (`with_model_cache(true)`) — the §2.3 technique:
+///   download the cover once, answer locally while it is valid, refresh on
+///   expiry (with the stale-serve refinement of [`ModelCacheClient`]).
+///   Tuples the cover cannot answer are *not* sent upstream; like the
+///   paper's client, a missing cover reads as a miss.
+#[derive(Debug)]
+pub struct EnviroClient<C: WireCodec> {
+    codec: C,
+    pollutant: Pollutant,
+    batch: usize,
+    model_cache: bool,
+    cached: Option<ModelCover>,
+    server_exhausted: bool,
+    exchanges: usize,
+    protocol_errors: usize,
+    scratch: Vec<u8>,
+}
+
+impl<C: WireCodec> EnviroClient<C> {
+    /// Default batch size: big enough that framing overhead is negligible,
+    /// small enough to keep per-chunk latency low on slow links.
+    pub const DEFAULT_BATCH: usize = 64;
+
+    /// Creates a batched client (no model cache) for `pollutant` data.
+    pub fn new(codec: C, pollutant: Pollutant) -> Self {
+        Self {
+            codec,
+            pollutant,
+            batch: Self::DEFAULT_BATCH,
+            model_cache: false,
+            cached: None,
+            server_exhausted: false,
+            exchanges: 0,
+            protocol_errors: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Sets the tuples-per-frame cap (clamped to `1..=`[`MAX_BATCH`]).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.clamp(1, MAX_BATCH);
+        self
+    }
+
+    /// Enables or disables the model-cache mode.
+    pub fn with_model_cache(mut self, enabled: bool) -> Self {
+        self.model_cache = enabled;
+        self
+    }
+
+    /// Server round-trips performed so far (all request kinds).
+    pub fn exchanges(&self) -> usize {
+        self.exchanges
+    }
+
+    /// [`Response::Error`] replies seen so far; the session keeps going.
+    pub fn protocol_errors(&self) -> usize {
+        self.protocol_errors
+    }
+
+    /// The currently cached cover, if any.
+    pub fn cached_cover(&self) -> Option<&ModelCover> {
+        self.cached.as_ref()
+    }
+
+    /// Answers `queries` over `wire`, appending one value per tuple to
+    /// `out` (cleared first).
+    ///
+    /// Only an undecodable reply or a transport failure is an `Err`; a
+    /// server-side [`Response::Error`] is counted and the affected tuples
+    /// read as misses, because a mobile client must survive a flaky server.
+    pub fn query_batch(
+        &mut self,
+        wire: &mut dyn Wire,
+        queries: &[QueryTuple],
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<(), ClientError> {
+        out.clear();
+        out.reserve(queries.len());
+        if self.model_cache {
+            for q in queries {
+                let valid = self.cached.as_ref().is_some_and(|c| c.is_valid_at(q.time));
+                if !valid && !self.server_exhausted {
+                    self.refresh_cover(wire, q.time)?;
+                }
+                out.push(
+                    self.cached
+                        .as_ref()
+                        .and_then(|c| c.interpolate(q.time, &q.pos)),
+                );
+            }
+            return Ok(());
+        }
+        for chunk in queries.chunks(self.batch) {
+            self.exchange_chunk(wire, chunk, out)?;
+        }
+        Ok(())
+    }
+
+    /// Sends one `QueryBatch` frame and appends its answers to `out`.
+    fn exchange_chunk(
+        &mut self,
+        wire: &mut dyn Wire,
+        chunk: &[QueryTuple],
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<(), ClientError> {
+        let mut queries = buffers::take_queries();
+        queries.extend_from_slice(chunk);
+        let request = Request::QueryBatch { queries };
+        self.scratch.clear();
+        self.codec.encode_request_into(&request, &mut self.scratch);
+        if let Request::QueryBatch { queries } = request {
+            buffers::recycle_queries(queries);
+        }
+        let reply = wire.exchange(&self.scratch)?;
+        self.exchanges += 1;
+        match self
+            .codec
+            .decode_response(reply)
+            .map_err(|e| ClientError::BadReply(e.to_string()))?
+        {
+            Response::ValueBatch { values } => {
+                if values.len() != chunk.len() {
+                    return Err(ClientError::BadReply(format!(
+                        "batch of {} answered with {} values",
+                        chunk.len(),
+                        values.len()
+                    )));
+                }
+                out.extend_from_slice(&values);
+                buffers::recycle_values(values);
+            }
+            Response::Error(_) => {
+                self.protocol_errors += 1;
+                out.resize(out.len() + chunk.len(), None);
+            }
+            // NoData or protocol misuse: the whole chunk reads as misses.
+            _ => out.resize(out.len() + chunk.len(), None),
+        }
+        Ok(())
+    }
+
+    /// Fetches the cover responsible for `time`, mirroring
+    /// [`ModelCacheClient`]'s refresh-and-stale-serve policy.
+    fn refresh_cover(&mut self, wire: &mut dyn Wire, time: Timestamp) -> Result<(), ClientError> {
+        self.scratch.clear();
+        self.codec
+            .encode_request_into(&Request::ModelRequest { time }, &mut self.scratch);
+        let reply = wire.exchange(&self.scratch)?;
+        self.exchanges += 1;
+        match self
+            .codec
+            .decode_response(reply)
+            .map_err(|e| ClientError::BadReply(e.to_string()))?
+        {
+            Response::Cover(wire_cover) => {
+                let cover = wire_cover.into_cover(self.pollutant);
+                self.server_exhausted = !cover.is_valid_at(time);
+                self.cached = Some(cover);
+            }
+            Response::Error(_) => {
+                self.protocol_errors += 1;
+                self.server_exhausted = true;
+            }
+            _ => {
+                self.cached = None;
+                self.server_exhausted = true;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -340,5 +586,128 @@ mod tests {
         let mut client = ModelCacheClient::new(BinaryCodec);
         let stats = client.run(&server, &traj, &mut link).unwrap();
         assert_eq!(stats.values, vec![None]);
+    }
+
+    fn pollutant_of(server: &EnviroServer<BinaryCodec>) -> Pollutant {
+        server.platform().engine().dataset().pollutant()
+    }
+
+    fn assert_values_match(a: &[Option<f64>], b: &[Option<f64>]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            match (x, y) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "tuple {i}: {x} vs {y}")
+                }
+                (None, None) => {}
+                other => panic!("tuple {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_client_matches_baseline_over_loopback() {
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(75, 60, 6);
+        let mut base_link = SimulatedLink::new(LinkProfile::IDEAL);
+        let base = BaselineClient::new(BinaryCodec)
+            .run(&server, &traj, &mut base_link)
+            .unwrap();
+
+        let mut client = EnviroClient::new(BinaryCodec, pollutant_of(&server)).with_batch(16);
+        let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut wire = LoopbackWire::new(&server, &mut link);
+        let mut values = Vec::new();
+        client.query_batch(&mut wire, &traj, &mut values).unwrap();
+
+        assert_values_match(&base.values, &values);
+        // 75 tuples at batch 16 → ceil(75/16) = 5 exchanges, not 75.
+        assert_eq!(client.exchanges(), 5);
+        assert_eq!(client.protocol_errors(), 0);
+    }
+
+    #[test]
+    fn batched_client_matches_baseline_over_concurrent_session() {
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(60, 60, 7);
+        let mut base_link = SimulatedLink::new(LinkProfile::IDEAL);
+        let base = BaselineClient::new(BinaryCodec)
+            .run(&server, &traj, &mut base_link)
+            .unwrap();
+
+        let transport = crate::concurrent::ConcurrentTransport::spawn(server, 2).unwrap();
+        let mut session = transport.session();
+        let mut client = EnviroClient::new(BinaryCodec, Pollutant::Co2).with_batch(25);
+        let mut values = Vec::new();
+        client
+            .query_batch(&mut session, &traj, &mut values)
+            .unwrap();
+        assert_values_match(&base.values, &values);
+    }
+
+    #[test]
+    fn model_cache_mode_matches_model_cache_client() {
+        let (server, sim) = setup();
+        // Crosses the 2 h window boundary so both clients must refresh.
+        let traj = sim.continuous_trajectory(120, 120, 8);
+
+        let mut cache_link = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut reference = ModelCacheClient::new(BinaryCodec);
+        let expected = reference.run(&server, &traj, &mut cache_link).unwrap();
+
+        let mut client =
+            EnviroClient::new(BinaryCodec, pollutant_of(&server)).with_model_cache(true);
+        let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut wire = LoopbackWire::new(&server, &mut link);
+        let mut values = Vec::new();
+        client.query_batch(&mut wire, &traj, &mut values).unwrap();
+
+        assert_values_match(&expected.values, &values);
+        assert_eq!(client.exchanges(), expected.server_exchanges);
+        assert!(client.cached_cover().is_some());
+    }
+
+    #[test]
+    fn batching_reduces_bytes_per_query() {
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(128, 60, 9);
+
+        let mut base_link = SimulatedLink::new(LinkProfile::IDEAL);
+        BaselineClient::new(BinaryCodec)
+            .run(&server, &traj, &mut base_link)
+            .unwrap();
+
+        let mut client = EnviroClient::new(BinaryCodec, pollutant_of(&server)).with_batch(64);
+        let mut batch_link = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut wire = LoopbackWire::new(&server, &mut batch_link);
+        let mut values = Vec::new();
+        client.query_batch(&mut wire, &traj, &mut values).unwrap();
+
+        let base_bytes = base_link.usage().sent_bytes + base_link.usage().received_bytes;
+        let batch_bytes = batch_link.usage().sent_bytes + batch_link.usage().received_bytes;
+        assert!(
+            batch_bytes < base_bytes,
+            "batch {batch_bytes} vs baseline {base_bytes} bytes"
+        );
+    }
+
+    #[test]
+    fn batched_client_survives_empty_platform() {
+        let platform = EnviroMeter::new(
+            enviro_data::Dataset::new(enviro_data::Pollutant::Co2),
+            WindowSpec::ByCount(10),
+            AdKmnConfig::default(),
+            500.0,
+        );
+        let server = EnviroServer::new(platform, BinaryCodec, QueryMethod::ModelCover);
+        let traj =
+            vec![QueryTuple::new(enviro_data::Timestamp::ZERO, enviro_geo::Point::origin()); 5];
+        let mut client = EnviroClient::new(BinaryCodec, Pollutant::Co2).with_batch(2);
+        let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut wire = LoopbackWire::new(&server, &mut link);
+        let mut values = Vec::new();
+        client.query_batch(&mut wire, &traj, &mut values).unwrap();
+        assert_eq!(values, vec![None; 5]);
+        assert_eq!(client.protocol_errors(), 0);
     }
 }

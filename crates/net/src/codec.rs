@@ -11,13 +11,16 @@
 //!   JSON-over-HTTP encodings typical of 2013 mobile backends; the
 //!   `abl-codec` ablation quantifies what the binary layout saves.
 
+use crate::buffers;
 use crate::protocol::{
-    ErrorCode, ProtocolError, Request, Response, WireCover, WireModel, WireRegion,
+    ErrorCode, ProtocolError, Request, Response, WireCover, WireModel, WireRegion, BATCH_VERSION,
+    MAX_BATCH,
 };
 use bytes::{Buf, BufMut};
-use enviro_data::Timestamp;
+use enviro_data::{QueryTuple, Timestamp};
 use enviro_geo::Point;
 use enviro_meter::LinearModel;
+use std::io::Write;
 
 /// Errors produced while decoding a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,21 +46,40 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// A bidirectional message codec.
+///
+/// The `_into` methods are the primitive operations: they append to a
+/// caller-owned buffer, so the serving hot path can reuse one scratch
+/// buffer per thread instead of allocating per message. The by-value
+/// `encode_request`/`encode_response` are allocating conveniences on top.
 pub trait WireCodec {
     /// Codec name for reports.
     fn name(&self) -> &'static str;
 
-    /// Encodes a request into bytes.
-    fn encode_request(&self, req: &Request) -> Vec<u8>;
+    /// Encodes a request, appending the bytes to `out`.
+    fn encode_request_into(&self, req: &Request, out: &mut Vec<u8>);
 
     /// Decodes a request.
     fn decode_request(&self, bytes: &[u8]) -> Result<Request, CodecError>;
 
-    /// Encodes a response into bytes.
-    fn encode_response(&self, resp: &Response) -> Vec<u8>;
+    /// Encodes a response, appending the bytes to `out`.
+    fn encode_response_into(&self, resp: &Response, out: &mut Vec<u8>);
 
     /// Decodes a response.
     fn decode_response(&self, bytes: &[u8]) -> Result<Response, CodecError>;
+
+    /// Encodes a request into a fresh buffer.
+    fn encode_request(&self, req: &Request) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        self.encode_request_into(req, &mut out);
+        out
+    }
+
+    /// Encodes a response into a fresh buffer.
+    fn encode_response(&self, resp: &Response) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_response_into(resp, &mut out);
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -70,20 +92,39 @@ pub struct BinaryCodec;
 
 const TAG_QUERY: u8 = 0x01;
 const TAG_MODEL_REQUEST: u8 = 0x02;
+const TAG_QUERY_BATCH: u8 = 0x03;
 const TAG_VALUE: u8 = 0x81;
 const TAG_NO_DATA: u8 = 0x82;
 const TAG_COVER: u8 = 0x83;
 const TAG_ERROR: u8 = 0x84;
+const TAG_VALUE_BATCH: u8 = 0x85;
 const MODEL_MEAN: u8 = 0x01;
 const MODEL_LINEAR: u8 = 0x02;
+/// Flag byte of a batch value slot.
+const VALUE_MISS: u8 = 0x00;
+const VALUE_PRESENT: u8 = 0x01;
+
+/// Validates the version byte and count prefix of a batch frame.
+fn check_batch_header(version: u8, count: usize) -> Result<(), CodecError> {
+    if version != BATCH_VERSION {
+        return Err(CodecError::Malformed(format!(
+            "unsupported batch version {version}"
+        )));
+    }
+    if count > MAX_BATCH {
+        return Err(CodecError::Malformed(format!(
+            "batch of {count} tuples exceeds the {MAX_BATCH} cap"
+        )));
+    }
+    Ok(())
+}
 
 impl WireCodec for BinaryCodec {
     fn name(&self) -> &'static str {
         "binary"
     }
 
-    fn encode_request(&self, req: &Request) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32);
+    fn encode_request_into(&self, req: &Request, out: &mut Vec<u8>) {
         match req {
             Request::Query { time, pos } => {
                 out.put_u8(TAG_QUERY);
@@ -95,8 +136,17 @@ impl WireCodec for BinaryCodec {
                 out.put_u8(TAG_MODEL_REQUEST);
                 out.put_i64_le(time.as_secs());
             }
+            Request::QueryBatch { queries } => {
+                out.put_u8(TAG_QUERY_BATCH);
+                out.put_u8(BATCH_VERSION);
+                out.put_u32_le(queries.len() as u32);
+                for q in queries {
+                    out.put_i64_le(q.time.as_secs());
+                    out.put_f64_le(q.pos.x);
+                    out.put_f64_le(q.pos.y);
+                }
+            }
         }
-        out
     }
 
     fn decode_request(&self, mut bytes: &[u8]) -> Result<Request, CodecError> {
@@ -117,18 +167,51 @@ impl WireCodec for BinaryCodec {
                 ensure_empty(bytes)?;
                 Ok(Request::ModelRequest { time })
             }
+            TAG_QUERY_BATCH => {
+                let version = take_u8(&mut bytes)?;
+                let n = take_u32(&mut bytes)? as usize;
+                check_batch_header(version, n)?;
+                // The cheap structural check before touching the pool: each
+                // tuple is exactly 24 bytes.
+                if bytes.remaining() < n * 24 {
+                    return Err(CodecError::Truncated);
+                }
+                let mut queries = buffers::take_queries();
+                queries.reserve(n);
+                for _ in 0..n {
+                    let time = Timestamp::from_secs(take_i64(&mut bytes)?);
+                    let x = take_f64(&mut bytes)?;
+                    let y = take_f64(&mut bytes)?;
+                    queries.push(QueryTuple::new(time, Point::new(x, y)));
+                }
+                ensure_empty(bytes)?;
+                Ok(Request::QueryBatch { queries })
+            }
             other => Err(CodecError::BadTag(other)),
         }
     }
 
-    fn encode_response(&self, resp: &Response) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
+    fn encode_response_into(&self, resp: &Response, out: &mut Vec<u8>) {
         match resp {
             Response::Value { value } => {
                 out.put_u8(TAG_VALUE);
                 out.put_f64_le(*value);
             }
             Response::NoData => out.put_u8(TAG_NO_DATA),
+            Response::ValueBatch { values } => {
+                out.put_u8(TAG_VALUE_BATCH);
+                out.put_u8(BATCH_VERSION);
+                out.put_u32_le(values.len() as u32);
+                for v in values {
+                    match v {
+                        Some(value) => {
+                            out.put_u8(VALUE_PRESENT);
+                            out.put_f64_le(*value);
+                        }
+                        None => out.put_u8(VALUE_MISS),
+                    }
+                }
+            }
             Response::Cover(cover) => {
                 out.put_u8(TAG_COVER);
                 out.put_i64_le(cover.valid_until.as_secs());
@@ -158,7 +241,6 @@ impl WireCodec for BinaryCodec {
                 out.extend_from_slice(msg);
             }
         }
-        out
     }
 
     fn decode_response(&self, mut bytes: &[u8]) -> Result<Response, CodecError> {
@@ -172,6 +254,22 @@ impl WireCodec for BinaryCodec {
             TAG_NO_DATA => {
                 ensure_empty(bytes)?;
                 Ok(Response::NoData)
+            }
+            TAG_VALUE_BATCH => {
+                let version = take_u8(&mut bytes)?;
+                let n = take_u32(&mut bytes)? as usize;
+                check_batch_header(version, n)?;
+                let mut values = buffers::take_values();
+                values.reserve(n);
+                for _ in 0..n {
+                    match take_u8(&mut bytes)? {
+                        VALUE_MISS => values.push(None),
+                        VALUE_PRESENT => values.push(Some(take_f64(&mut bytes)?)),
+                        other => return Err(CodecError::BadTag(other)),
+                    }
+                }
+                ensure_empty(bytes)?;
+                Ok(Response::ValueBatch { values })
             }
             TAG_COVER => {
                 let valid_until = Timestamp::from_secs(take_i64(&mut bytes)?);
@@ -282,24 +380,48 @@ impl WireCodec for TextCodec {
         "text"
     }
 
-    fn encode_request(&self, req: &Request) -> Vec<u8> {
+    fn encode_request_into(&self, req: &Request, out: &mut Vec<u8>) {
+        // `write!` into a `Vec<u8>` cannot fail; the results are discarded
+        // rather than unwrapped to honor the workspace panic policy.
         match req {
-            Request::Query { time, pos } => format!(
-                "REQUEST query time={} x={:.6} y={:.6}\n",
-                time.as_secs(),
-                pos.x,
-                pos.y
-            ),
+            Request::Query { time, pos } => {
+                let _ = writeln!(
+                    out,
+                    "REQUEST query time={} x={:.6} y={:.6}",
+                    time.as_secs(),
+                    pos.x,
+                    pos.y
+                );
+            }
             Request::ModelRequest { time } => {
-                format!("REQUEST model-request time={}\n", time.as_secs())
+                let _ = writeln!(out, "REQUEST model-request time={}", time.as_secs());
+            }
+            Request::QueryBatch { queries } => {
+                let _ = writeln!(
+                    out,
+                    "REQUEST query-batch v={BATCH_VERSION} n={}",
+                    queries.len()
+                );
+                for q in queries {
+                    let _ = writeln!(
+                        out,
+                        "q time={} x={:.6} y={:.6}",
+                        q.time.as_secs(),
+                        q.pos.x,
+                        q.pos.y
+                    );
+                }
             }
         }
-        .into_bytes()
     }
 
     fn decode_request(&self, bytes: &[u8]) -> Result<Request, CodecError> {
         let text = std::str::from_utf8(bytes).map_err(|e| CodecError::Malformed(e.to_string()))?;
-        let mut parts = text.split_whitespace();
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| CodecError::Malformed("empty request".into()))?;
+        let mut parts = header.split_whitespace();
         expect_token(&mut parts, "REQUEST")?;
         match parts.next() {
             Some("query") => {
@@ -315,47 +437,103 @@ impl WireCodec for TextCodec {
                 let time = Timestamp::from_secs(kv_i64(&mut parts, "time")?);
                 Ok(Request::ModelRequest { time })
             }
+            Some("query-batch") => {
+                let version = kv_i64(&mut parts, "v")?;
+                let n = kv_i64(&mut parts, "n")?;
+                if !(0..=u8::MAX as i64).contains(&version) || n < 0 {
+                    return Err(CodecError::Malformed("bad batch header".into()));
+                }
+                check_batch_header(version as u8, n as usize)?;
+                let mut queries = buffers::take_queries();
+                queries.reserve(n as usize);
+                for line in lines {
+                    if queries.len() == n as usize {
+                        return Err(CodecError::Malformed("extra batch lines".into()));
+                    }
+                    let mut p = line.split_whitespace();
+                    expect_token(&mut p, "q")?;
+                    let time = Timestamp::from_secs(kv_i64(&mut p, "time")?);
+                    let x = kv_f64(&mut p, "x")?;
+                    let y = kv_f64(&mut p, "y")?;
+                    queries.push(QueryTuple::new(time, Point::new(x, y)));
+                }
+                if queries.len() != n as usize {
+                    return Err(CodecError::Malformed(format!(
+                        "declared {n} tuples, got {}",
+                        queries.len()
+                    )));
+                }
+                Ok(Request::QueryBatch { queries })
+            }
             other => Err(CodecError::Malformed(format!("bad verb {other:?}"))),
         }
     }
 
-    fn encode_response(&self, resp: &Response) -> Vec<u8> {
+    fn encode_response_into(&self, resp: &Response, out: &mut Vec<u8>) {
         match resp {
-            Response::Value { value } => format!("RESPONSE value s={value:.9}\n"),
-            Response::NoData => "RESPONSE no-data\n".to_string(),
+            Response::Value { value } => {
+                let _ = writeln!(out, "RESPONSE value s={value:.9}");
+            }
+            Response::NoData => {
+                let _ = writeln!(out, "RESPONSE no-data");
+            }
+            Response::ValueBatch { values } => {
+                let _ = writeln!(
+                    out,
+                    "RESPONSE value-batch v={BATCH_VERSION} n={}",
+                    values.len()
+                );
+                for v in values {
+                    match v {
+                        Some(value) => {
+                            let _ = writeln!(out, "v s={value:.9}");
+                        }
+                        None => {
+                            let _ = writeln!(out, "v s=miss");
+                        }
+                    }
+                }
+            }
             Response::Cover(cover) => {
-                let mut out = format!(
-                    "RESPONSE cover valid-until={} regions={}\n",
+                let _ = writeln!(
+                    out,
+                    "RESPONSE cover valid-until={} regions={}",
                     cover.valid_until.as_secs(),
                     cover.regions.len()
                 );
                 for r in &cover.regions {
                     match &r.model {
-                        WireModel::Mean(v) => out.push_str(&format!(
-                            "region cx={:.6} cy={:.6} model=mean coeffs={v:.9}\n",
-                            r.centroid.x, r.centroid.y
-                        )),
+                        WireModel::Mean(v) => {
+                            let _ = writeln!(
+                                out,
+                                "region cx={:.6} cy={:.6} model=mean coeffs={v:.9}",
+                                r.centroid.x, r.centroid.y
+                            );
+                        }
                         WireModel::Linear(cs) => {
-                            let coeffs: Vec<String> =
-                                cs.iter().map(|c| format!("{c:.9}")).collect();
-                            out.push_str(&format!(
-                                "region cx={:.6} cy={:.6} model=linear coeffs={}\n",
-                                r.centroid.x,
-                                r.centroid.y,
-                                coeffs.join(",")
-                            ));
+                            let _ = write!(
+                                out,
+                                "region cx={:.6} cy={:.6} model=linear coeffs=",
+                                r.centroid.x, r.centroid.y
+                            );
+                            for (i, c) in cs.iter().enumerate() {
+                                let sep = if i == 0 { "" } else { "," };
+                                let _ = write!(out, "{sep}{c:.9}");
+                            }
+                            let _ = writeln!(out);
                         }
                     }
                 }
-                out
             }
-            Response::Error(err) => format!(
-                "RESPONSE error code={} message={}\n",
-                err.code.name(),
-                escape_message(err.wire_message())
-            ),
+            Response::Error(err) => {
+                let _ = writeln!(
+                    out,
+                    "RESPONSE error code={} message={}",
+                    err.code.name(),
+                    escape_message(err.wire_message())
+                );
+            }
         }
-        .into_bytes()
     }
 
     fn decode_response(&self, bytes: &[u8]) -> Result<Response, CodecError> {
@@ -372,6 +550,39 @@ impl WireCodec for TextCodec {
                 Ok(Response::Value { value })
             }
             Some("no-data") => Ok(Response::NoData),
+            Some("value-batch") => {
+                let version = kv_i64(&mut parts, "v")?;
+                let n = kv_i64(&mut parts, "n")?;
+                if !(0..=u8::MAX as i64).contains(&version) || n < 0 {
+                    return Err(CodecError::Malformed("bad batch header".into()));
+                }
+                check_batch_header(version as u8, n as usize)?;
+                let mut values = buffers::take_values();
+                values.reserve(n as usize);
+                for line in lines {
+                    if values.len() == n as usize {
+                        return Err(CodecError::Malformed("extra batch lines".into()));
+                    }
+                    let mut p = line.split_whitespace();
+                    expect_token(&mut p, "v")?;
+                    let s = kv_str(&mut p, "s")?;
+                    if s == "miss" {
+                        values.push(None);
+                    } else {
+                        let value = s
+                            .parse()
+                            .map_err(|_| CodecError::Malformed(format!("bad value {s:?}")))?;
+                        values.push(Some(value));
+                    }
+                }
+                if values.len() != n as usize {
+                    return Err(CodecError::Malformed(format!(
+                        "declared {n} values, got {}",
+                        values.len()
+                    )));
+                }
+                Ok(Response::ValueBatch { values })
+            }
             Some("cover") => {
                 let valid_until = Timestamp::from_secs(kv_i64(&mut parts, "valid-until")?);
                 let n = kv_i64(&mut parts, "regions")? as usize;
@@ -697,5 +908,164 @@ mod tests {
         bytes.put_i64_le(0);
         bytes.put_u32_le(u32::MAX);
         assert!(BinaryCodec.decode_response(&bytes).is_err());
+    }
+
+    fn sample_batch(n: usize) -> Request {
+        Request::QueryBatch {
+            queries: (0..n)
+                .map(|i| {
+                    QueryTuple::new(
+                        Timestamp::from_secs(i as i64 * 60),
+                        Point::new(i as f64 * 1.5, -(i as f64) * 0.25),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_all_codecs() {
+        let values = Response::ValueBatch {
+            values: vec![Some(421.125), None, Some(-3.5), Some(0.0), None],
+        };
+        for codec in codecs() {
+            for n in [0, 1, 5, 64] {
+                let req = sample_batch(n);
+                let back = codec.decode_request(&codec.encode_request(&req)).unwrap();
+                assert_eq!(back, req, "{} n={n}", codec.name());
+            }
+            let bytes = codec.encode_response(&values);
+            assert_eq!(
+                codec.decode_response(&bytes).unwrap(),
+                values,
+                "{}",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn binary_batch_size_formula() {
+        // tag(1) + version(1) + count(4) + 24 per tuple: at batch 16 the
+        // request costs 6/16 + 24 ≈ 24.4 bytes/query vs 25 single-query.
+        let bytes = BinaryCodec.encode_request(&sample_batch(16));
+        assert_eq!(bytes.len(), 6 + 16 * 24);
+        // Reply: tag(1) + version(1) + count(4) + flag(1) [+ value(8)].
+        let resp = Response::ValueBatch {
+            values: vec![Some(1.0), None, Some(2.0)],
+        };
+        assert_eq!(BinaryCodec.encode_response(&resp).len(), 6 + 3 + 2 * 8);
+    }
+
+    #[test]
+    fn batched_frames_cost_fewer_wire_bytes_per_query() {
+        // The acceptance criterion of the batching tentpole, at codec level.
+        let single_req = BinaryCodec.encode_request(&Request::Query {
+            time: Timestamp::ZERO,
+            pos: Point::origin(),
+        });
+        let single_resp = BinaryCodec.encode_response(&Response::Value { value: 1.0 });
+        for n in [16, 64, 256] {
+            let req = BinaryCodec.encode_request(&sample_batch(n));
+            let resp = BinaryCodec.encode_response(&Response::ValueBatch {
+                values: vec![Some(1.0); n],
+            });
+            assert!(
+                req.len() + resp.len() < n * (single_req.len() + single_resp.len()),
+                "batch {n}: {} + {} vs {} per query",
+                req.len(),
+                resp.len(),
+                single_req.len() + single_resp.len()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_rejects_wrong_version() {
+        for codec in codecs() {
+            let mut bytes = codec.encode_request(&sample_batch(2));
+            // Corrupt the version byte (binary: offset 1; text: "v=1").
+            match codec.name() {
+                "binary" => bytes[1] = BATCH_VERSION + 1,
+                _ => {
+                    let s = String::from_utf8(bytes).unwrap();
+                    bytes = s.replace("v=1", "v=9").into_bytes();
+                }
+            }
+            match codec.decode_request(&bytes) {
+                Err(CodecError::Malformed(m)) => {
+                    assert!(m.contains("version"), "{}: {m}", codec.name())
+                }
+                other => panic!("{}: {other:?}", codec.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rejects_oversized_count() {
+        let mut bytes = Vec::new();
+        bytes.put_u8(0x03);
+        bytes.put_u8(BATCH_VERSION);
+        bytes.put_u32_le(u32::MAX);
+        assert!(matches!(
+            BinaryCodec.decode_request(&bytes),
+            Err(CodecError::Malformed(_))
+        ));
+        let text = format!(
+            "REQUEST query-batch v={BATCH_VERSION} n={}\n",
+            MAX_BATCH + 1
+        );
+        assert!(matches!(
+            TextCodec.decode_request(text.as_bytes()),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn batch_rejects_truncation_and_trailing_garbage() {
+        let bytes = BinaryCodec.encode_request(&sample_batch(3));
+        for cut in [bytes.len() - 1, bytes.len() - 24, 7] {
+            assert!(
+                BinaryCodec.decode_request(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut padded = bytes;
+        padded.push(0xEE);
+        assert!(BinaryCodec.decode_request(&padded).is_err());
+        // Text: declared count mismatching the line count, both ways.
+        let short = format!("REQUEST query-batch v={BATCH_VERSION} n=2\nq time=0 x=0 y=0\n");
+        assert!(TextCodec.decode_request(short.as_bytes()).is_err());
+        let long = format!(
+            "REQUEST query-batch v={BATCH_VERSION} n=1\nq time=0 x=0 y=0\nq time=1 x=0 y=0\n"
+        );
+        assert!(TextCodec.decode_request(long.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn value_batch_rejects_bad_flag() {
+        let mut bytes = Vec::new();
+        bytes.put_u8(0x85);
+        bytes.put_u8(BATCH_VERSION);
+        bytes.put_u32_le(1);
+        bytes.put_u8(0x7F); // neither miss nor present
+        assert_eq!(
+            BinaryCodec.decode_response(&bytes),
+            Err(CodecError::BadTag(0x7F))
+        );
+    }
+
+    #[test]
+    fn encode_into_appends_without_clearing() {
+        // The scratch-buffer contract: encoders append, callers clear.
+        let mut out = vec![0xAA];
+        BinaryCodec.encode_request_into(
+            &Request::ModelRequest {
+                time: Timestamp::ZERO,
+            },
+            &mut out,
+        );
+        assert_eq!(out[0], 0xAA);
+        assert_eq!(out.len(), 1 + 9);
     }
 }

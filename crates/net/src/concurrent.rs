@@ -1,0 +1,418 @@
+//! The concurrent serving layer: N worker threads over one shared server.
+//!
+//! [`ChannelTransport`](crate::transport::ChannelTransport) runs exactly one
+//! request at a time on one background thread — fine for the Figure 7
+//! bandwidth baselines, nowhere near a deployment that absorbs "heavy
+//! traffic from millions of users". [`ConcurrentTransport`] is the
+//! deployment shape: it spawns `workers` threads over one
+//! `Arc<EnviroServer>`, shards requests across per-worker queues, and gives
+//! each connection a pipelined [`Session`].
+//!
+//! Sharing one server across threads is sound because the entire query
+//! path is `&self`: the engine's per-window structures live behind
+//! `OnceLock`s (first builder wins, everyone else reads), and the codec,
+//! platform and window metadata are immutable after construction. Workers
+//! therefore need no locks on the hot path.
+//!
+//! Buffers circulate instead of being allocated: a worker swaps each
+//! request buffer into service as the next reply buffer, and a [`Session`]
+//! pools the reply buffers it gets back for its next request. In steady
+//! state a session ↔ worker pair recycles the same two or three `Vec`s
+//! forever (the channel internals are the only allocator traffic).
+
+use crate::codec::WireCodec;
+use crate::server::EnviroServer;
+use crate::transport::TransportError;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum unacknowledged requests a [`Session`] may pipeline.
+///
+/// This equals the session's reply-queue capacity, so a worker can always
+/// deposit every outstanding reply without blocking — which is what makes
+/// the design deadlock-free by construction.
+pub const PIPELINE_MAX: usize = 64;
+
+/// Per-worker request queue depth.
+const SHARD_QUEUE: usize = 256;
+
+/// A request envelope: opaque bytes plus the reply channel of the issuing
+/// session.
+struct Envelope {
+    request: Vec<u8>,
+    reply_to: Sender<Vec<u8>>,
+}
+
+/// A pool of worker threads serving one shared [`EnviroServer`].
+///
+/// Each worker owns its request queue (the vendored channel receiver is
+/// single-consumer); sessions and one-shot calls are assigned to shards
+/// round-robin. Dropping the transport closes every queue, lets the workers
+/// drain, and joins them.
+pub struct ConcurrentTransport {
+    shards: Vec<Sender<Envelope>>,
+    workers: Vec<JoinHandle<()>>,
+    next_shard: AtomicUsize,
+}
+
+impl ConcurrentTransport {
+    /// Spawns `workers` threads (at least 1) serving `server`. `Err` means
+    /// the OS refused to create a thread.
+    pub fn spawn<C>(server: EnviroServer<C>, workers: usize) -> std::io::Result<Self>
+    where
+        C: WireCodec + Send + Sync + 'static,
+    {
+        Self::spawn_shared(Arc::new(server), workers)
+    }
+
+    /// Like [`ConcurrentTransport::spawn`], but over a server the caller
+    /// keeps a handle to (e.g. for direct in-process queries alongside the
+    /// served traffic).
+    pub fn spawn_shared<C>(server: Arc<EnviroServer<C>>, workers: usize) -> std::io::Result<Self>
+    where
+        C: WireCodec + Send + Sync + 'static,
+    {
+        let workers = workers.max(1);
+        let mut shards = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = bounded(SHARD_QUEUE);
+            let server = Arc::clone(&server);
+            let handle = std::thread::Builder::new()
+                .name(format!("enviro-worker-{i}"))
+                .spawn(move || worker_loop(&server, rx))?;
+            shards.push(tx);
+            handles.push(handle);
+        }
+        Ok(Self {
+            shards,
+            workers: handles,
+            next_shard: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Performs one request/response exchange (a fresh reply channel per
+    /// call). Sessions amortize that setup; this mirrors
+    /// [`ChannelTransport::call`](crate::transport::ChannelTransport::call)
+    /// for drop-in use.
+    pub fn call(&self, request: Vec<u8>) -> Result<Vec<u8>, TransportError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let shard = self.pick_shard();
+        self.shards[shard]
+            .send(Envelope {
+                request,
+                reply_to: reply_tx,
+            })
+            .map_err(|_| TransportError::Disconnected)?;
+        reply_rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Opens a connection-like [`Session`] pinned to one worker shard.
+    pub fn session(&self) -> Session<'_> {
+        let shard = self.pick_shard();
+        let (reply_tx, reply_rx) = bounded(PIPELINE_MAX);
+        Session {
+            transport: self,
+            shard,
+            reply_tx,
+            reply_rx,
+            inflight: 0,
+            pool: Vec::new(),
+            last: Vec::new(),
+        }
+    }
+
+    fn pick_shard(&self) -> usize {
+        self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+    }
+}
+
+impl Drop for ConcurrentTransport {
+    fn drop(&mut self) {
+        // Closing every request queue stops the worker loops; sessions
+        // borrow the transport, so none can be alive here.
+        self.shards.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: serve envelopes until the queue closes, reusing one reply
+/// buffer by swapping it with each served request's buffer.
+fn worker_loop<C: WireCodec>(server: &EnviroServer<C>, rx: Receiver<Envelope>) {
+    let mut reply = Vec::new();
+    for envelope in rx {
+        let Envelope {
+            mut request,
+            reply_to,
+        } = envelope;
+        server.handle_bytes_into(&request, &mut reply);
+        // Ship the reply in the request's allocation-slot and keep the
+        // other buffer as the next reply scratch (`handle_bytes_into`
+        // clears it before use).
+        std::mem::swap(&mut request, &mut reply);
+        // A dropped reply channel just means the client gave up.
+        let _ = reply_to.send(request);
+    }
+}
+
+/// A per-connection handle: requests go to one pinned worker shard, replies
+/// come back in order over a private queue.
+///
+/// Sessions support **pipelining**: up to [`PIPELINE_MAX`] requests may be
+/// sent before receiving their replies, which batch-oriented clients use to
+/// keep the wire full. Replies arrive in send order (the shard serves one
+/// session's envelopes FIFO).
+pub struct Session<'t> {
+    transport: &'t ConcurrentTransport,
+    shard: usize,
+    reply_tx: Sender<Vec<u8>>,
+    reply_rx: Receiver<Vec<u8>>,
+    inflight: usize,
+    /// Reply buffers returned by [`Session::recv`], reused for requests.
+    pool: Vec<Vec<u8>>,
+    /// The most recent reply, borrowed out by [`Session::recv`].
+    last: Vec<u8>,
+}
+
+impl Session<'_> {
+    /// Sends one request frame without waiting for its reply. The frame is
+    /// encoded by `encode` into a recycled buffer.
+    ///
+    /// Fails with [`TransportError::PipelineFull`] when [`PIPELINE_MAX`]
+    /// replies are outstanding — receive some first.
+    pub fn send_with(&mut self, encode: impl FnOnce(&mut Vec<u8>)) -> Result<(), TransportError> {
+        if self.inflight >= PIPELINE_MAX {
+            return Err(TransportError::PipelineFull);
+        }
+        let mut request = self.pool.pop().unwrap_or_default();
+        request.clear();
+        encode(&mut request);
+        self.transport.shards[self.shard]
+            .send(Envelope {
+                request,
+                reply_to: self.reply_tx.clone(),
+            })
+            .map_err(|_| TransportError::Disconnected)?;
+        self.inflight += 1;
+        Ok(())
+    }
+
+    /// Receives the next pending reply, in send order. The returned slice
+    /// is valid until the next `recv`/`call` on this session.
+    pub fn recv(&mut self) -> Result<&[u8], TransportError> {
+        if self.inflight == 0 {
+            return Err(TransportError::NoPendingReply);
+        }
+        let reply = self
+            .reply_rx
+            .recv()
+            .map_err(|_| TransportError::Disconnected)?;
+        self.inflight -= 1;
+        let prev = std::mem::replace(&mut self.last, reply);
+        if self.pool.len() < 4 {
+            self.pool.push(prev);
+        }
+        Ok(&self.last)
+    }
+
+    /// One full exchange: [`Session::send_with`] then [`Session::recv`].
+    pub fn call_with(
+        &mut self,
+        encode: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<&[u8], TransportError> {
+        self.send_with(encode)?;
+        self.recv()
+    }
+
+    /// Number of requests sent but not yet received.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::BinaryCodec;
+    use crate::protocol::{Request, Response};
+    use enviro_data::{LausanneSim, SimConfig, Timestamp, WindowSpec};
+    use enviro_geo::Point;
+    use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+
+    fn server() -> EnviroServer<BinaryCodec> {
+        let sim = LausanneSim::lausanne(SimConfig {
+            duration_secs: 3_600,
+            seed: 3,
+            ..SimConfig::default()
+        });
+        let platform = EnviroMeter::new(
+            sim.generate(),
+            WindowSpec::ByDuration(3_600),
+            AdKmnConfig::default(),
+            1_000.0,
+        );
+        EnviroServer::new(platform, BinaryCodec, QueryMethod::ModelCover)
+    }
+
+    fn query_bytes(i: i64) -> Vec<u8> {
+        BinaryCodec.encode_request(&Request::Query {
+            time: Timestamp::from_secs(i * 60),
+            pos: Point::new(0.0, -200.0),
+        })
+    }
+
+    #[test]
+    fn call_round_trips_on_every_worker_count() {
+        for workers in [1, 2, 4] {
+            let t = ConcurrentTransport::spawn(server(), workers).unwrap();
+            assert_eq!(t.workers(), workers);
+            for i in 0..8 {
+                let reply = t.call(query_bytes(i)).unwrap();
+                assert!(matches!(
+                    BinaryCodec.decode_response(&reply).unwrap(),
+                    Response::Value { .. }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let t = ConcurrentTransport::spawn(server(), 0).unwrap();
+        assert_eq!(t.workers(), 1);
+    }
+
+    #[test]
+    fn session_pipelines_in_order() {
+        let t = ConcurrentTransport::spawn(server(), 2).unwrap();
+        let mut session = t.session();
+        let codec = BinaryCodec;
+        for i in 0..10 {
+            session
+                .send_with(|out| {
+                    codec.encode_request_into(
+                        &Request::Query {
+                            time: Timestamp::from_secs(i * 60),
+                            pos: Point::new(i as f64, 0.0),
+                        },
+                        out,
+                    )
+                })
+                .unwrap();
+        }
+        assert_eq!(session.inflight(), 10);
+        let mut values = Vec::new();
+        for _ in 0..10 {
+            let reply = session.recv().unwrap();
+            match codec.decode_response(reply).unwrap() {
+                Response::Value { value } => values.push(value),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(session.inflight(), 0);
+        // In-order delivery: each reply matches its direct-handled twin.
+        let s = server();
+        for (i, v) in values.iter().enumerate() {
+            let direct = s.handle(&Request::Query {
+                time: Timestamp::from_secs(i as i64 * 60),
+                pos: Point::new(i as f64, 0.0),
+            });
+            assert_eq!(direct, Response::Value { value: *v }, "reply {i}");
+        }
+    }
+
+    #[test]
+    fn pipeline_cap_is_enforced() {
+        let t = ConcurrentTransport::spawn(server(), 1).unwrap();
+        let mut session = t.session();
+        for _ in 0..PIPELINE_MAX {
+            session
+                .send_with(|out| out.extend_from_slice(b"junk"))
+                .unwrap();
+        }
+        assert_eq!(
+            session.send_with(|out| out.extend_from_slice(b"junk")),
+            Err(TransportError::PipelineFull)
+        );
+        while session.inflight() > 0 {
+            session.recv().unwrap();
+        }
+    }
+
+    #[test]
+    fn recv_without_send_is_an_error_not_a_hang() {
+        let t = ConcurrentTransport::spawn(server(), 1).unwrap();
+        let mut session = t.session();
+        assert_eq!(session.recv(), Err(TransportError::NoPendingReply));
+    }
+
+    #[test]
+    fn garbage_frames_get_error_replies_and_session_survives() {
+        let t = ConcurrentTransport::spawn(server(), 2).unwrap();
+        let mut session = t.session();
+        let reply = session
+            .call_with(|out| out.extend_from_slice(&[0xDE, 0xAD]))
+            .unwrap();
+        assert!(matches!(
+            BinaryCodec.decode_response(reply).unwrap(),
+            Response::Error(_)
+        ));
+        let reply = session
+            .call_with(|out| {
+                BinaryCodec.encode_request_into(
+                    &Request::Query {
+                        time: Timestamp::from_secs(60),
+                        pos: Point::new(0.0, -200.0),
+                    },
+                    out,
+                )
+            })
+            .unwrap();
+        assert!(matches!(
+            BinaryCodec.decode_response(reply).unwrap(),
+            Response::Value { .. }
+        ));
+    }
+
+    #[test]
+    fn drop_with_no_traffic_shuts_down_cleanly() {
+        let t = ConcurrentTransport::spawn(server(), 4).unwrap();
+        drop(t);
+    }
+
+    #[test]
+    fn concurrent_sessions_from_many_threads() {
+        let t = ConcurrentTransport::spawn(server(), 4).unwrap();
+        std::thread::scope(|scope| {
+            for k in 0..4 {
+                let t = &t;
+                scope.spawn(move || {
+                    let mut session = t.session();
+                    for i in 0..25 {
+                        let reply = session
+                            .call_with(|out| {
+                                BinaryCodec.encode_request_into(
+                                    &Request::Query {
+                                        time: Timestamp::from_secs((k * 100 + i) * 30),
+                                        pos: Point::new(i as f64 * 20.0, k as f64 * 50.0),
+                                    },
+                                    out,
+                                )
+                            })
+                            .unwrap();
+                        BinaryCodec.decode_response(reply).unwrap();
+                    }
+                });
+            }
+        });
+    }
+}

@@ -19,24 +19,37 @@
 //! * [`client`] — [`client::BaselineClient`] and
 //!   [`client::ModelCacheClient`] running Query 1 trajectories end-to-end,
 //!   with [`client::SessionStats`] capturing bytes sent/received and elapsed
-//!   (virtual) time.
+//!   (virtual) time; plus [`client::EnviroClient`], the production client
+//!   speaking batched `QueryBatch` frames over any [`client::Wire`].
 //! * [`transport`] — an in-process channel transport
 //!   (server on its own thread) demonstrating the full deployment shape.
+//! * [`concurrent`] — the sharded thread-pool server:
+//!   [`concurrent::ConcurrentTransport`] runs N workers over one shared
+//!   platform, with pipelined per-connection [`concurrent::Session`]s.
+//! * [`buffers`] — per-thread buffer pools backing the allocation-free
+//!   steady-state serving path.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 #![forbid(unsafe_code)]
 
+pub mod buffers;
 pub mod client;
 pub mod codec;
+pub mod concurrent;
 pub mod link;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
-pub use client::{BaselineClient, ClientError, ModelCacheClient, SessionStats};
+pub use client::{
+    BaselineClient, ClientError, EnviroClient, LoopbackWire, ModelCacheClient, SessionStats, Wire,
+};
 pub use codec::{BinaryCodec, TextCodec, WireCodec};
+pub use concurrent::{ConcurrentTransport, Session, PIPELINE_MAX};
 pub use link::{LinkProfile, SimulatedLink};
-pub use protocol::{ErrorCode, ProtocolError, Request, Response, WireCover, WireRegion};
+pub use protocol::{
+    ErrorCode, ProtocolError, Request, Response, WireCover, WireRegion, BATCH_VERSION, MAX_BATCH,
+};
 pub use server::EnviroServer;
 pub use transport::{ChannelTransport, TransportError};

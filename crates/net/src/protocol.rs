@@ -1,8 +1,20 @@
 //! Protocol messages between the EnviroMeter app and server.
 
-use enviro_data::{Pollutant, Timestamp};
+use enviro_data::{Pollutant, QueryTuple, Timestamp};
 use enviro_geo::Point;
 use enviro_meter::{CoverRegion, LinearModel, ModelCover, RegionModel};
+
+/// Version byte carried by the batch frames (`QueryBatch` / `ValueBatch`),
+/// so the layout can evolve without re-tagging. Decoders reject any other
+/// version with a `Malformed` error.
+pub const BATCH_VERSION: u8 = 1;
+
+/// Upper bound on the tuples one batch frame may carry.
+///
+/// Decoders reject larger counts *before* allocating, so a hostile length
+/// prefix cannot balloon server memory; clients chunk longer trajectories
+/// into multiple frames.
+pub const MAX_BATCH: usize = 4_096;
 
 /// A client → server request.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +34,15 @@ pub enum Request {
         /// responsible window.
         time: Timestamp,
     },
+    /// A trajectory chunk: up to [`MAX_BATCH`] query tuples answered in one
+    /// round-trip, amortizing framing and latency over the chunk.
+    ///
+    /// The answer is a [`Response::ValueBatch`] with exactly one value per
+    /// tuple, in order.
+    QueryBatch {
+        /// The query tuples, in trajectory order.
+        queries: Vec<QueryTuple>,
+    },
 }
 
 /// A server → client response.
@@ -34,6 +55,12 @@ pub enum Response {
     },
     /// The server has no data to answer from.
     NoData,
+    /// One interpolated value (or miss) per tuple of a
+    /// [`Request::QueryBatch`], in request order.
+    ValueBatch {
+        /// `Some(ŝ_l)` per answerable tuple, `None` per miss.
+        values: Vec<Option<f64>>,
+    },
     /// The model cover `(t_n, µ, M)` for a [`Request::ModelRequest`].
     Cover(WireCover),
     /// The request could not be served; the connection stays usable.

@@ -1,5 +1,6 @@
 //! The EnviroMeter server endpoint.
 
+use crate::buffers;
 use crate::codec::WireCodec;
 use crate::protocol::{ErrorCode, ProtocolError, Request, Response, WireCover};
 use enviro_data::QueryTuple;
@@ -52,6 +53,15 @@ impl<C: WireCodec> EnviroServer<C> {
                 Some(cover) if !cover.is_empty() => Response::Cover(WireCover::from_cover(cover)),
                 _ => Response::NoData,
             },
+            Request::QueryBatch { queries } => {
+                // The value buffer comes from the thread's pool and goes
+                // back to it in `handle_bytes_into` after encoding, so a
+                // steady-state worker serves batches without allocating.
+                let mut values = buffers::take_values();
+                self.platform
+                    .point_query_batch_into(queries, self.method, &mut values);
+                Response::ValueBatch { values }
+            }
         }
     }
 
@@ -63,11 +73,38 @@ impl<C: WireCodec> EnviroServer<C> {
     /// corrupt message from a flaky phone can never tear down the
     /// connection or panic the endpoint.
     pub fn handle_bytes(&self, request_bytes: &[u8]) -> Vec<u8> {
-        let response = match self.codec.decode_request(request_bytes) {
-            Ok(request) => self.handle(&request),
-            Err(e) => Response::Error(ProtocolError::new(ErrorCode::BadRequest, e.to_string())),
-        };
-        self.codec.encode_response(&response)
+        let mut reply = Vec::with_capacity(64);
+        self.handle_bytes_into(request_bytes, &mut reply);
+        reply
+    }
+
+    /// [`EnviroServer::handle_bytes`] into a caller-owned reply buffer:
+    /// `reply` is cleared, then filled with the encoded response.
+    ///
+    /// This is the zero-allocation serving path: with a warmed engine and a
+    /// recycled `reply` buffer, decoding, query processing and encoding of
+    /// `Query`/`QueryBatch` frames touch no allocator (batch `Vec`s come
+    /// from the per-thread pool in [`crate::buffers`] and are returned
+    /// here).
+    pub fn handle_bytes_into(&self, request_bytes: &[u8], reply: &mut Vec<u8>) {
+        reply.clear();
+        match self.codec.decode_request(request_bytes) {
+            Ok(request) => {
+                let response = self.handle(&request);
+                self.codec.encode_response_into(&response, reply);
+                if let Request::QueryBatch { queries } = request {
+                    buffers::recycle_queries(queries);
+                }
+                if let Response::ValueBatch { values } = response {
+                    buffers::recycle_values(values);
+                }
+            }
+            Err(e) => {
+                let response =
+                    Response::Error(ProtocolError::new(ErrorCode::BadRequest, e.to_string()));
+                self.codec.encode_response_into(&response, reply);
+            }
+        }
     }
 }
 

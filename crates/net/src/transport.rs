@@ -17,12 +17,20 @@ use std::thread::JoinHandle;
 pub enum TransportError {
     /// The server thread is gone (shut down or panicked).
     Disconnected,
+    /// A session has [`crate::concurrent::PIPELINE_MAX`] requests in
+    /// flight; receive replies before sending more.
+    PipelineFull,
+    /// `recv` was called on a session with no request in flight (it would
+    /// block forever).
+    NoPendingReply,
 }
 
 impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransportError::Disconnected => f.write_str("server thread terminated"),
+            TransportError::PipelineFull => f.write_str("session pipeline is full"),
+            TransportError::NoPendingReply => f.write_str("no reply pending on this session"),
         }
     }
 }

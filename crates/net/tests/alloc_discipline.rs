@@ -1,0 +1,159 @@
+//! Allocation discipline: the warmed byte-in/byte-out serving path must not
+//! touch the heap.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up pass (engine caches built, buffer pools primed, vector
+//! capacities grown), a steady-state loop of `handle_bytes_into` calls —
+//! single queries and batches, over the binary codec — must report zero
+//! allocations. This pins the tentpole perf claim as a test instead of a
+//! comment: regressions that sneak an allocation into the hot path fail CI.
+//!
+//! (`unsafe` is required to implement `GlobalAlloc`; the library crates all
+//! `forbid(unsafe_code)` — this harness is deliberately outside them.)
+
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use enviro_data::{LausanneSim, QueryTuple, SimConfig, Timestamp, WindowSpec};
+use enviro_geo::Point;
+use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+use enviro_net::{BinaryCodec, EnviroServer, Request, WireCodec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts every allocation and reallocation (frees are irrelevant to the
+/// claim: a path that frees without allocating cannot exist in safe Rust).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOC_CALLS.load(Ordering::Relaxed) - before, result)
+}
+
+fn server(method: QueryMethod) -> EnviroServer<BinaryCodec> {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 2 * 3_600,
+        seed: 21,
+        ..SimConfig::default()
+    });
+    let platform = EnviroMeter::new(
+        sim.generate(),
+        WindowSpec::ByDuration(3_600),
+        AdKmnConfig::default(),
+        1_000.0,
+    );
+    EnviroServer::new(platform, BinaryCodec, method)
+}
+
+fn tuple(i: i64) -> QueryTuple {
+    QueryTuple::new(
+        Timestamp::from_secs((i * 37) % 7_000),
+        Point::new(
+            (i % 40) as f64 * 25.0 - 500.0,
+            (i % 17) as f64 * 50.0 - 400.0,
+        ),
+    )
+}
+
+/// Runs `rounds` of single + batch frames through `handle_bytes_into`,
+/// recycling the request and reply buffers like a worker loop does, and
+/// returns the allocation count of the steady-state portion.
+fn steady_state_allocs(method: QueryMethod) -> usize {
+    // The counter is process-global: serialize tests so a concurrently
+    // running test's allocations cannot leak into this measurement.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = SERIAL.lock().unwrap();
+    let server = server(method);
+    let mut request = Vec::new();
+    let mut reply = Vec::new();
+
+    let frame_single = |out: &mut Vec<u8>, i: i64| {
+        out.clear();
+        let t = tuple(i);
+        BinaryCodec.encode_request_into(
+            &Request::Query {
+                time: t.time,
+                pos: t.pos,
+            },
+            out,
+        );
+    };
+    // Batch frames are encoded from a pre-built query list so the test's
+    // own allocation (building the Vec) stays outside the measured region;
+    // the server-side decode draws from the per-thread pool.
+    let batch: Vec<QueryTuple> = (0..64).map(tuple).collect();
+    let frame_batch = |out: &mut Vec<u8>| {
+        out.clear();
+        BinaryCodec.encode_request_into(
+            &Request::QueryBatch {
+                queries: batch.clone(),
+            },
+            out,
+        );
+    };
+
+    // Warm-up: build engine caches, prime buffer pools, grow capacities.
+    for i in 0..32 {
+        frame_single(&mut request, i);
+        server.handle_bytes_into(&request, &mut reply);
+        frame_batch(&mut request);
+        server.handle_bytes_into(&request, &mut reply);
+    }
+
+    // Steady state: only the serving calls are measured (frame encoding
+    // into the recycled request buffer is also allocation-free, but batch
+    // request *construction* clones a Vec, so it stays outside the timer).
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    for i in 32..48 {
+        frame_single(&mut request, i);
+        frames.push(request.clone());
+        frame_batch(&mut request);
+        frames.push(request.clone());
+    }
+    let (allocs, ()) = allocations(|| {
+        for _ in 0..8 {
+            for frame in &frames {
+                server.handle_bytes_into(frame, &mut reply);
+            }
+        }
+    });
+    allocs
+}
+
+#[test]
+fn model_cover_serving_path_is_allocation_free() {
+    assert_eq!(steady_state_allocs(QueryMethod::ModelCover), 0);
+}
+
+#[test]
+fn grid_indexed_serving_path_is_allocation_free() {
+    assert_eq!(steady_state_allocs(QueryMethod::Grid), 0);
+}
+
+#[test]
+fn naive_serving_path_is_allocation_free() {
+    assert_eq!(steady_state_allocs(QueryMethod::Naive), 0);
+}

@@ -5,7 +5,7 @@
 // fails the run loudly, which is the desired behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use enviro_data::Timestamp;
+use enviro_data::{QueryTuple, Timestamp};
 use enviro_geo::Point;
 use enviro_meter::LinearModel;
 use enviro_net::protocol::WireModel;
@@ -19,6 +19,17 @@ fn finite() -> impl Strategy<Value = f64> {
     -1.0e12..1.0e12
 }
 
+fn arb_batch() -> impl Strategy<Value = Request> {
+    prop::collection::vec((any::<i64>(), finite(), finite()), 0..40).prop_map(|tuples| {
+        Request::QueryBatch {
+            queries: tuples
+                .into_iter()
+                .map(|(t, x, y)| QueryTuple::new(Timestamp::from_secs(t), Point::new(x, y)))
+                .collect(),
+        }
+    })
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         (any::<i64>(), finite(), finite()).prop_map(|(t, x, y)| Request::Query {
@@ -28,7 +39,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
         any::<i64>().prop_map(|t| Request::ModelRequest {
             time: Timestamp::from_secs(t),
         }),
+        arb_batch(),
     ]
+}
+
+fn arb_value_batch() -> impl Strategy<Value = Response> {
+    prop::collection::vec((any::<bool>(), finite()), 0..40).prop_map(|slots| Response::ValueBatch {
+        values: slots.into_iter().map(|(hit, v)| hit.then_some(v)).collect(),
+    })
 }
 
 fn arb_model() -> impl Strategy<Value = WireModel> {
@@ -75,6 +93,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         finite().prop_map(|value| Response::Value { value }),
         Just(Response::NoData),
         arb_error().prop_map(Response::Error),
+        arb_value_batch(),
         (
             any::<i64>(),
             prop::collection::vec((finite(), finite(), arb_model()), 0..12)
@@ -126,8 +145,54 @@ proptest! {
                 Request::ModelRequest { time: t1 },
                 Request::ModelRequest { time: t2 },
             ) => prop_assert_eq!(t1, t2),
+            (
+                Request::QueryBatch { queries: q1 },
+                Request::QueryBatch { queries: q2 },
+            ) => {
+                prop_assert_eq!(q1.len(), q2.len());
+                for (a, b) in q1.iter().zip(&q2) {
+                    prop_assert_eq!(a.time, b.time);
+                    prop_assert!((a.pos.x - b.pos.x).abs() <= 1e-6 * (1.0 + b.pos.x.abs()));
+                    prop_assert!((a.pos.y - b.pos.y).abs() <= 1e-6 * (1.0 + b.pos.y.abs()));
+                }
+            }
             other => prop_assert!(false, "variant mismatch: {:?}", other),
         }
+    }
+
+    #[test]
+    fn binary_batch_request_roundtrip(req in arb_batch()) {
+        let bytes = BinaryCodec.encode_request(&req);
+        prop_assert_eq!(BinaryCodec.decode_request(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn binary_request_decoder_never_panics_on_truncations(
+        req in arb_request(),
+        cut in 0usize..1024,
+    ) {
+        let bytes = BinaryCodec.encode_request(&req);
+        let cut = cut.min(bytes.len());
+        match BinaryCodec.decode_request(&bytes[..cut]) {
+            Ok(decoded) => {
+                prop_assert_eq!(cut, bytes.len());
+                prop_assert_eq!(decoded, req);
+            }
+            Err(_) => prop_assert!(cut < bytes.len()),
+        }
+    }
+
+    #[test]
+    fn binary_request_decoder_never_panics_on_bit_flips(
+        req in arb_request(),
+        flip_at in 0usize..1024,
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = BinaryCodec.encode_request(&req);
+        if flip_at < bytes.len() {
+            bytes[flip_at] ^= 1 << flip_bit;
+        }
+        let _ = BinaryCodec.decode_request(&bytes); // must not panic
     }
 
     #[test]

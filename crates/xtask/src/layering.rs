@@ -40,6 +40,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "enviro-geo",
             "enviro-data",
             "enviro-meter",
+            "enviro-net",
             "enviro-storage",
         ],
     ),

@@ -1,0 +1,240 @@
+//! Concurrency stress: many client sessions hammering one shared server
+//! must produce answers bit-identical to sequential in-process calls.
+//!
+//! This is the correctness half of the throughput story: the concurrent
+//! transport shares one `EnviroServer` across worker threads with no locks
+//! on the query path, so any data race or cross-session reply mixup would
+//! show up here as a value mismatch.
+
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use enviro_data::{LausanneSim, Pollutant, QueryTuple, SimConfig, WindowSpec};
+use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+use enviro_net::{
+    BinaryCodec, ConcurrentTransport, EnviroClient, EnviroServer, Request, Response, WireCodec,
+};
+use std::sync::Arc;
+
+const CLIENTS: usize = 4;
+const QUERIES_PER_CLIENT: usize = 200;
+
+fn shared_server() -> Arc<EnviroServer<BinaryCodec>> {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 6 * 3_600,
+        seed: 4242,
+        ..SimConfig::default()
+    });
+    let platform = EnviroMeter::new(
+        sim.generate(),
+        WindowSpec::ByDuration(2 * 3_600),
+        AdKmnConfig::default(),
+        1_000.0,
+    );
+    Arc::new(EnviroServer::new(
+        platform,
+        BinaryCodec,
+        QueryMethod::ModelCover,
+    ))
+}
+
+/// Client `k`'s trajectory: distinct per client so a reply delivered to the
+/// wrong session cannot accidentally carry the right value.
+fn trajectory(k: usize) -> Vec<QueryTuple> {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 6 * 3_600,
+        seed: 4242,
+        ..SimConfig::default()
+    });
+    sim.continuous_trajectory(QUERIES_PER_CLIENT, 90, k as u64 + 1)
+}
+
+/// The ground truth: answer `traj` sequentially, straight through
+/// `handle()`, no wire, no threads.
+fn sequential_answers(server: &EnviroServer<BinaryCodec>, traj: &[QueryTuple]) -> Vec<Option<f64>> {
+    traj.iter()
+        .map(|q| {
+            match server.handle(&Request::Query {
+                time: q.time,
+                pos: q.pos,
+            }) {
+                Response::Value { value } => Some(value),
+                Response::NoData => None,
+                other => panic!("unexpected response {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn assert_bit_identical(expected: &[Option<f64>], got: &[Option<f64>], who: &str) {
+    assert_eq!(expected.len(), got.len(), "{who}: length mismatch");
+    for (i, (e, g)) in expected.iter().zip(got).enumerate() {
+        match (e, g) {
+            (Some(e), Some(g)) => assert_eq!(
+                e.to_bits(),
+                g.to_bits(),
+                "{who}: tuple {i} differs: {e} vs {g}"
+            ),
+            (None, None) => {}
+            other => panic!("{who}: tuple {i} differs: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_sessions_match_sequential_bit_for_bit() {
+    let server = shared_server();
+    let expected: Vec<Vec<Option<f64>>> = (0..CLIENTS)
+        .map(|k| sequential_answers(&server, &trajectory(k)))
+        .collect();
+
+    let transport = ConcurrentTransport::spawn_shared(Arc::clone(&server), 4).unwrap();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for k in 0..CLIENTS {
+            let transport = &transport;
+            handles.push(scope.spawn(move || {
+                let traj = trajectory(k);
+                let mut session = transport.session();
+                // Odd clients batch, even clients send per-tuple frames, so
+                // both frame kinds interleave on the same worker queues.
+                if k % 2 == 1 {
+                    let mut client =
+                        EnviroClient::new(BinaryCodec, Pollutant::Co2).with_batch(16 + k);
+                    let mut values = Vec::new();
+                    client
+                        .query_batch(&mut session, &traj, &mut values)
+                        .unwrap();
+                    values
+                } else {
+                    traj.iter()
+                        .map(|q| {
+                            let reply = session
+                                .call_with(|out| {
+                                    BinaryCodec.encode_request_into(
+                                        &Request::Query {
+                                            time: q.time,
+                                            pos: q.pos,
+                                        },
+                                        out,
+                                    )
+                                })
+                                .unwrap();
+                            match BinaryCodec.decode_response(reply).unwrap() {
+                                Response::Value { value } => Some(value),
+                                Response::NoData => None,
+                                other => panic!("unexpected response {other:?}"),
+                            }
+                        })
+                        .collect()
+                }
+            }));
+        }
+        for (k, handle) in handles.into_iter().enumerate() {
+            let got: Vec<Option<f64>> = handle.join().unwrap();
+            assert_bit_identical(&expected[k], &got, &format!("client {k}"));
+        }
+    });
+}
+
+#[test]
+fn garbage_frames_mid_stream_do_not_poison_other_sessions() {
+    let server = shared_server();
+    let transport = ConcurrentTransport::spawn_shared(Arc::clone(&server), 2).unwrap();
+    let traj = trajectory(0);
+    let expected = sequential_answers(&server, &traj);
+
+    std::thread::scope(|scope| {
+        // A vandal session interleaving garbage with valid traffic.
+        let vandal = {
+            let transport = &transport;
+            scope.spawn(move || {
+                let mut session = transport.session();
+                for i in 0..100u8 {
+                    let reply = session
+                        .call_with(|out| out.extend_from_slice(&[0xFF, i, 0xEE]))
+                        .unwrap();
+                    assert!(matches!(
+                        BinaryCodec.decode_response(reply).unwrap(),
+                        Response::Error(_)
+                    ));
+                }
+            })
+        };
+        // A well-behaved batched client running alongside.
+        let honest = {
+            let transport = &transport;
+            let traj = &traj;
+            scope.spawn(move || {
+                let mut session = transport.session();
+                let mut client = EnviroClient::new(BinaryCodec, Pollutant::Co2).with_batch(32);
+                let mut values = Vec::new();
+                client.query_batch(&mut session, traj, &mut values).unwrap();
+                assert_eq!(client.protocol_errors(), 0);
+                values
+            })
+        };
+        vandal.join().unwrap();
+        let got = honest.join().unwrap();
+        assert_bit_identical(&expected, &got, "honest client");
+    });
+}
+
+#[test]
+fn pipelined_batches_round_trip_under_contention() {
+    let server = shared_server();
+    let transport = ConcurrentTransport::spawn_shared(Arc::clone(&server), 4).unwrap();
+    let traj = trajectory(2);
+    let expected = sequential_answers(&server, &traj);
+
+    // Pipeline all batch frames first, then drain replies in order —
+    // exercising the queue depth rather than lock-step call/reply.
+    let mut session = transport.session();
+    let chunks: Vec<&[QueryTuple]> = traj.chunks(25).collect();
+    for chunk in &chunks {
+        session
+            .send_with(|out| {
+                BinaryCodec.encode_request_into(
+                    &Request::QueryBatch {
+                        queries: chunk.to_vec(),
+                    },
+                    out,
+                )
+            })
+            .unwrap();
+    }
+    let mut got = Vec::with_capacity(traj.len());
+    for chunk in &chunks {
+        let reply = session.recv().unwrap();
+        match BinaryCodec.decode_response(reply).unwrap() {
+            Response::ValueBatch { values } => {
+                assert_eq!(values.len(), chunk.len());
+                got.extend_from_slice(&values);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_bit_identical(&expected, &got, "pipelined batches");
+}
+
+#[test]
+fn transport_shutdown_is_clean_after_heavy_traffic() {
+    let server = shared_server();
+    let transport = ConcurrentTransport::spawn_shared(server, 4).unwrap();
+    std::thread::scope(|scope| {
+        for k in 0..CLIENTS {
+            let transport = &transport;
+            scope.spawn(move || {
+                let traj = trajectory(k);
+                let mut session = transport.session();
+                let mut client = EnviroClient::new(BinaryCodec, Pollutant::Co2).with_batch(8);
+                let mut values = Vec::new();
+                client
+                    .query_batch(&mut session, &traj, &mut values)
+                    .unwrap();
+            });
+        }
+    });
+    drop(transport); // must join all workers without hanging
+}
