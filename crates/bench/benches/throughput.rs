@@ -34,7 +34,7 @@ fn build_server(seed: u64) -> EnviroServer<BinaryCodec> {
 
 fn batch_frame(sim: &LausanneSim, n: usize) -> Vec<u8> {
     let queries: Vec<QueryTuple> = sim.continuous_trajectory(n, 60, 5);
-    BinaryCodec.encode_request(&Request::QueryBatch { queries })
+    BinaryCodec.encode_request(&Request::QueryBatch { seq: 1, queries })
 }
 
 fn bench_throughput(c: &mut Criterion) {

@@ -1,0 +1,67 @@
+//! Runs the fault-rate resilience sweep and writes
+//! `results/BENCH_faults.json`.
+//!
+//! ```text
+//! faults [--out PATH] [--seed N] [--tuples M] [--batch B]
+//! ```
+//!
+//! Sweeps the base fault rate {0, 2, 5, 10, 20}% through a seeded chaos
+//! wire and reports goodput, retry cost and outcome mix per rate. All time
+//! is virtual, so the report is deterministic for a fixed seed and the
+//! sweep finishes in seconds regardless of the injected latency.
+
+#![forbid(unsafe_code)]
+
+use enviro_bench::faults::{run, FaultsConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = FaultsConfig::default();
+    let mut out_path = String::from("results/BENCH_faults.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => out_path = iter.next().ok_or("--out needs a path")?.clone(),
+            "--seed" => cfg.seed = iter.next().ok_or("--seed needs an integer")?.parse()?,
+            "--tuples" => {
+                cfg.tuples = iter.next().ok_or("--tuples needs an integer")?.parse()?;
+            }
+            "--batch" => cfg.batch = iter.next().ok_or("--batch needs an integer")?.parse()?,
+            "--help" | "-h" => {
+                eprintln!("usage: faults [--out PATH] [--seed N] [--tuples M] [--batch B]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+
+    eprintln!(
+        "fault sweep: rates {:?}, {} tuples, batch {} (seed {})",
+        cfg.rates, cfg.tuples, cfg.batch, cfg.seed
+    );
+    let report = run(&cfg);
+    for row in &report.rows {
+        println!(
+            "rate {:>5.1}%: {:>6.0} fresh-q/s ({} fresh, {} stale, {} unavailable), \
+             {} retries, {} exchanges, {} wrong",
+            row.rate * 100.0,
+            row.goodput_qps,
+            row.fresh,
+            row.stale,
+            row.unavailable,
+            row.client.retries,
+            row.exchanges,
+            row.wrong
+        );
+    }
+    if report.total_wrong() != 0 {
+        return Err(format!(
+            "{} wrong answers — resilience invariant broken",
+            report.total_wrong()
+        )
+        .into());
+    }
+    std::fs::write(&out_path, report.to_json())?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}

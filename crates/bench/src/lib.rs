@@ -13,6 +13,7 @@
 //! | [`fig7b`] | Figure 7(b): bandwidth/time, baseline vs model-cache |
 //! | [`ablations`] | abl-k0 / abl-split / abl-tau / abl-codec / abl-radius |
 //! | [`throughput`] | concurrent serving: qps & wire bytes, workers × batch |
+//! | [`faults`] | resilience cost: goodput & retries vs injected fault rate |
 
 #![forbid(unsafe_code)]
 // Panic-prone sites in this crate are legacy debt tracked by the xtask
@@ -24,6 +25,7 @@
 #![warn(clippy::all)]
 
 pub mod ablations;
+pub mod faults;
 pub mod fig6a;
 pub mod fig6b;
 pub mod fig7a;

@@ -6,7 +6,10 @@ use enviro_data::csv::{read_csv, write_csv};
 use enviro_data::{Dataset, LausanneSim, Pollutant, QueryTuple, SimConfig, WindowSpec};
 use enviro_geo::{Point, Polyline};
 use enviro_meter::{default_parallelism, AdKmnConfig, EnviroMeter, QueryMethod};
-use enviro_net::{BinaryCodec, ConcurrentTransport, EnviroClient, EnviroServer, Wire};
+use enviro_net::{
+    BinaryCodec, ConcurrentTransport, EnviroClient, EnviroServer, RetryPolicy, TransportConfig,
+    Wire,
+};
 use enviro_storage::TupleStore;
 use std::io::Write;
 
@@ -310,9 +313,14 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             out,
             "usage: enviro serve FILE [--workers N] [--batch B] [--clients K] \
              [--requests M] [--method M] [--window H | --window-secs S]\n\
+             [--max-queue Q] [--deadline-ms MS] [--retries R]\n\
              runs the concurrent server over FILE and drives it with K \
              in-process clients issuing M queries each;\n\
-             --workers defaults to the detected CPU parallelism"
+             --workers defaults to the detected CPU parallelism;\n\
+             --max-queue bounds each worker's queue (overload is shed with \
+             Busy replies);\n\
+             --deadline-ms and --retries set each client's per-request \
+             deadline and retry budget"
         )
         .map_err(io_err)?;
         return Ok(());
@@ -329,9 +337,15 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let batch: usize = args.get_or("batch", 64)?;
     let clients: usize = args.get_or("clients", 4)?;
     let requests: usize = args.get_or("requests", 10_000)?;
-    if workers == 0 || batch == 0 || clients == 0 || requests == 0 {
+    let max_queue: usize = args.get_or("max-queue", TransportConfig::default().max_queue)?;
+    let policy = RetryPolicy {
+        deadline_ms: args.get_or("deadline-ms", RetryPolicy::default().deadline_ms)?,
+        max_retries: args.get_or("retries", RetryPolicy::default().max_retries)?,
+        ..RetryPolicy::default()
+    };
+    if workers == 0 || batch == 0 || clients == 0 || requests == 0 || max_queue == 0 {
         return Err(CliError::usage(
-            "--workers, --batch, --clients and --requests must be positive",
+            "--workers, --batch, --clients, --requests and --max-queue must be positive",
         ));
     }
 
@@ -339,8 +353,15 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     // worker count) so the measured load sees steady-state serving.
     platform.engine().prepare_parallel(method, workers);
     let server = std::sync::Arc::new(EnviroServer::new(platform, BinaryCodec, method));
-    let transport = ConcurrentTransport::spawn_shared(server, workers)
-        .map_err(|e| CliError::runtime(format!("cannot spawn workers: {e}")))?;
+    let transport = ConcurrentTransport::spawn_shared_with(
+        server,
+        TransportConfig {
+            workers,
+            max_queue,
+            ..TransportConfig::default()
+        },
+    )
+    .map_err(|e| CliError::runtime(format!("cannot spawn workers: {e}")))?;
 
     // Each client walks its own diagonal of the dataset's extent over its
     // full time span: deterministic, allocation-cheap, and distinct per
@@ -365,7 +386,8 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         .collect();
 
     let start = std::time::Instant::now();
-    let results: Vec<(u64, usize, usize)> = std::thread::scope(|scope| {
+    type ClientResult = (u64, usize, usize, u64, enviro_net::ResilienceStats);
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = trajectories
             .iter()
             .map(|traj| {
@@ -375,21 +397,30 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                         inner: transport.session(),
                         bytes: 0,
                     };
-                    let mut client = EnviroClient::new(BinaryCodec, pollutant).with_batch(batch);
-                    let mut values = Vec::new();
-                    match client.query_batch(&mut wire, traj, &mut values) {
-                        Ok(()) => {
-                            let answered = values.iter().filter(|v| v.is_some()).count();
-                            (wire.bytes, values.len(), answered)
-                        }
-                        Err(_) => (wire.bytes, 0, 0),
-                    }
+                    let mut client = EnviroClient::new(BinaryCodec, pollutant)
+                        .with_batch(batch)
+                        .with_retry_policy(policy);
+                    let mut outcomes = Vec::new();
+                    client.query_resilient(&mut wire, traj, &mut outcomes);
+                    let answered = outcomes.iter().filter(|o| o.value().is_some()).count();
+                    let unavailable = outcomes.iter().filter(|o| o.is_unavailable()).count() as u64;
+                    let completed = outcomes.len() - unavailable as usize;
+                    (
+                        wire.bytes,
+                        completed,
+                        answered,
+                        unavailable,
+                        client.resilience_stats(),
+                    )
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or((0, 0, 0)))
+            .map(|h| {
+                h.join()
+                    .unwrap_or((0, 0, 0, 0, enviro_net::ResilienceStats::default()))
+            })
             .collect()
     });
     let elapsed = start.elapsed().as_secs_f64();
@@ -397,6 +428,9 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let total: usize = results.iter().map(|r| r.1).sum();
     let answered: usize = results.iter().map(|r| r.2).sum();
     let bytes: u64 = results.iter().map(|r| r.0).sum();
+    let unavailable: u64 = results.iter().map(|r| r.3).sum();
+    let retries: u64 = results.iter().map(|r| r.4.retries).sum();
+    let busy: u64 = results.iter().map(|r| r.4.busy_replies).sum();
     if total == 0 {
         return Err(CliError::runtime("no queries completed".to_string()));
     }
@@ -412,6 +446,13 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         total as f64 / elapsed.max(1e-9),
         bytes as f64 / total as f64,
         elapsed
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "resilience: {retries} retries, {busy} busy replies, {} shed by server, \
+         {unavailable} unavailable",
+        transport.shed_total()
     )
     .map_err(io_err)?;
     Ok(())
@@ -676,6 +717,39 @@ mod tests {
         run_cmd(&["simulate", "--hours", "1", "--out", csv.to_str().unwrap()]);
         let (code, _) = run_cmd(&["serve", csv.to_str().unwrap(), "--workers", "0"]);
         assert_eq!(code, 2);
+        let (code, _) = run_cmd(&["serve", csv.to_str().unwrap(), "--max-queue", "0"]);
+        assert_eq!(code, 2);
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn serve_with_tiny_queue_sheds_but_still_answers_everything() {
+        let csv = temp_path("serve-shed.csv");
+        run_cmd(&["simulate", "--hours", "2", "--out", csv.to_str().unwrap()]);
+        // A one-slot queue under two pipelining clients forces shedding;
+        // the resilient clients must absorb every Busy via retries.
+        let (code, out) = run_cmd(&[
+            "serve",
+            csv.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--max-queue",
+            "1",
+            "--batch",
+            "8",
+            "--clients",
+            "2",
+            "--requests",
+            "100",
+            "--deadline-ms",
+            "30000",
+            "--retries",
+            "1000",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("served 200 queries"), "{out}");
+        assert!(out.contains("resilience:"), "{out}");
+        assert!(out.contains("0 unavailable"), "{out}");
         std::fs::remove_file(&csv).ok();
     }
 

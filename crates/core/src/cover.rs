@@ -54,10 +54,15 @@ impl ModelCover {
     }
 
     /// `true` if the cover may still serve queries at time `t`
-    /// (the model-cache check `t_l ≤ t_n`).
+    /// (the model-cache check `t_l < t_n`).
+    ///
+    /// The boundary is **exclusive**: `t_n` is the first instant the next
+    /// window is responsible for, so a query at exactly `t_n` must refresh
+    /// rather than be answered by the expiring cover (a cover whose window
+    /// is `[t_0, t_n)` was trained on no data at `t_n`).
     #[inline]
     pub fn is_valid_at(&self, t: Timestamp) -> bool {
-        t <= self.valid_until
+        t < self.valid_until
     }
 
     /// The index and region of the centroid nearest to `p` (ties: lowest
@@ -291,7 +296,11 @@ mod tests {
         let ds = window_dataset();
         let cover = build_cover(&ds);
         assert!(cover.is_valid_at(Timestamp::from_secs(0)));
-        assert!(cover.is_valid_at(cover.valid_until));
+        assert!(cover.is_valid_at(cover.valid_until + (-1)));
+        // The paper defines validity as `t_l < t_n`: the horizon itself is
+        // the first instant of the *next* window, so it must not be served
+        // from this cover (regression test for the inclusive-boundary bug).
+        assert!(!cover.is_valid_at(cover.valid_until));
         assert!(!cover.is_valid_at(cover.valid_until + 1));
     }
 

@@ -90,6 +90,6 @@ pub use model::{ApproximationError, FitConfig, LinearModel, RegionModel};
 pub use platform::EnviroMeter;
 pub use query::{
     default_parallelism, CoverProcessor, IdwConfig, IdwProcessor, IndexKind, IndexedProcessor,
-    NaiveProcessor, PointQueryProcessor, QueryEngine, QueryMethod,
+    NaiveProcessor, PointQueryProcessor, QueryEngine, QueryMethod, QueryOutcome,
 };
 pub use route::{Route, RouteSummary};

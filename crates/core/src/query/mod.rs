@@ -20,12 +20,14 @@ mod engine;
 mod idw;
 mod indexed;
 mod naive;
+mod outcome;
 
 pub use cover_proc::CoverProcessor;
 pub use engine::{default_parallelism, QueryEngine};
 pub use idw::{IdwConfig, IdwProcessor};
 pub use indexed::{IndexKind, IndexedProcessor};
 pub use naive::NaiveProcessor;
+pub use outcome::QueryOutcome;
 
 use enviro_data::QueryTuple;
 

@@ -1,0 +1,97 @@
+//! Freshness-tagged query results for degraded-mode serving.
+//!
+//! The paper's continuous-query client keeps answering from its cached
+//! model cover while the cellular link is down (§3.1: the model cache
+//! exists so `v_q` survives disconnection). Once the platform serves over
+//! a faulty wire, a plain `Option<f64>` can no longer express the three
+//! states a resilient client distinguishes:
+//!
+//! * the answer came from live (or currently-valid cached) state — fresh;
+//! * the server was unreachable and the answer came from an **expired**
+//!   cover — stale, best-effort;
+//! * nothing could answer at all — unavailable.
+
+/// One continuous-query answer, tagged with how trustworthy it is.
+///
+/// `Fresh` and `Stale` carry the same payload shape as a point query:
+/// `Some(value)` when the model/raw data could interpolate, `None` when
+/// the query fell outside every region (the `NoData` case). `Unavailable`
+/// means the wire failed past the deadline *and* no cached cover existed
+/// to degrade onto — the client reports the gap rather than guessing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryOutcome {
+    /// Answered from live server state or a still-valid cached cover.
+    Fresh(Option<f64>),
+    /// Answered from an expired cached cover while the server was
+    /// unreachable (graceful degradation; reconciled on reconnect).
+    Stale(Option<f64>),
+    /// No answer: the wire failed past the deadline and no cover was
+    /// cached.
+    Unavailable,
+}
+
+impl QueryOutcome {
+    /// The interpolated value, regardless of freshness. `None` for both
+    /// an in-coverage miss (`Fresh(None)`/`Stale(None)`) and
+    /// `Unavailable`; use [`QueryOutcome::is_unavailable`] to tell them
+    /// apart.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            QueryOutcome::Fresh(v) | QueryOutcome::Stale(v) => *v,
+            QueryOutcome::Unavailable => None,
+        }
+    }
+
+    /// `true` when the answer came from live or currently-valid state.
+    pub fn is_fresh(&self) -> bool {
+        matches!(self, QueryOutcome::Fresh(_))
+    }
+
+    /// `true` when the answer was served from an expired cached cover.
+    pub fn is_stale(&self) -> bool {
+        matches!(self, QueryOutcome::Stale(_))
+    }
+
+    /// `true` when no answer could be produced at all.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, QueryOutcome::Unavailable)
+    }
+
+    /// Stable label for logs and bench reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryOutcome::Fresh(_) => "fresh",
+            QueryOutcome::Stale(_) => "stale",
+            QueryOutcome::Unavailable => "unavailable",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_ignores_freshness_but_not_unavailability() {
+        assert_eq!(QueryOutcome::Fresh(Some(1.5)).value(), Some(1.5));
+        assert_eq!(QueryOutcome::Stale(Some(2.5)).value(), Some(2.5));
+        assert_eq!(QueryOutcome::Fresh(None).value(), None);
+        assert_eq!(QueryOutcome::Unavailable.value(), None);
+    }
+
+    #[test]
+    fn predicates_partition_the_outcomes() {
+        let outcomes = [
+            QueryOutcome::Fresh(None),
+            QueryOutcome::Stale(None),
+            QueryOutcome::Unavailable,
+        ];
+        for o in outcomes {
+            let flags = [o.is_fresh(), o.is_stale(), o.is_unavailable()];
+            assert_eq!(flags.iter().filter(|f| **f).count(), 1, "{o:?}");
+        }
+        assert_eq!(QueryOutcome::Fresh(None).label(), "fresh");
+        assert_eq!(QueryOutcome::Stale(None).label(), "stale");
+        assert_eq!(QueryOutcome::Unavailable.label(), "unavailable");
+    }
+}

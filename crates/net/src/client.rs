@@ -8,13 +8,15 @@
 //! technique on top, answering locally while the cached cover is valid.
 
 use crate::buffers;
+use crate::clock::{Clock, SystemClock};
 use crate::codec::WireCodec;
+use crate::fault::XorShiftRng;
 use crate::link::{LinkUsage, SimulatedLink};
 use crate::protocol::{Request, Response, MAX_BATCH};
 use crate::server::EnviroServer;
 use crate::transport::TransportError;
 use enviro_data::{Pollutant, QueryTuple, Timestamp};
-use enviro_meter::ModelCover;
+use enviro_meter::{ModelCover, QueryOutcome};
 
 /// The outcome of running one continuous query session.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +67,66 @@ impl From<TransportError> for ClientError {
     }
 }
 
+/// Retry/deadline/backoff knobs for the resilient query path
+/// ([`EnviroClient::query_resilient`]).
+///
+/// The backoff before retry *k* is `min(backoff_base_ms << (k-1),
+/// backoff_max_ms)` with uniform jitter in the upper half of that value,
+/// and every sleep is clamped to the remaining deadline — a chunk never
+/// outlives `deadline_ms` no matter how the retries land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Per-chunk time budget on the injected clock, in ms. Once spent, the
+    /// chunk's tuples read as [`QueryOutcome::Unavailable`].
+    pub deadline_ms: u64,
+    /// Retries after the first attempt (so at most `max_retries + 1`
+    /// sends per chunk).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in ms; doubles per retry.
+    pub backoff_base_ms: u64,
+    /// Ceiling on any single backoff sleep, in ms. Also the degraded-mode
+    /// cool-off: an unreachable server is not re-probed more often than
+    /// this in model-cache mode.
+    pub backoff_max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            deadline_ms: 2_000,
+            max_retries: 4,
+            backoff_base_ms: 25,
+            backoff_max_ms: 800,
+        }
+    }
+}
+
+/// Counters describing how hard the resilient path had to work.
+///
+/// Deterministic for a fixed seed, clock and fault schedule — the chaos
+/// suite asserts that two identical runs produce identical stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Chunk or cover re-sends after a failed or rejected attempt.
+    pub retries: u64,
+    /// Transport-level failures (drops, stalls, outages) observed.
+    pub timeouts: u64,
+    /// Replies that failed to decode — bit corruption caught by the frame
+    /// CRC (or by the fixed layout for unframed replies).
+    pub corrupt_replies: u64,
+    /// Well-formed replies rejected as not answering the outstanding
+    /// request: wrong sequence number, wrong answer count, or wrong kind
+    /// (duplicates and reordered leftovers).
+    pub stale_replies: u64,
+    /// [`Response::Busy`] shed replies from an overloaded server.
+    pub busy_replies: u64,
+    /// Tuples answered from an expired cover while the server was
+    /// unreachable (model-cache degraded mode).
+    pub stale_answers: u64,
+    /// Tuples the client could not answer at all.
+    pub unavailable: u64,
+}
+
 /// The baseline technique: one server round-trip per query tuple — "simply
 /// responds to each query tuple with the interpolated sensor value ŝ_l,
 /// without caching the models".
@@ -109,8 +171,8 @@ impl<C: WireCodec> BaselineClient<C> {
                     protocol_errors += 1;
                     None
                 }
-                // Cover/ValueBatch: protocol misuse; treat as miss.
-                Response::Cover(_) | Response::ValueBatch { .. } => None,
+                // Cover/ValueBatch/Busy: protocol misuse; treat as miss.
+                Response::Cover(_) | Response::ValueBatch { .. } | Response::Busy { .. } => None,
             };
             values.push(value);
         }
@@ -288,6 +350,14 @@ pub struct EnviroClient<C: WireCodec> {
     exchanges: usize,
     protocol_errors: usize,
     scratch: Vec<u8>,
+    policy: RetryPolicy,
+    clock: Box<dyn Clock>,
+    rng: XorShiftRng,
+    next_seq: u32,
+    resilience: ResilienceStats,
+    /// While the injected clock reads below this, the model-cache path
+    /// serves stale answers without re-probing an unreachable server.
+    degraded_until: u64,
 }
 
 impl<C: WireCodec> EnviroClient<C> {
@@ -307,6 +377,12 @@ impl<C: WireCodec> EnviroClient<C> {
             exchanges: 0,
             protocol_errors: 0,
             scratch: Vec::new(),
+            policy: RetryPolicy::default(),
+            clock: Box::new(SystemClock::new()),
+            rng: XorShiftRng::new(0x5EED),
+            next_seq: 0,
+            resilience: ResilienceStats::default(),
+            degraded_until: 0,
         }
     }
 
@@ -319,6 +395,27 @@ impl<C: WireCodec> EnviroClient<C> {
     /// Enables or disables the model-cache mode.
     pub fn with_model_cache(mut self, enabled: bool) -> Self {
         self.model_cache = enabled;
+        self
+    }
+
+    /// Sets the retry/deadline policy for [`Self::query_resilient`].
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Injects the clock consulted for deadlines, backoff and the
+    /// degraded-mode cool-off. The chaos suite shares one
+    /// [`crate::clock::VirtualClock`] between the client and the fault
+    /// layer, so no resilience test ever really sleeps.
+    pub fn with_clock(mut self, clock: impl Clock + 'static) -> Self {
+        self.clock = Box::new(clock);
+        self
+    }
+
+    /// Seeds the backoff-jitter RNG (fixed seed ⇒ reproducible retries).
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng = XorShiftRng::new(seed);
         self
     }
 
@@ -335,6 +432,21 @@ impl<C: WireCodec> EnviroClient<C> {
     /// The currently cached cover, if any.
     pub fn cached_cover(&self) -> Option<&ModelCover> {
         self.cached.as_ref()
+    }
+
+    /// Counters from the resilient path (zero until it runs).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.resilience
+    }
+
+    /// Per-chunk sequence numbers start at 1 and wrap around 0 — v1 frames
+    /// decode with sequence 0, so 0 never matches a live chunk.
+    fn take_seq(&mut self) -> u32 {
+        self.next_seq = self.next_seq.wrapping_add(1);
+        if self.next_seq == 0 {
+            self.next_seq = 1;
+        }
+        self.next_seq
     }
 
     /// Answers `queries` over `wire`, appending one value per tuple to
@@ -378,14 +490,7 @@ impl<C: WireCodec> EnviroClient<C> {
         chunk: &[QueryTuple],
         out: &mut Vec<Option<f64>>,
     ) -> Result<(), ClientError> {
-        let mut queries = buffers::take_queries();
-        queries.extend_from_slice(chunk);
-        let request = Request::QueryBatch { queries };
-        self.scratch.clear();
-        self.codec.encode_request_into(&request, &mut self.scratch);
-        if let Request::QueryBatch { queries } = request {
-            buffers::recycle_queries(queries);
-        }
+        let seq = self.encode_chunk_request(chunk);
         let reply = wire.exchange(&self.scratch)?;
         self.exchanges += 1;
         match self
@@ -393,7 +498,15 @@ impl<C: WireCodec> EnviroClient<C> {
             .decode_response(reply)
             .map_err(|e| ClientError::BadReply(e.to_string()))?
         {
-            Response::ValueBatch { values } => {
+            Response::ValueBatch {
+                seq: reply_seq,
+                values,
+            } => {
+                if reply_seq != seq {
+                    return Err(ClientError::BadReply(format!(
+                        "reply sequence {reply_seq} does not match request {seq}"
+                    )));
+                }
                 if values.len() != chunk.len() {
                     return Err(ClientError::BadReply(format!(
                         "batch of {} answered with {} values",
@@ -412,6 +525,248 @@ impl<C: WireCodec> EnviroClient<C> {
             _ => out.resize(out.len() + chunk.len(), None),
         }
         Ok(())
+    }
+
+    /// Encodes one `QueryBatch` frame for `chunk` into `self.scratch` and
+    /// returns the sequence number it was stamped with.
+    fn encode_chunk_request(&mut self, chunk: &[QueryTuple]) -> u32 {
+        let seq = self.take_seq();
+        let mut queries = buffers::take_queries();
+        queries.extend_from_slice(chunk);
+        let request = Request::QueryBatch { seq, queries };
+        self.scratch.clear();
+        self.codec.encode_request_into(&request, &mut self.scratch);
+        if let Request::QueryBatch { queries, .. } = request {
+            buffers::recycle_queries(queries);
+        }
+        seq
+    }
+
+    /// Answers `queries` over a lossy `wire`, appending one
+    /// [`QueryOutcome`] per tuple to `out` (cleared first).
+    ///
+    /// The fault-tolerant sibling of [`Self::query_batch`]: every chunk is
+    /// retried under the [`RetryPolicy`] (exponential backoff with jitter,
+    /// clamped to the per-chunk deadline), replies are matched by sequence
+    /// number so a duplicated or reordered frame can never answer the
+    /// wrong chunk, and [`Response::Busy`] sheds back off by the server's
+    /// hint. It never fails: a chunk whose retry budget is exhausted reads
+    /// as [`QueryOutcome::Unavailable`], and in model-cache mode an
+    /// unreachable server degrades to [`QueryOutcome::Stale`] answers from
+    /// the last cover until a later refresh reconnects.
+    pub fn query_resilient(
+        &mut self,
+        wire: &mut dyn Wire,
+        queries: &[QueryTuple],
+        out: &mut Vec<QueryOutcome>,
+    ) {
+        out.clear();
+        out.reserve(queries.len());
+        if self.model_cache {
+            for q in queries {
+                let outcome = self.resilient_model_answer(wire, q);
+                out.push(outcome);
+            }
+            return;
+        }
+        for chunk in queries.chunks(self.batch) {
+            self.exchange_chunk_resilient(wire, chunk, out);
+        }
+    }
+
+    /// Sends one `QueryBatch` frame with retries, appending one outcome
+    /// per tuple. Exhaustion reads as `Unavailable` — never an error.
+    fn exchange_chunk_resilient(
+        &mut self,
+        wire: &mut dyn Wire,
+        chunk: &[QueryTuple],
+        out: &mut Vec<QueryOutcome>,
+    ) {
+        let seq = self.encode_chunk_request(chunk);
+        let deadline = self.clock.now_ms() + self.policy.deadline_ms;
+        let mut attempt: u32 = 0;
+        loop {
+            if attempt > self.policy.max_retries || self.clock.now_ms() >= deadline {
+                self.resilience.unavailable += chunk.len() as u64;
+                out.resize(out.len() + chunk.len(), QueryOutcome::Unavailable);
+                return;
+            }
+            if attempt > 0 {
+                self.resilience.retries += 1;
+            }
+            attempt += 1;
+            match self.attempt_chunk(wire, seq, chunk.len()) {
+                AttemptOutcome::Answered(values) => {
+                    out.extend(values.iter().map(|v| QueryOutcome::Fresh(*v)));
+                    buffers::recycle_values(values);
+                    return;
+                }
+                AttemptOutcome::RetryAfter(ms) => {
+                    let remaining = deadline.saturating_sub(self.clock.now_ms());
+                    self.clock.sleep_ms(ms.min(remaining));
+                }
+                AttemptOutcome::Backoff => self.backoff_sleep(attempt, deadline),
+                AttemptOutcome::RetryNow => {}
+            }
+        }
+    }
+
+    /// One send/receive attempt for the frame already in `self.scratch`.
+    fn attempt_chunk(&mut self, wire: &mut dyn Wire, seq: u32, expected: usize) -> AttemptOutcome {
+        self.exchanges += 1;
+        let reply = match wire.exchange(&self.scratch) {
+            Ok(r) => r,
+            Err(_) => {
+                self.resilience.timeouts += 1;
+                return AttemptOutcome::Backoff;
+            }
+        };
+        match self.codec.decode_response(reply) {
+            Ok(Response::ValueBatch {
+                seq: reply_seq,
+                values,
+            }) => {
+                if reply_seq == seq && values.len() == expected {
+                    AttemptOutcome::Answered(values)
+                } else {
+                    // A duplicate or reordered leftover from an earlier
+                    // chunk: reject and listen again, no backoff needed.
+                    self.resilience.stale_replies += 1;
+                    buffers::recycle_values(values);
+                    AttemptOutcome::RetryNow
+                }
+            }
+            Ok(Response::Busy { retry_after_ms }) => {
+                self.resilience.busy_replies += 1;
+                AttemptOutcome::RetryAfter(u64::from(retry_after_ms))
+            }
+            Ok(Response::Error(_)) => {
+                // Typically our request arrived corrupted and failed the
+                // server-side CRC; the frame we hold is fine — re-send it.
+                self.protocol_errors += 1;
+                AttemptOutcome::Backoff
+            }
+            Ok(_) => {
+                // A well-formed reply of the wrong kind: a displaced frame
+                // from some other request. Reject like a stale sequence.
+                self.resilience.stale_replies += 1;
+                AttemptOutcome::RetryNow
+            }
+            Err(_) => {
+                self.resilience.corrupt_replies += 1;
+                AttemptOutcome::Backoff
+            }
+        }
+    }
+
+    /// Sleeps `min(base << (attempt-1), max)` with uniform jitter in the
+    /// upper half, clamped to what remains of the deadline.
+    fn backoff_sleep(&mut self, attempt: u32, deadline: u64) {
+        let exp = attempt.saturating_sub(1).min(10);
+        let cap = self
+            .policy
+            .backoff_base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.policy.backoff_max_ms);
+        if cap == 0 {
+            return;
+        }
+        let ms = self.rng.next_in_range(cap / 2, cap);
+        let remaining = deadline.saturating_sub(self.clock.now_ms());
+        self.clock.sleep_ms(ms.min(remaining));
+    }
+
+    /// Answers one tuple in model-cache mode, degrading to stale answers
+    /// while the server is unreachable and reconciling once it returns.
+    fn resilient_model_answer(&mut self, wire: &mut dyn Wire, q: &QueryTuple) -> QueryOutcome {
+        let valid = self.cached.as_ref().is_some_and(|c| c.is_valid_at(q.time));
+        if !valid
+            && self.clock.now_ms() >= self.degraded_until
+            && !self.refresh_cover_resilient(wire, q.time)
+        {
+            // Unreachable or nothing fresher: cool off before probing
+            // again instead of paying the full retry budget per tuple.
+            self.degraded_until = self.clock.now_ms() + self.policy.backoff_max_ms;
+        }
+        match &self.cached {
+            Some(c) if c.is_valid_at(q.time) => QueryOutcome::Fresh(c.interpolate(q.time, &q.pos)),
+            Some(c) => {
+                self.resilience.stale_answers += 1;
+                QueryOutcome::Stale(c.interpolate(q.time, &q.pos))
+            }
+            None => {
+                self.resilience.unavailable += 1;
+                QueryOutcome::Unavailable
+            }
+        }
+    }
+
+    /// Fetches a cover with retries. Returns `true` only when the fetched
+    /// cover is live at `time`; an expired cover (the server has nothing
+    /// fresher) and an unreachable server both leave the client degraded,
+    /// to be re-probed after the cool-off.
+    fn refresh_cover_resilient(&mut self, wire: &mut dyn Wire, time: Timestamp) -> bool {
+        self.scratch.clear();
+        self.codec
+            .encode_request_into(&Request::ModelRequest { time }, &mut self.scratch);
+        let deadline = self.clock.now_ms() + self.policy.deadline_ms;
+        let mut attempt: u32 = 0;
+        loop {
+            if attempt > self.policy.max_retries || self.clock.now_ms() >= deadline {
+                return false;
+            }
+            if attempt > 0 {
+                self.resilience.retries += 1;
+            }
+            attempt += 1;
+            self.exchanges += 1;
+            let reply = match wire.exchange(&self.scratch) {
+                Ok(r) => r,
+                Err(_) => {
+                    self.resilience.timeouts += 1;
+                    self.backoff_sleep(attempt, deadline);
+                    continue;
+                }
+            };
+            match self.codec.decode_response(reply) {
+                Ok(Response::Cover(wire_cover)) => {
+                    let cover = wire_cover.into_cover(self.pollutant);
+                    let live = cover.is_valid_at(time);
+                    // Keep the freshest cover we have: a duplicated reply
+                    // carrying an old cover must not clobber a newer one.
+                    if self
+                        .cached
+                        .as_ref()
+                        .is_none_or(|c| cover.valid_until >= c.valid_until)
+                    {
+                        self.cached = Some(cover);
+                    }
+                    return live;
+                }
+                Ok(Response::NoData) => {
+                    // The server answered: it has no cover at all.
+                    self.cached = None;
+                    return false;
+                }
+                Ok(Response::Busy { retry_after_ms }) => {
+                    self.resilience.busy_replies += 1;
+                    let remaining = deadline.saturating_sub(self.clock.now_ms());
+                    self.clock
+                        .sleep_ms(u64::from(retry_after_ms).min(remaining));
+                }
+                Ok(Response::Error(_)) => {
+                    self.protocol_errors += 1;
+                    self.backoff_sleep(attempt, deadline);
+                }
+                Ok(_) => {
+                    self.resilience.stale_replies += 1;
+                }
+                Err(_) => {
+                    self.resilience.corrupt_replies += 1;
+                    self.backoff_sleep(attempt, deadline);
+                }
+            }
+        }
     }
 
     /// Fetches the cover responsible for `time`, mirroring
@@ -445,9 +800,22 @@ impl<C: WireCodec> EnviroClient<C> {
     }
 }
 
+/// What one resilient send/receive attempt produced.
+enum AttemptOutcome {
+    /// A matching `ValueBatch`: the chunk is answered.
+    Answered(Vec<Option<f64>>),
+    /// The server shed the request; retry after its hint (ms).
+    RetryAfter(u64),
+    /// Transport failure or corruption; retry with exponential backoff.
+    Backoff,
+    /// A stale reply was consumed; re-send immediately, no backoff.
+    RetryNow,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::VirtualClock;
     use crate::codec::BinaryCodec;
     use crate::link::LinkProfile;
     use enviro_data::{LausanneSim, SimConfig, WindowSpec};
@@ -689,6 +1057,218 @@ mod tests {
             batch_bytes < base_bytes,
             "batch {batch_bytes} vs baseline {base_bytes} bytes"
         );
+    }
+
+    #[test]
+    fn resilient_path_matches_plain_batched_on_clean_wire() {
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(75, 60, 10);
+
+        let mut plain = EnviroClient::new(BinaryCodec, pollutant_of(&server)).with_batch(16);
+        let mut l1 = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut w1 = LoopbackWire::new(&server, &mut l1);
+        let mut values = Vec::new();
+        plain.query_batch(&mut w1, &traj, &mut values).unwrap();
+
+        let mut resilient = EnviroClient::new(BinaryCodec, pollutant_of(&server))
+            .with_batch(16)
+            .with_clock(VirtualClock::new());
+        let mut l2 = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut w2 = LoopbackWire::new(&server, &mut l2);
+        let mut outcomes = Vec::new();
+        resilient.query_resilient(&mut w2, &traj, &mut outcomes);
+
+        assert!(outcomes.iter().all(QueryOutcome::is_fresh));
+        let resilient_values: Vec<Option<f64>> = outcomes.iter().map(QueryOutcome::value).collect();
+        assert_values_match(&values, &resilient_values);
+        // A clean wire exercises none of the resilience machinery.
+        assert_eq!(resilient.resilience_stats(), ResilienceStats::default());
+        assert_eq!(resilient.exchanges(), plain.exchanges());
+    }
+
+    #[test]
+    fn resilient_rejects_stale_replies_by_sequence() {
+        use crate::fault::{ChaosWire, FaultPlan};
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(48, 60, 11);
+        let clock = VirtualClock::new();
+        let plan = FaultPlan {
+            duplicate: 1.0, // every reply is re-delivered on the next exchange
+            ..FaultPlan::default()
+        };
+        let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut wire = ChaosWire::new(
+            LoopbackWire::new(&server, &mut link),
+            plan,
+            17,
+            clock.clone(),
+        );
+        let mut client = EnviroClient::new(BinaryCodec, Pollutant::Co2)
+            .with_batch(16)
+            .with_clock(clock)
+            .with_rng_seed(1);
+        let mut outcomes = Vec::new();
+        client.query_resilient(&mut wire, &traj, &mut outcomes);
+        // Chunks 2 and 3 each first receive chunk N-1's duplicated reply;
+        // the sequence check rejects it and the retry gets the real one.
+        assert!(outcomes.iter().all(QueryOutcome::is_fresh));
+        assert_eq!(outcomes.len(), traj.len());
+        let stats = client.resilience_stats();
+        assert_eq!(stats.stale_replies, 2);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.unavailable, 0);
+    }
+
+    #[derive(Debug)]
+    struct DeadWire;
+
+    impl Wire for DeadWire {
+        fn exchange(&mut self, _request: &[u8]) -> Result<&[u8], TransportError> {
+            Err(TransportError::Disconnected)
+        }
+    }
+
+    #[test]
+    fn resilient_times_out_to_unavailable_on_dead_wire() {
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(5, 60, 12);
+        let clock = VirtualClock::new();
+        let mut client = EnviroClient::new(BinaryCodec, pollutant_of(&server))
+            .with_batch(2)
+            .with_clock(clock.clone())
+            .with_rng_seed(2);
+        let mut outcomes = Vec::new();
+        client.query_resilient(&mut DeadWire, &traj, &mut outcomes);
+        assert_eq!(outcomes, vec![QueryOutcome::Unavailable; 5]);
+        let stats = client.resilience_stats();
+        assert_eq!(stats.unavailable, 5);
+        // 3 chunks × (1 + max_retries) bounded attempts, all timed out.
+        let per_chunk = 1 + u64::from(RetryPolicy::default().max_retries);
+        assert_eq!(stats.timeouts, 3 * per_chunk);
+        assert_eq!(stats.retries, 3 * (per_chunk - 1));
+        // Backoff slept on the virtual clock only, within each deadline.
+        assert!(clock.now_ms() <= 3 * RetryPolicy::default().deadline_ms);
+    }
+
+    /// A wire that serves canned reply frames before delegating to the
+    /// real server — for scripting Busy/corrupt first contacts.
+    struct CannedWire<'a> {
+        server: &'a EnviroServer<BinaryCodec>,
+        canned: std::collections::VecDeque<Vec<u8>>,
+        reply: Vec<u8>,
+    }
+
+    impl Wire for CannedWire<'_> {
+        fn exchange(&mut self, request: &[u8]) -> Result<&[u8], TransportError> {
+            self.reply = match self.canned.pop_front() {
+                Some(r) => r,
+                None => self.server.handle_bytes(request),
+            };
+            Ok(&self.reply)
+        }
+    }
+
+    #[test]
+    fn resilient_backs_off_on_busy_by_the_server_hint() {
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(10, 60, 13);
+        let clock = VirtualClock::new();
+        let busy = BinaryCodec.encode_response(&Response::Busy { retry_after_ms: 40 });
+        let mut wire = CannedWire {
+            server: &server,
+            canned: [busy].into(),
+            reply: Vec::new(),
+        };
+        let mut client = EnviroClient::new(BinaryCodec, pollutant_of(&server))
+            .with_clock(clock.clone())
+            .with_rng_seed(3);
+        let mut outcomes = Vec::new();
+        client.query_resilient(&mut wire, &traj, &mut outcomes);
+        assert!(outcomes.iter().all(QueryOutcome::is_fresh));
+        let stats = client.resilience_stats();
+        assert_eq!(stats.busy_replies, 1);
+        assert_eq!(stats.retries, 1);
+        // The sleep honoured the server's 40 ms hint exactly.
+        assert_eq!(clock.now_ms(), 40);
+    }
+
+    #[test]
+    fn resilient_retries_through_corrupt_replies() {
+        let (server, sim) = setup();
+        let traj = sim.continuous_trajectory(10, 60, 14);
+        let clock = VirtualClock::new();
+        let mut wire = CannedWire {
+            server: &server,
+            canned: [vec![0xFF, 0x00, 0x12]].into(),
+            reply: Vec::new(),
+        };
+        let mut client = EnviroClient::new(BinaryCodec, pollutant_of(&server))
+            .with_clock(clock.clone())
+            .with_rng_seed(4);
+        let mut outcomes = Vec::new();
+        client.query_resilient(&mut wire, &traj, &mut outcomes);
+        assert!(outcomes.iter().all(QueryOutcome::is_fresh));
+        let stats = client.resilience_stats();
+        assert_eq!(stats.corrupt_replies, 1);
+        assert_eq!(stats.retries, 1);
+        assert!(clock.now_ms() > 0, "backoff must consult the clock");
+    }
+
+    #[test]
+    fn model_cache_degrades_to_stale_and_reconnects() {
+        use crate::fault::{ChaosWire, FaultPlan, Outage};
+        let (server, sim) = setup();
+        // Two tuples, one per 2 h window (times pinned inside the data so
+        // the reconnected server really has a fresher cover for the
+        // second): the second tuple forces a refresh.
+        let base = sim.continuous_trajectory(2, 60, 15);
+        let traj = [
+            QueryTuple::new(enviro_data::Timestamp::from_secs(3_600), base[0].pos),
+            QueryTuple::new(enviro_data::Timestamp::from_secs(3 * 3_600), base[1].pos),
+        ];
+        let clock = VirtualClock::new();
+        let plan = FaultPlan {
+            outages: vec![Outage {
+                from_ms: 1,
+                until_ms: 10_000,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut wire = ChaosWire::new(
+            LoopbackWire::new(&server, &mut link),
+            plan,
+            19,
+            clock.clone(),
+        );
+        let mut client = EnviroClient::new(BinaryCodec, pollutant_of(&server))
+            .with_model_cache(true)
+            .with_clock(clock.clone())
+            .with_rng_seed(5);
+        let mut out = Vec::new();
+
+        // t=0 ms: before the outage, the window-1 cover downloads cleanly.
+        client.query_resilient(&mut wire, &traj[..1], &mut out);
+        assert!(out[0].is_fresh());
+
+        // Inside the outage: the window-2 refresh exhausts its retries and
+        // the client serves the expired window-1 cover instead.
+        clock.advance(10);
+        client.query_resilient(&mut wire, &traj[1..], &mut out);
+        assert!(out[0].is_stale(), "{:?}", out[0]);
+        assert!(client.resilience_stats().stale_answers >= 1);
+        let timeouts_during_outage = client.resilience_stats().timeouts;
+        assert!(timeouts_during_outage > 0);
+
+        // Still degraded: within the cool-off no refresh is even attempted.
+        client.query_resilient(&mut wire, &traj[1..], &mut out);
+        assert!(out[0].is_stale());
+        assert_eq!(client.resilience_stats().timeouts, timeouts_during_outage);
+
+        // Past the outage and cool-off: reconnect, reconcile, serve fresh.
+        clock.advance(20_000);
+        client.query_resilient(&mut wire, &traj[1..], &mut out);
+        assert!(out[0].is_fresh(), "{:?}", out[0]);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::buffers;
 use crate::protocol::{
     ErrorCode, ProtocolError, Request, Response, WireCover, WireModel, WireRegion, BATCH_VERSION,
-    MAX_BATCH,
+    BATCH_VERSION_V1, MAX_BATCH,
 };
 use bytes::{Buf, BufMut};
 use enviro_data::{QueryTuple, Timestamp};
@@ -98,25 +98,108 @@ const TAG_NO_DATA: u8 = 0x82;
 const TAG_COVER: u8 = 0x83;
 const TAG_ERROR: u8 = 0x84;
 const TAG_VALUE_BATCH: u8 = 0x85;
+const TAG_BUSY: u8 = 0x86;
 const MODEL_MEAN: u8 = 0x01;
 const MODEL_LINEAR: u8 = 0x02;
 /// Flag byte of a batch value slot.
 const VALUE_MISS: u8 = 0x00;
 const VALUE_PRESENT: u8 = 0x01;
 
-/// Validates the version byte and count prefix of a batch frame.
-fn check_batch_header(version: u8, count: usize) -> Result<(), CodecError> {
-    if version != BATCH_VERSION {
-        return Err(CodecError::Malformed(format!(
-            "unsupported batch version {version}"
-        )));
-    }
+/// Validates the count prefix of a batch frame.
+fn check_batch_count(count: usize) -> Result<(), CodecError> {
     if count > MAX_BATCH {
         return Err(CodecError::Malformed(format!(
             "batch of {count} tuples exceeds the {MAX_BATCH} cap"
         )));
     }
     Ok(())
+}
+
+/// The error every decoder raises for a batch version it does not speak.
+/// Checked *before* the CRC so a peer speaking a future layout gets a
+/// version diagnostic, not a checksum mismatch.
+fn bad_batch_version(version: u8) -> CodecError {
+    CodecError::Malformed(format!("unsupported batch version {version}"))
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), the v2 batch-frame integrity check
+// ---------------------------------------------------------------------------
+
+/// CRC-32 lookup table (IEEE 802.3 reflected polynomial), built at compile
+/// time — the same checksum Ethernet and zip use, implemented locally
+/// because the workspace vendors no hashing crate.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32, used by the text codec to hash line by line.
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = CRC32_TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// Builds the CRC-mismatch error shared by both codecs.
+fn crc_mismatch(declared: u32, computed: u32) -> CodecError {
+    CodecError::Malformed(format!(
+        "batch CRC mismatch: frame says {declared:#010x}, computed {computed:#010x}"
+    ))
+}
+
+/// Verifies the trailing CRC-32 of a v2 binary batch frame.
+///
+/// `frame` is the whole message; `rest` is the still-unparsed suffix (past
+/// tag and version). Returns `rest` with the 4-byte trailer stripped so the
+/// caller's `ensure_empty` sees a clean end-of-frame.
+fn split_crc_trailer<'a>(frame: &[u8], rest: &'a [u8]) -> Result<&'a [u8], CodecError> {
+    if rest.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let (body, trailer) = rest.split_at(rest.len() - 4);
+    let declared = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let computed = crc32(&frame[..frame.len() - 4]);
+    if declared != computed {
+        return Err(crc_mismatch(declared, computed));
+    }
+    Ok(body)
 }
 
 impl WireCodec for BinaryCodec {
@@ -136,20 +219,25 @@ impl WireCodec for BinaryCodec {
                 out.put_u8(TAG_MODEL_REQUEST);
                 out.put_i64_le(time.as_secs());
             }
-            Request::QueryBatch { queries } => {
+            Request::QueryBatch { seq, queries } => {
+                let start = out.len();
                 out.put_u8(TAG_QUERY_BATCH);
                 out.put_u8(BATCH_VERSION);
+                out.put_u32_le(*seq);
                 out.put_u32_le(queries.len() as u32);
                 for q in queries {
                     out.put_i64_le(q.time.as_secs());
                     out.put_f64_le(q.pos.x);
                     out.put_f64_le(q.pos.y);
                 }
+                let crc = crc32(&out[start..]);
+                out.put_u32_le(crc);
             }
         }
     }
 
     fn decode_request(&self, mut bytes: &[u8]) -> Result<Request, CodecError> {
+        let frame = bytes;
         let tag = take_u8(&mut bytes)?;
         match tag {
             TAG_QUERY => {
@@ -169,8 +257,16 @@ impl WireCodec for BinaryCodec {
             }
             TAG_QUERY_BATCH => {
                 let version = take_u8(&mut bytes)?;
+                let seq = match version {
+                    BATCH_VERSION_V1 => 0,
+                    BATCH_VERSION => {
+                        bytes = split_crc_trailer(frame, bytes)?;
+                        take_u32(&mut bytes)?
+                    }
+                    other => return Err(bad_batch_version(other)),
+                };
                 let n = take_u32(&mut bytes)? as usize;
-                check_batch_header(version, n)?;
+                check_batch_count(n)?;
                 // The cheap structural check before touching the pool: each
                 // tuple is exactly 24 bytes.
                 if bytes.remaining() < n * 24 {
@@ -185,7 +281,7 @@ impl WireCodec for BinaryCodec {
                     queries.push(QueryTuple::new(time, Point::new(x, y)));
                 }
                 ensure_empty(bytes)?;
-                Ok(Request::QueryBatch { queries })
+                Ok(Request::QueryBatch { seq, queries })
             }
             other => Err(CodecError::BadTag(other)),
         }
@@ -198,9 +294,11 @@ impl WireCodec for BinaryCodec {
                 out.put_f64_le(*value);
             }
             Response::NoData => out.put_u8(TAG_NO_DATA),
-            Response::ValueBatch { values } => {
+            Response::ValueBatch { seq, values } => {
+                let start = out.len();
                 out.put_u8(TAG_VALUE_BATCH);
                 out.put_u8(BATCH_VERSION);
+                out.put_u32_le(*seq);
                 out.put_u32_le(values.len() as u32);
                 for v in values {
                     match v {
@@ -211,6 +309,12 @@ impl WireCodec for BinaryCodec {
                         None => out.put_u8(VALUE_MISS),
                     }
                 }
+                let crc = crc32(&out[start..]);
+                out.put_u32_le(crc);
+            }
+            Response::Busy { retry_after_ms } => {
+                out.put_u8(TAG_BUSY);
+                out.put_u32_le(*retry_after_ms);
             }
             Response::Cover(cover) => {
                 out.put_u8(TAG_COVER);
@@ -244,6 +348,7 @@ impl WireCodec for BinaryCodec {
     }
 
     fn decode_response(&self, mut bytes: &[u8]) -> Result<Response, CodecError> {
+        let frame = bytes;
         let tag = take_u8(&mut bytes)?;
         match tag {
             TAG_VALUE => {
@@ -257,8 +362,16 @@ impl WireCodec for BinaryCodec {
             }
             TAG_VALUE_BATCH => {
                 let version = take_u8(&mut bytes)?;
+                let seq = match version {
+                    BATCH_VERSION_V1 => 0,
+                    BATCH_VERSION => {
+                        bytes = split_crc_trailer(frame, bytes)?;
+                        take_u32(&mut bytes)?
+                    }
+                    other => return Err(bad_batch_version(other)),
+                };
                 let n = take_u32(&mut bytes)? as usize;
-                check_batch_header(version, n)?;
+                check_batch_count(n)?;
                 let mut values = buffers::take_values();
                 values.reserve(n);
                 for _ in 0..n {
@@ -269,7 +382,12 @@ impl WireCodec for BinaryCodec {
                     }
                 }
                 ensure_empty(bytes)?;
-                Ok(Response::ValueBatch { values })
+                Ok(Response::ValueBatch { seq, values })
+            }
+            TAG_BUSY => {
+                let retry_after_ms = take_u32(&mut bytes)?;
+                ensure_empty(bytes)?;
+                Ok(Response::Busy { retry_after_ms })
             }
             TAG_COVER => {
                 let valid_until = Timestamp::from_secs(take_i64(&mut bytes)?);
@@ -396,10 +514,11 @@ impl WireCodec for TextCodec {
             Request::ModelRequest { time } => {
                 let _ = writeln!(out, "REQUEST model-request time={}", time.as_secs());
             }
-            Request::QueryBatch { queries } => {
+            Request::QueryBatch { seq, queries } => {
+                let start = out.len();
                 let _ = writeln!(
                     out,
-                    "REQUEST query-batch v={BATCH_VERSION} n={}",
+                    "REQUEST query-batch v={BATCH_VERSION} seq={seq} n={}",
                     queries.len()
                 );
                 for q in queries {
@@ -411,6 +530,8 @@ impl WireCodec for TextCodec {
                         q.pos.y
                     );
                 }
+                let crc = crc32(&out[start..]);
+                let _ = writeln!(out, "crc={crc:08X}");
             }
         }
     }
@@ -439,17 +560,48 @@ impl WireCodec for TextCodec {
             }
             Some("query-batch") => {
                 let version = kv_i64(&mut parts, "v")?;
-                let n = kv_i64(&mut parts, "n")?;
-                if !(0..=u8::MAX as i64).contains(&version) || n < 0 {
+                if !(0..=u8::MAX as i64).contains(&version) {
                     return Err(CodecError::Malformed("bad batch header".into()));
                 }
-                check_batch_header(version as u8, n as usize)?;
+                let seq = match version as u8 {
+                    BATCH_VERSION_V1 => 0,
+                    BATCH_VERSION => {
+                        let seq = kv_i64(&mut parts, "seq")?;
+                        if !(0..=u32::MAX as i64).contains(&seq) {
+                            return Err(CodecError::Malformed("bad batch header".into()));
+                        }
+                        seq as u32
+                    }
+                    other => return Err(bad_batch_version(other)),
+                };
+                let n = kv_i64(&mut parts, "n")?;
+                if n < 0 {
+                    return Err(CodecError::Malformed("bad batch header".into()));
+                }
+                check_batch_count(n as usize)?;
+                // v2 frames carry a trailing `crc=` line hashing every
+                // preceding line (newlines included); v1 frames have none.
+                let mut hasher = Crc32::new();
+                hasher.update(header.as_bytes());
+                hasher.update(b"\n");
+                let mut trailer = None;
                 let mut queries = buffers::take_queries();
                 queries.reserve(n as usize);
                 for line in lines {
+                    if trailer.is_some() {
+                        return Err(CodecError::Malformed("lines after crc trailer".into()));
+                    }
+                    if let Some(hex) = line.strip_prefix("crc=") {
+                        let declared = u32::from_str_radix(hex, 16)
+                            .map_err(|_| CodecError::Malformed(format!("bad crc {hex:?}")))?;
+                        trailer = Some(declared);
+                        continue;
+                    }
                     if queries.len() == n as usize {
                         return Err(CodecError::Malformed("extra batch lines".into()));
                     }
+                    hasher.update(line.as_bytes());
+                    hasher.update(b"\n");
                     let mut p = line.split_whitespace();
                     expect_token(&mut p, "q")?;
                     let time = Timestamp::from_secs(kv_i64(&mut p, "time")?);
@@ -457,13 +609,23 @@ impl WireCodec for TextCodec {
                     let y = kv_f64(&mut p, "y")?;
                     queries.push(QueryTuple::new(time, Point::new(x, y)));
                 }
+                if version as u8 == BATCH_VERSION {
+                    let declared = trailer
+                        .ok_or_else(|| CodecError::Malformed("missing crc trailer".into()))?;
+                    let computed = hasher.finish();
+                    if declared != computed {
+                        return Err(crc_mismatch(declared, computed));
+                    }
+                } else if trailer.is_some() {
+                    return Err(CodecError::Malformed("crc trailer on a v1 frame".into()));
+                }
                 if queries.len() != n as usize {
                     return Err(CodecError::Malformed(format!(
                         "declared {n} tuples, got {}",
                         queries.len()
                     )));
                 }
-                Ok(Request::QueryBatch { queries })
+                Ok(Request::QueryBatch { seq, queries })
             }
             other => Err(CodecError::Malformed(format!("bad verb {other:?}"))),
         }
@@ -477,10 +639,11 @@ impl WireCodec for TextCodec {
             Response::NoData => {
                 let _ = writeln!(out, "RESPONSE no-data");
             }
-            Response::ValueBatch { values } => {
+            Response::ValueBatch { seq, values } => {
+                let start = out.len();
                 let _ = writeln!(
                     out,
-                    "RESPONSE value-batch v={BATCH_VERSION} n={}",
+                    "RESPONSE value-batch v={BATCH_VERSION} seq={seq} n={}",
                     values.len()
                 );
                 for v in values {
@@ -493,6 +656,11 @@ impl WireCodec for TextCodec {
                         }
                     }
                 }
+                let crc = crc32(&out[start..]);
+                let _ = writeln!(out, "crc={crc:08X}");
+            }
+            Response::Busy { retry_after_ms } => {
+                let _ = writeln!(out, "RESPONSE busy retry-after-ms={retry_after_ms}");
             }
             Response::Cover(cover) => {
                 let _ = writeln!(
@@ -552,17 +720,46 @@ impl WireCodec for TextCodec {
             Some("no-data") => Ok(Response::NoData),
             Some("value-batch") => {
                 let version = kv_i64(&mut parts, "v")?;
-                let n = kv_i64(&mut parts, "n")?;
-                if !(0..=u8::MAX as i64).contains(&version) || n < 0 {
+                if !(0..=u8::MAX as i64).contains(&version) {
                     return Err(CodecError::Malformed("bad batch header".into()));
                 }
-                check_batch_header(version as u8, n as usize)?;
+                let seq = match version as u8 {
+                    BATCH_VERSION_V1 => 0,
+                    BATCH_VERSION => {
+                        let seq = kv_i64(&mut parts, "seq")?;
+                        if !(0..=u32::MAX as i64).contains(&seq) {
+                            return Err(CodecError::Malformed("bad batch header".into()));
+                        }
+                        seq as u32
+                    }
+                    other => return Err(bad_batch_version(other)),
+                };
+                let n = kv_i64(&mut parts, "n")?;
+                if n < 0 {
+                    return Err(CodecError::Malformed("bad batch header".into()));
+                }
+                check_batch_count(n as usize)?;
+                let mut hasher = Crc32::new();
+                hasher.update(header.as_bytes());
+                hasher.update(b"\n");
+                let mut trailer = None;
                 let mut values = buffers::take_values();
                 values.reserve(n as usize);
                 for line in lines {
+                    if trailer.is_some() {
+                        return Err(CodecError::Malformed("lines after crc trailer".into()));
+                    }
+                    if let Some(hex) = line.strip_prefix("crc=") {
+                        let declared = u32::from_str_radix(hex, 16)
+                            .map_err(|_| CodecError::Malformed(format!("bad crc {hex:?}")))?;
+                        trailer = Some(declared);
+                        continue;
+                    }
                     if values.len() == n as usize {
                         return Err(CodecError::Malformed("extra batch lines".into()));
                     }
+                    hasher.update(line.as_bytes());
+                    hasher.update(b"\n");
                     let mut p = line.split_whitespace();
                     expect_token(&mut p, "v")?;
                     let s = kv_str(&mut p, "s")?;
@@ -575,13 +772,32 @@ impl WireCodec for TextCodec {
                         values.push(Some(value));
                     }
                 }
+                if version as u8 == BATCH_VERSION {
+                    let declared = trailer
+                        .ok_or_else(|| CodecError::Malformed("missing crc trailer".into()))?;
+                    let computed = hasher.finish();
+                    if declared != computed {
+                        return Err(crc_mismatch(declared, computed));
+                    }
+                } else if trailer.is_some() {
+                    return Err(CodecError::Malformed("crc trailer on a v1 frame".into()));
+                }
                 if values.len() != n as usize {
                     return Err(CodecError::Malformed(format!(
                         "declared {n} values, got {}",
                         values.len()
                     )));
                 }
-                Ok(Response::ValueBatch { values })
+                Ok(Response::ValueBatch { seq, values })
+            }
+            Some("busy") => {
+                let retry_after_ms = kv_i64(&mut parts, "retry-after-ms")?;
+                if !(0..=u32::MAX as i64).contains(&retry_after_ms) {
+                    return Err(CodecError::Malformed("bad retry-after-ms".into()));
+                }
+                Ok(Response::Busy {
+                    retry_after_ms: retry_after_ms as u32,
+                })
             }
             Some("cover") => {
                 let valid_until = Timestamp::from_secs(kv_i64(&mut parts, "valid-until")?);
@@ -912,6 +1128,7 @@ mod tests {
 
     fn sample_batch(n: usize) -> Request {
         Request::QueryBatch {
+            seq: 7,
             queries: (0..n)
                 .map(|i| {
                     QueryTuple::new(
@@ -926,6 +1143,7 @@ mod tests {
     #[test]
     fn batch_roundtrip_all_codecs() {
         let values = Response::ValueBatch {
+            seq: 9,
             values: vec![Some(421.125), None, Some(-3.5), Some(0.0), None],
         };
         for codec in codecs() {
@@ -945,29 +1163,49 @@ mod tests {
     }
 
     #[test]
+    fn busy_roundtrip_all_codecs() {
+        let busy = Response::Busy { retry_after_ms: 25 };
+        for codec in codecs() {
+            let bytes = codec.encode_response(&busy);
+            assert_eq!(
+                codec.decode_response(&bytes).unwrap(),
+                busy,
+                "{}",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
     fn binary_batch_size_formula() {
-        // tag(1) + version(1) + count(4) + 24 per tuple: at batch 16 the
-        // request costs 6/16 + 24 ≈ 24.4 bytes/query vs 25 single-query.
+        // v2 layout: tag(1) + version(1) + seq(4) + count(4) + 24 per tuple
+        // + crc(4): at batch 16 the request costs 14/16 + 24 ≈ 24.9
+        // bytes/query vs 25 single-query.
         let bytes = BinaryCodec.encode_request(&sample_batch(16));
-        assert_eq!(bytes.len(), 6 + 16 * 24);
-        // Reply: tag(1) + version(1) + count(4) + flag(1) [+ value(8)].
+        assert_eq!(bytes.len(), 14 + 16 * 24);
+        // Reply: tag(1) + version(1) + seq(4) + count(4) + flag(1)
+        // [+ value(8)] + crc(4).
         let resp = Response::ValueBatch {
+            seq: 1,
             values: vec![Some(1.0), None, Some(2.0)],
         };
-        assert_eq!(BinaryCodec.encode_response(&resp).len(), 6 + 3 + 2 * 8);
+        assert_eq!(BinaryCodec.encode_response(&resp).len(), 14 + 3 + 2 * 8);
     }
 
     #[test]
     fn batched_frames_cost_fewer_wire_bytes_per_query() {
         // The acceptance criterion of the batching tentpole, at codec level.
+        // v2's 8 extra bytes per direction (seq + crc) push the break-even
+        // past batch 16, so the sweep starts at 32.
         let single_req = BinaryCodec.encode_request(&Request::Query {
             time: Timestamp::ZERO,
             pos: Point::origin(),
         });
         let single_resp = BinaryCodec.encode_response(&Response::Value { value: 1.0 });
-        for n in [16, 64, 256] {
+        for n in [32, 64, 256] {
             let req = BinaryCodec.encode_request(&sample_batch(n));
             let resp = BinaryCodec.encode_response(&Response::ValueBatch {
+                seq: 7,
                 values: vec![Some(1.0); n],
             });
             assert!(
@@ -984,12 +1222,12 @@ mod tests {
     fn batch_rejects_wrong_version() {
         for codec in codecs() {
             let mut bytes = codec.encode_request(&sample_batch(2));
-            // Corrupt the version byte (binary: offset 1; text: "v=1").
+            // Corrupt the version byte (binary: offset 1; text: "v=2").
             match codec.name() {
                 "binary" => bytes[1] = BATCH_VERSION + 1,
                 _ => {
                     let s = String::from_utf8(bytes).unwrap();
-                    bytes = s.replace("v=1", "v=9").into_bytes();
+                    bytes = s.replace("v=2", "v=9").into_bytes();
                 }
             }
             match codec.decode_request(&bytes) {
@@ -1002,23 +1240,114 @@ mod tests {
     }
 
     #[test]
-    fn batch_rejects_oversized_count() {
+    fn batch_rejects_corrupted_crc() {
+        // Flip one payload bit: the length and structure stay plausible,
+        // only the checksum can catch it.
+        for codec in codecs() {
+            let good = codec.encode_request(&sample_batch(3));
+            // A tuple byte well past the header (binary offset 20 is inside
+            // tuple 0; for text, flip a digit character mid-frame).
+            let mut bad = good.clone();
+            let idx = good.len() / 2;
+            bad[idx] ^= 0x01;
+            let decoded = codec.decode_request(&bad);
+            assert!(
+                decoded.is_err() || decoded.ok() != Some(sample_batch(3)),
+                "{}: corruption must not decode to the original",
+                codec.name()
+            );
+        }
+        // And byte-exact CRC coverage on the binary layout: flipping any
+        // single payload bit must be rejected, not mis-decoded.
+        let good = BinaryCodec.encode_request(&sample_batch(2));
+        for idx in 2..good.len() {
+            let mut bad = good.clone();
+            bad[idx] ^= 0x40;
+            assert!(
+                BinaryCodec.decode_request(&bad).is_err(),
+                "flip at {idx} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_frames_still_decode_with_seq_zero() {
+        // A phone that never upgraded sends CRC-less v1 frames; they must
+        // keep decoding (with sequence number 0) after the v2 bump.
+        let Request::QueryBatch { queries, .. } = sample_batch(2) else {
+            unreachable!()
+        };
         let mut bytes = Vec::new();
         bytes.put_u8(0x03);
-        bytes.put_u8(BATCH_VERSION);
+        bytes.put_u8(BATCH_VERSION_V1);
+        bytes.put_u32_le(2);
+        for q in &queries {
+            bytes.put_i64_le(q.time.as_secs());
+            bytes.put_f64_le(q.pos.x);
+            bytes.put_f64_le(q.pos.y);
+        }
+        match BinaryCodec.decode_request(&bytes).unwrap() {
+            Request::QueryBatch { seq, queries: q } => {
+                assert_eq!(seq, 0);
+                assert_eq!(*q, queries[..]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Text v1: header without seq, no crc trailer.
+        let text = "REQUEST query-batch v=1 n=1\nq time=60 x=1.500000 y=-0.250000\n";
+        match TextCodec.decode_request(text.as_bytes()).unwrap() {
+            Request::QueryBatch { seq, queries: q } => {
+                assert_eq!(seq, 0);
+                assert_eq!(q.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Text v1 value batch.
+        let text = "RESPONSE value-batch v=1 n=2\nv s=1.500000000\nv s=miss\n";
+        match TextCodec.decode_response(text.as_bytes()).unwrap() {
+            Response::ValueBatch { seq, values } => {
+                assert_eq!(seq, 0);
+                assert_eq!(*values, [Some(1.5), None]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_rejects_oversized_count() {
+        // Crafted as v1 so the count guard is reached directly (a v2 frame
+        // with a hostile count dies at the CRC check first unless the
+        // attacker also computes a valid checksum — covered below).
+        let mut bytes = Vec::new();
+        bytes.put_u8(0x03);
+        bytes.put_u8(BATCH_VERSION_V1);
         bytes.put_u32_le(u32::MAX);
         assert!(matches!(
             BinaryCodec.decode_request(&bytes),
             Err(CodecError::Malformed(_))
         ));
-        let text = format!(
-            "REQUEST query-batch v={BATCH_VERSION} n={}\n",
-            MAX_BATCH + 1
-        );
+        let text = format!("REQUEST query-batch v=1 n={}\n", MAX_BATCH + 1);
         assert!(matches!(
             TextCodec.decode_request(text.as_bytes()),
             Err(CodecError::Malformed(_))
         ));
+        // v2 with a *valid* CRC over a hostile count: still rejected before
+        // any allocation.
+        let mut v2 = Vec::new();
+        v2.put_u8(0x03);
+        v2.put_u8(BATCH_VERSION);
+        v2.put_u32_le(0);
+        v2.put_u32_le(u32::MAX);
+        let crc = {
+            let mut c = Crc32::new();
+            c.update(&v2);
+            c.finish()
+        };
+        v2.put_u32_le(crc);
+        match BinaryCodec.decode_request(&v2) {
+            Err(CodecError::Malformed(m)) => assert!(m.contains("cap"), "{m}"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -1033,20 +1362,34 @@ mod tests {
         let mut padded = bytes;
         padded.push(0xEE);
         assert!(BinaryCodec.decode_request(&padded).is_err());
-        // Text: declared count mismatching the line count, both ways.
-        let short = format!("REQUEST query-batch v={BATCH_VERSION} n=2\nq time=0 x=0 y=0\n");
+        // Text: declared count mismatching the line count, both ways (v1
+        // frames, which have no CRC to catch it first).
+        let short = "REQUEST query-batch v=1 n=2\nq time=0 x=0 y=0\n";
         assert!(TextCodec.decode_request(short.as_bytes()).is_err());
-        let long = format!(
-            "REQUEST query-batch v={BATCH_VERSION} n=1\nq time=0 x=0 y=0\nq time=1 x=0 y=0\n"
-        );
+        let long = "REQUEST query-batch v=1 n=1\nq time=0 x=0 y=0\nq time=1 x=0 y=0\n";
         assert!(TextCodec.decode_request(long.as_bytes()).is_err());
+        // Text v2: dropping the crc trailer is a decode error.
+        let encoded = String::from_utf8(TextCodec.encode_request(&sample_batch(2))).unwrap();
+        let without_trailer =
+            encoded
+                .lines()
+                .filter(|l| !l.starts_with("crc="))
+                .fold(String::new(), |mut s, l| {
+                    s.push_str(l);
+                    s.push('\n');
+                    s
+                });
+        assert!(TextCodec
+            .decode_request(without_trailer.as_bytes())
+            .is_err());
     }
 
     #[test]
     fn value_batch_rejects_bad_flag() {
+        // v1 frame so the flag check is reached without a matching CRC.
         let mut bytes = Vec::new();
         bytes.put_u8(0x85);
-        bytes.put_u8(BATCH_VERSION);
+        bytes.put_u8(BATCH_VERSION_V1);
         bytes.put_u32_le(1);
         bytes.put_u8(0x7F); // neither miss nor present
         assert_eq!(

@@ -21,11 +21,13 @@
 //! forever (the channel internals are the only allocator traffic).
 
 use crate::codec::WireCodec;
+use crate::protocol::Response;
 use crate::server::EnviroServer;
 use crate::transport::TransportError;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// Maximum unacknowledged requests a [`Session`] may pipeline.
@@ -35,8 +37,70 @@ use std::thread::JoinHandle;
 /// the design deadlock-free by construction.
 pub const PIPELINE_MAX: usize = 64;
 
-/// Per-worker request queue depth.
+/// Default per-worker request queue depth.
 const SHARD_QUEUE: usize = 256;
+
+/// Tuning knobs for [`ConcurrentTransport::spawn_shared_with`].
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Per-worker request queue depth (clamped to at least 1). A request
+    /// arriving at a full queue is **shed**: the sender gets an immediate
+    /// [`Response::Busy`] frame instead of blocking, so server memory stays
+    /// bounded no matter how hard the fleet pushes.
+    pub max_queue: usize,
+    /// The backoff hint carried by shed [`Response::Busy`] frames, ms.
+    pub retry_after_ms: u32,
+    /// Spawn with every worker parked at a gate until
+    /// [`ConcurrentTransport::resume_workers`] — lets tests fill queues to
+    /// a deterministic depth before anything drains.
+    pub start_paused: bool,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            max_queue: SHARD_QUEUE,
+            retry_after_ms: 25,
+            start_paused: false,
+        }
+    }
+}
+
+/// The pause gate workers park at between envelopes.
+#[derive(Debug, Default)]
+struct Gate {
+    paused: Mutex<bool>,
+    resumed: Condvar,
+}
+
+impl Gate {
+    fn new(paused: bool) -> Self {
+        Self {
+            paused: Mutex::new(paused),
+            resumed: Condvar::new(),
+        }
+    }
+
+    fn resume(&self) {
+        // A poisoned lock only means a worker panicked mid-serve; the gate
+        // state itself (a bool) cannot be torn, so continue with it.
+        *self.paused.lock().unwrap_or_else(PoisonError::into_inner) = false;
+        self.resumed.notify_all();
+    }
+
+    fn wait_until_resumed(&self) {
+        let mut paused = self.paused.lock().unwrap_or_else(PoisonError::into_inner);
+        while *paused {
+            paused = self
+                .resumed
+                .wait(paused)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
 
 /// A request envelope: opaque bytes plus the reply channel of the issuing
 /// session.
@@ -55,6 +119,12 @@ pub struct ConcurrentTransport {
     shards: Vec<Sender<Envelope>>,
     workers: Vec<JoinHandle<()>>,
     next_shard: AtomicUsize,
+    gate: Arc<Gate>,
+    /// The pre-encoded [`Response::Busy`] frame shed requests answer with
+    /// (encoded once at spawn, in the server's codec).
+    busy_frame: Vec<u8>,
+    /// Requests shed across all sessions and one-shot calls.
+    shed: AtomicU64,
 }
 
 impl ConcurrentTransport {
@@ -74,15 +144,38 @@ impl ConcurrentTransport {
     where
         C: WireCodec + Send + Sync + 'static,
     {
-        let workers = workers.max(1);
+        Self::spawn_shared_with(
+            server,
+            TransportConfig {
+                workers,
+                ..TransportConfig::default()
+            },
+        )
+    }
+
+    /// Spawns with explicit queue-depth / shedding configuration.
+    pub fn spawn_shared_with<C>(
+        server: Arc<EnviroServer<C>>,
+        config: TransportConfig,
+    ) -> std::io::Result<Self>
+    where
+        C: WireCodec + Send + Sync + 'static,
+    {
+        let workers = config.workers.max(1);
+        let max_queue = config.max_queue.max(1);
+        let busy_frame = server.codec().encode_response(&Response::Busy {
+            retry_after_ms: config.retry_after_ms,
+        });
+        let gate = Arc::new(Gate::new(config.start_paused));
         let mut shards = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = bounded(SHARD_QUEUE);
+            let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = bounded(max_queue);
             let server = Arc::clone(&server);
+            let gate = Arc::clone(&gate);
             let handle = std::thread::Builder::new()
                 .name(format!("enviro-worker-{i}"))
-                .spawn(move || worker_loop(&server, rx))?;
+                .spawn(move || worker_loop(&server, &rx, &gate))?;
             shards.push(tx);
             handles.push(handle);
         }
@@ -90,6 +183,9 @@ impl ConcurrentTransport {
             shards,
             workers: handles,
             next_shard: AtomicUsize::new(0),
+            gate,
+            busy_frame,
+            shed: AtomicU64::new(0),
         })
     }
 
@@ -98,19 +194,37 @@ impl ConcurrentTransport {
         self.workers.len()
     }
 
+    /// Total requests shed (answered [`Response::Busy`]) since spawn.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Releases workers parked by [`TransportConfig::start_paused`].
+    pub fn resume_workers(&self) {
+        self.gate.resume();
+    }
+
     /// Performs one request/response exchange (a fresh reply channel per
     /// call). Sessions amortize that setup; this mirrors
     /// [`ChannelTransport::call`](crate::transport::ChannelTransport::call)
     /// for drop-in use.
+    ///
+    /// When the chosen shard's queue is full the request is shed and the
+    /// reply is a pre-encoded [`Response::Busy`] frame.
     pub fn call(&self, request: Vec<u8>) -> Result<Vec<u8>, TransportError> {
         let (reply_tx, reply_rx) = bounded(1);
         let shard = self.pick_shard();
-        self.shards[shard]
-            .send(Envelope {
-                request,
-                reply_to: reply_tx,
-            })
-            .map_err(|_| TransportError::Disconnected)?;
+        match self.shards[shard].try_send(Envelope {
+            request,
+            reply_to: reply_tx,
+        }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Ok(self.busy_frame.clone());
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(TransportError::Disconnected),
+        }
         reply_rx.recv().map_err(|_| TransportError::Disconnected)
     }
 
@@ -123,7 +237,7 @@ impl ConcurrentTransport {
             shard,
             reply_tx,
             reply_rx,
-            inflight: 0,
+            sources: VecDeque::new(),
             pool: Vec::new(),
             last: Vec::new(),
         }
@@ -136,8 +250,10 @@ impl ConcurrentTransport {
 
 impl Drop for ConcurrentTransport {
     fn drop(&mut self) {
-        // Closing every request queue stops the worker loops; sessions
-        // borrow the transport, so none can be alive here.
+        // Wake any workers parked at the pause gate so they can observe
+        // the closed queues, then close every request queue and join.
+        // Sessions borrow the transport, so none can be alive here.
+        self.gate.resume();
         self.shards.clear();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -146,10 +262,16 @@ impl Drop for ConcurrentTransport {
 }
 
 /// One worker: serve envelopes until the queue closes, reusing one reply
-/// buffer by swapping it with each served request's buffer.
-fn worker_loop<C: WireCodec>(server: &EnviroServer<C>, rx: Receiver<Envelope>) {
+/// buffer by swapping it with each served request's buffer. The gate check
+/// runs before each receive so a paused transport accumulates queue depth
+/// deterministically.
+fn worker_loop<C: WireCodec>(server: &EnviroServer<C>, rx: &Receiver<Envelope>, gate: &Gate) {
     let mut reply = Vec::new();
-    for envelope in rx {
+    loop {
+        gate.wait_until_resumed();
+        let Ok(envelope) = rx.recv() else {
+            break;
+        };
         let Envelope {
             mut request,
             reply_to,
@@ -164,19 +286,31 @@ fn worker_loop<C: WireCodec>(server: &EnviroServer<C>, rx: Receiver<Envelope>) {
     }
 }
 
+/// Where the next in-order reply for a session comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplySource {
+    /// A worker owes the session a reply over its queue.
+    Wire,
+    /// The request was shed; the reply is the transport's pre-encoded
+    /// `Busy` frame.
+    Shed,
+}
+
 /// A per-connection handle: requests go to one pinned worker shard, replies
 /// come back in order over a private queue.
 ///
 /// Sessions support **pipelining**: up to [`PIPELINE_MAX`] requests may be
 /// sent before receiving their replies, which batch-oriented clients use to
 /// keep the wire full. Replies arrive in send order (the shard serves one
-/// session's envelopes FIFO).
+/// session's envelopes FIFO); a shed request's synthetic `Busy` reply is
+/// slotted into that order via a per-session source ledger.
 pub struct Session<'t> {
     transport: &'t ConcurrentTransport,
     shard: usize,
     reply_tx: Sender<Vec<u8>>,
     reply_rx: Receiver<Vec<u8>>,
-    inflight: usize,
+    /// One entry per in-flight request, in send order.
+    sources: VecDeque<ReplySource>,
     /// Reply buffers returned by [`Session::recv`], reused for requests.
     pool: Vec<Vec<u8>>,
     /// The most recent reply, borrowed out by [`Session::recv`].
@@ -188,38 +322,54 @@ impl Session<'_> {
     /// encoded by `encode` into a recycled buffer.
     ///
     /// Fails with [`TransportError::PipelineFull`] when [`PIPELINE_MAX`]
-    /// replies are outstanding — receive some first.
+    /// replies are outstanding — receive some first. If the worker queue is
+    /// full the request is shed: the send still "succeeds", and the
+    /// matching [`Session::recv`] yields a [`Response::Busy`] frame.
     pub fn send_with(&mut self, encode: impl FnOnce(&mut Vec<u8>)) -> Result<(), TransportError> {
-        if self.inflight >= PIPELINE_MAX {
+        if self.sources.len() >= PIPELINE_MAX {
             return Err(TransportError::PipelineFull);
         }
         let mut request = self.pool.pop().unwrap_or_default();
         request.clear();
         encode(&mut request);
-        self.transport.shards[self.shard]
-            .send(Envelope {
-                request,
-                reply_to: self.reply_tx.clone(),
-            })
-            .map_err(|_| TransportError::Disconnected)?;
-        self.inflight += 1;
+        match self.transport.shards[self.shard].try_send(Envelope {
+            request,
+            reply_to: self.reply_tx.clone(),
+        }) {
+            Ok(()) => self.sources.push_back(ReplySource::Wire),
+            Err(TrySendError::Full(envelope)) => {
+                self.transport.shed.fetch_add(1, Ordering::Relaxed);
+                if self.pool.len() < 4 {
+                    self.pool.push(envelope.request);
+                }
+                self.sources.push_back(ReplySource::Shed);
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(TransportError::Disconnected),
+        }
         Ok(())
     }
 
     /// Receives the next pending reply, in send order. The returned slice
     /// is valid until the next `recv`/`call` on this session.
     pub fn recv(&mut self) -> Result<&[u8], TransportError> {
-        if self.inflight == 0 {
+        let Some(source) = self.sources.pop_front() else {
             return Err(TransportError::NoPendingReply);
-        }
-        let reply = self
-            .reply_rx
-            .recv()
-            .map_err(|_| TransportError::Disconnected)?;
-        self.inflight -= 1;
-        let prev = std::mem::replace(&mut self.last, reply);
-        if self.pool.len() < 4 {
-            self.pool.push(prev);
+        };
+        match source {
+            ReplySource::Wire => {
+                let reply = self
+                    .reply_rx
+                    .recv()
+                    .map_err(|_| TransportError::Disconnected)?;
+                let prev = std::mem::replace(&mut self.last, reply);
+                if self.pool.len() < 4 {
+                    self.pool.push(prev);
+                }
+            }
+            ReplySource::Shed => {
+                self.last.clear();
+                self.last.extend_from_slice(&self.transport.busy_frame);
+            }
         }
         Ok(&self.last)
     }
@@ -235,7 +385,7 @@ impl Session<'_> {
 
     /// Number of requests sent but not yet received.
     pub fn inflight(&self) -> usize {
-        self.inflight
+        self.sources.len()
     }
 }
 
@@ -387,6 +537,131 @@ mod tests {
     fn drop_with_no_traffic_shuts_down_cleanly() {
         let t = ConcurrentTransport::spawn(server(), 4).unwrap();
         drop(t);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_busy_replies_in_order() {
+        // One paused worker, queue depth 2: the first two sends queue, the
+        // next two shed — deterministically, because nothing drains until
+        // resume_workers().
+        let t = ConcurrentTransport::spawn_shared_with(
+            Arc::new(server()),
+            TransportConfig {
+                workers: 1,
+                max_queue: 2,
+                retry_after_ms: 7,
+                start_paused: true,
+            },
+        )
+        .unwrap();
+        let mut session = t.session();
+        for i in 0..4 {
+            session
+                .send_with(|out| {
+                    BinaryCodec.encode_request_into(
+                        &Request::Query {
+                            time: Timestamp::from_secs(i * 60),
+                            pos: Point::new(0.0, -200.0),
+                        },
+                        out,
+                    )
+                })
+                .unwrap();
+        }
+        assert_eq!(t.shed_total(), 2);
+        assert_eq!(session.inflight(), 4);
+        t.resume_workers();
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            let reply = session.recv().unwrap();
+            got.push(match BinaryCodec.decode_response(reply).unwrap() {
+                Response::Value { .. } => "value",
+                Response::Busy { retry_after_ms } => {
+                    assert_eq!(retry_after_ms, 7);
+                    "busy"
+                }
+                other => panic!("{other:?}"),
+            });
+        }
+        // Send order is preserved: queued requests answer first, shed ones
+        // get their synthetic Busy in their original slots.
+        assert_eq!(got, ["value", "value", "busy", "busy"]);
+        assert_eq!(session.inflight(), 0);
+    }
+
+    #[test]
+    fn one_shot_call_sheds_when_full() {
+        let t = ConcurrentTransport::spawn_shared_with(
+            Arc::new(server()),
+            TransportConfig {
+                workers: 1,
+                max_queue: 1,
+                retry_after_ms: 25,
+                start_paused: true,
+            },
+        )
+        .unwrap();
+        // First call would block on its reply; use a session to occupy the
+        // queue without waiting.
+        let mut session = t.session();
+        session
+            .send_with(|out| out.extend_from_slice(b"junk"))
+            .unwrap();
+        let reply = t.call(query_bytes(1)).unwrap();
+        assert!(matches!(
+            BinaryCodec.decode_response(&reply).unwrap(),
+            Response::Busy { retry_after_ms: 25 }
+        ));
+        assert_eq!(t.shed_total(), 1);
+        t.resume_workers();
+        session.recv().unwrap();
+    }
+
+    #[test]
+    fn shedding_keeps_memory_bounded_under_flood() {
+        // Hammer a tiny queue far past its capacity: every send must
+        // complete immediately (no blocking), every reply must be either a
+        // real answer or Busy, and the transport must shut down cleanly.
+        let t = ConcurrentTransport::spawn_shared_with(
+            Arc::new(server()),
+            TransportConfig {
+                workers: 1,
+                max_queue: 4,
+                retry_after_ms: 1,
+                start_paused: false,
+            },
+        )
+        .unwrap();
+        let mut session = t.session();
+        let mut busy = 0u32;
+        let mut answered = 0u32;
+        for round in 0..50 {
+            for i in 0..PIPELINE_MAX {
+                session
+                    .send_with(|out| {
+                        BinaryCodec.encode_request_into(
+                            &Request::Query {
+                                time: Timestamp::from_secs(((round * 7 + i) % 60) as i64 * 60),
+                                pos: Point::new(i as f64, 0.0),
+                            },
+                            out,
+                        )
+                    })
+                    .unwrap();
+            }
+            while session.inflight() > 0 {
+                match BinaryCodec
+                    .decode_response(session.recv().unwrap())
+                    .unwrap()
+                {
+                    Response::Busy { .. } => busy += 1,
+                    Response::Value { .. } | Response::NoData => answered += 1,
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+        assert_eq!(u64::from(busy), t.shed_total());
+        assert!(answered > 0, "some queries must get through");
     }
 
     #[test]

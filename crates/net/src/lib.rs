@@ -28,6 +28,12 @@
 //!   platform, with pipelined per-connection [`concurrent::Session`]s.
 //! * [`buffers`] — per-thread buffer pools backing the allocation-free
 //!   steady-state serving path.
+//! * [`clock`] — injectable time ([`clock::SystemClock`] /
+//!   [`clock::VirtualClock`]) behind deadlines, backoff and outages, so
+//!   resilience tests never sleep.
+//! * [`fault`] — the chaos layer: [`fault::ChaosWire`] perturbs any wire
+//!   per a seeded declarative [`fault::FaultPlan`] (drop / duplicate /
+//!   reorder / corrupt / delay / stall / scripted outages).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -35,21 +41,27 @@
 
 pub mod buffers;
 pub mod client;
+pub mod clock;
 pub mod codec;
 pub mod concurrent;
+pub mod fault;
 pub mod link;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
 pub use client::{
-    BaselineClient, ClientError, EnviroClient, LoopbackWire, ModelCacheClient, SessionStats, Wire,
+    BaselineClient, ClientError, EnviroClient, LoopbackWire, ModelCacheClient, ResilienceStats,
+    RetryPolicy, SessionStats, Wire,
 };
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use codec::{BinaryCodec, TextCodec, WireCodec};
-pub use concurrent::{ConcurrentTransport, Session, PIPELINE_MAX};
+pub use concurrent::{ConcurrentTransport, Session, TransportConfig, PIPELINE_MAX};
+pub use fault::{ChaosStats, ChaosWire, FaultPlan, Outage, XorShiftRng};
 pub use link::{LinkProfile, SimulatedLink};
 pub use protocol::{
-    ErrorCode, ProtocolError, Request, Response, WireCover, WireRegion, BATCH_VERSION, MAX_BATCH,
+    ErrorCode, ProtocolError, Request, Response, WireCover, WireRegion, BATCH_VERSION,
+    BATCH_VERSION_V1, MAX_BATCH,
 };
 pub use server::EnviroServer;
 pub use transport::{ChannelTransport, TransportError};

@@ -5,9 +5,22 @@ use enviro_geo::Point;
 use enviro_meter::{CoverRegion, LinearModel, ModelCover, RegionModel};
 
 /// Version byte carried by the batch frames (`QueryBatch` / `ValueBatch`),
-/// so the layout can evolve without re-tagging. Decoders reject any other
-/// version with a `Malformed` error.
-pub const BATCH_VERSION: u8 = 1;
+/// so the layout can evolve without re-tagging.
+///
+/// * **v1** — tuples only, no integrity protection (PR 2 layout).
+/// * **v2** — adds a request/reply sequence number (so a resilient client
+///   can discard duplicated or stale replies after a retry) and a trailing
+///   CRC-32 over the frame (so a bit-corrupted batch is *detected* instead
+///   of silently mis-answering).
+///
+/// Encoders always emit v2; decoders accept both v1 and v2 frames and
+/// reject any other version with a `Malformed` error. A v1 frame decodes
+/// with sequence number 0.
+pub const BATCH_VERSION: u8 = 2;
+
+/// The previous, CRC-less batch layout, still accepted by decoders so
+/// already-deployed phones keep working across the upgrade.
+pub const BATCH_VERSION_V1: u8 = 1;
 
 /// Upper bound on the tuples one batch frame may carry.
 ///
@@ -40,6 +53,11 @@ pub enum Request {
     /// The answer is a [`Response::ValueBatch`] with exactly one value per
     /// tuple, in order.
     QueryBatch {
+        /// Client-chosen sequence number, echoed verbatim in the matching
+        /// [`Response::ValueBatch`]. Lets a retrying client pair replies
+        /// with requests and drop duplicates the wire re-delivered.
+        /// Always 0 when decoded from a v1 frame.
+        seq: u32,
         /// The query tuples, in trajectory order.
         queries: Vec<QueryTuple>,
     },
@@ -58,11 +76,25 @@ pub enum Response {
     /// One interpolated value (or miss) per tuple of a
     /// [`Request::QueryBatch`], in request order.
     ValueBatch {
+        /// The sequence number of the [`Request::QueryBatch`] this answers,
+        /// echoed verbatim. Always 0 when decoded from a v1 frame.
+        seq: u32,
         /// `Some(ŝ_l)` per answerable tuple, `None` per miss.
         values: Vec<Option<f64>>,
     },
     /// The model cover `(t_n, µ, M)` for a [`Request::ModelRequest`].
     Cover(WireCover),
+    /// The server is overloaded and shed this request before queueing it.
+    ///
+    /// Unlike [`Response::Error`] this is not the client's fault: the
+    /// request was never looked at. A resilient client backs off for at
+    /// least the hinted interval and retries; memory on the server stays
+    /// bounded no matter how hard the fleet pushes.
+    Busy {
+        /// Server's suggestion for how long to back off before retrying,
+        /// in milliseconds.
+        retry_after_ms: u32,
+    },
     /// The request could not be served; the connection stays usable.
     ///
     /// A malformed or unexpected message must degrade into this reply —

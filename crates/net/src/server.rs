@@ -53,14 +53,16 @@ impl<C: WireCodec> EnviroServer<C> {
                 Some(cover) if !cover.is_empty() => Response::Cover(WireCover::from_cover(cover)),
                 _ => Response::NoData,
             },
-            Request::QueryBatch { queries } => {
+            Request::QueryBatch { seq, queries } => {
                 // The value buffer comes from the thread's pool and goes
                 // back to it in `handle_bytes_into` after encoding, so a
                 // steady-state worker serves batches without allocating.
+                // The request's sequence number is echoed so the client can
+                // pair this reply with its chunk even after retries.
                 let mut values = buffers::take_values();
                 self.platform
                     .point_query_batch_into(queries, self.method, &mut values);
-                Response::ValueBatch { values }
+                Response::ValueBatch { seq: *seq, values }
             }
         }
     }
@@ -92,10 +94,10 @@ impl<C: WireCodec> EnviroServer<C> {
             Ok(request) => {
                 let response = self.handle(&request);
                 self.codec.encode_response_into(&response, reply);
-                if let Request::QueryBatch { queries } = request {
+                if let Request::QueryBatch { queries, .. } = request {
                     buffers::recycle_queries(queries);
                 }
-                if let Response::ValueBatch { values } = response {
+                if let Response::ValueBatch { values, .. } = response {
                     buffers::recycle_values(values);
                 }
             }
@@ -156,6 +158,25 @@ mod tests {
                 assert!(cover.valid_until >= Timestamp::from_secs(600));
             }
             other => panic!("expected cover, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_reply_echoes_request_sequence_number() {
+        let s = server();
+        let resp = s.handle(&Request::QueryBatch {
+            seq: 41,
+            queries: vec![QueryTuple::new(
+                Timestamp::from_secs(600),
+                Point::new(0.0, -200.0),
+            )],
+        });
+        match resp {
+            Response::ValueBatch { seq, values } => {
+                assert_eq!(seq, 41);
+                assert_eq!(values.len(), 1);
+            }
+            other => panic!("expected value batch, got {other:?}"),
         }
     }
 

@@ -23,6 +23,11 @@ pub enum TransportError {
     /// `recv` was called on a session with no request in flight (it would
     /// block forever).
     NoPendingReply,
+    /// The exchange did not complete within the caller's deadline. Raised
+    /// by fault-injecting wires ([`crate::fault::ChaosWire`]) when a frame
+    /// is dropped or stalled past its timeout; a resilient client treats it
+    /// as a retryable loss.
+    TimedOut,
 }
 
 impl std::fmt::Display for TransportError {
@@ -31,6 +36,7 @@ impl std::fmt::Display for TransportError {
             TransportError::Disconnected => f.write_str("server thread terminated"),
             TransportError::PipelineFull => f.write_str("session pipeline is full"),
             TransportError::NoPendingReply => f.write_str("no reply pending on this session"),
+            TransportError::TimedOut => f.write_str("exchange timed out"),
         }
     }
 }

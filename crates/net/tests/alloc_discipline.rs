@@ -109,6 +109,7 @@ fn steady_state_allocs(method: QueryMethod) -> usize {
         out.clear();
         BinaryCodec.encode_request_into(
             &Request::QueryBatch {
+                seq: 1,
                 queries: batch.clone(),
             },
             out,

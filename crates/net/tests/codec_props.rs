@@ -1,0 +1,430 @@
+//! Property tests for both codecs, driven by a hand-rolled seeded
+//! generator (no external property-testing dependency).
+//!
+//! This suite subsumes the earlier proptest-based `codec_fuzz` tests —
+//! round-trips, truncation/garbage robustness, bit-flip safety — and adds
+//! the v2 framing guarantees (sequence numbers, CRC detection of every
+//! single-bit flip), `Busy` replies, and the `MAX_BATCH`/empty-batch
+//! boundaries. Every failure prints the case seed; re-run a single case
+//! with `CODEC_PROP_SEED=<suite seed>`.
+
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::panic::AssertUnwindSafe;
+
+use enviro_data::{QueryTuple, Timestamp};
+use enviro_geo::Point;
+use enviro_meter::LinearModel;
+use enviro_net::protocol::WireModel;
+use enviro_net::{
+    BinaryCodec, ErrorCode, ProtocolError, Request, Response, TextCodec, WireCodec, WireCover,
+    WireRegion, XorShiftRng, MAX_BATCH,
+};
+
+/// Cases per property. Each case derives its own seed from the suite
+/// seed, so any failure is reproducible in isolation.
+const CASES: u64 = 128;
+
+/// Default suite seed; override with `CODEC_PROP_SEED=<u64>`.
+const SUITE_SEED: u64 = 0xC0DE_C0DE_0000_0001;
+
+fn suite_seed() -> u64 {
+    std::env::var("CODEC_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SUITE_SEED)
+}
+
+/// Runs `f` for [`CASES`] independently seeded RNGs, reporting the exact
+/// case seed on failure.
+fn for_each_case(property: &str, f: impl Fn(&mut XorShiftRng)) {
+    let suite = suite_seed();
+    for case in 0..CASES {
+        let case_seed = suite ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = XorShiftRng::new(case_seed);
+        if let Err(panic) = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            eprintln!(
+                "property '{property}' failed at case {case} \
+                 (case seed {case_seed:#x}); rerun with CODEC_PROP_SEED={suite}"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- generators
+
+/// A finite f64 in roughly `[-1e12, 1e12]` — large enough to stress the
+/// formatting paths, small enough to stay finite through them.
+fn finite(rng: &mut XorShiftRng) -> f64 {
+    (rng.next_f64() - 0.5) * 2.0e12
+}
+
+fn tuple(rng: &mut XorShiftRng) -> QueryTuple {
+    QueryTuple::new(
+        Timestamp::from_secs(rng.next_u64() as i64),
+        Point::new(finite(rng), finite(rng)),
+    )
+}
+
+fn batch_request(rng: &mut XorShiftRng, max_tuples: u64) -> Request {
+    let n = rng.next_in_range(0, max_tuples) as usize;
+    Request::QueryBatch {
+        seq: rng.next_u64() as u32,
+        queries: (0..n).map(|_| tuple(rng)).collect(),
+    }
+}
+
+fn request(rng: &mut XorShiftRng) -> Request {
+    match rng.next_in_range(0, 2) {
+        0 => Request::Query {
+            time: Timestamp::from_secs(rng.next_u64() as i64),
+            pos: Point::new(finite(rng), finite(rng)),
+        },
+        1 => Request::ModelRequest {
+            time: Timestamp::from_secs(rng.next_u64() as i64),
+        },
+        _ => batch_request(rng, 40),
+    }
+}
+
+fn value_batch(rng: &mut XorShiftRng) -> Response {
+    let n = rng.next_in_range(0, 40) as usize;
+    Response::ValueBatch {
+        seq: rng.next_u64() as u32,
+        values: (0..n)
+            .map(|_| (rng.next_u64() & 1 == 1).then(|| finite(rng)))
+            .collect(),
+    }
+}
+
+fn model(rng: &mut XorShiftRng) -> WireModel {
+    if rng.next_u64() & 1 == 0 {
+        WireModel::Mean(finite(rng))
+    } else {
+        let mut coeffs = [0.0; LinearModel::COEFFICIENT_COUNT];
+        for c in &mut coeffs {
+            *c = finite(rng);
+        }
+        WireModel::Linear(coeffs)
+    }
+}
+
+/// Diagnostic alphabet: letters, digits, codec-hostile specials
+/// (whitespace, `%`, `=`), and multi-byte UTF-8.
+const MESSAGE_CHARS: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', '%', ' ', '\t', '\n', '\r', '=', '-', '_', ':', '.', 'µ',
+    'σ', '€', '💧',
+];
+
+fn protocol_error(rng: &mut XorShiftRng) -> ProtocolError {
+    let code = match rng.next_in_range(0, 2) {
+        0 => ErrorCode::BadRequest,
+        1 => ErrorCode::Unsupported,
+        _ => ErrorCode::Internal,
+    };
+    let len = rng.next_in_range(0, 80) as usize;
+    let message: String = (0..len)
+        .map(|_| MESSAGE_CHARS[rng.next_in_range(0, MESSAGE_CHARS.len() as u64 - 1) as usize])
+        .collect();
+    ProtocolError::new(code, message)
+}
+
+fn cover(rng: &mut XorShiftRng) -> Response {
+    let n = rng.next_in_range(0, 12) as usize;
+    Response::Cover(WireCover {
+        valid_until: Timestamp::from_secs(rng.next_u64() as i64),
+        regions: (0..n)
+            .map(|_| WireRegion {
+                centroid: Point::new(finite(rng), finite(rng)),
+                model: model(rng),
+            })
+            .collect(),
+    })
+}
+
+fn response(rng: &mut XorShiftRng) -> Response {
+    match rng.next_in_range(0, 5) {
+        0 => Response::Value { value: finite(rng) },
+        1 => Response::NoData,
+        2 => Response::Error(protocol_error(rng)),
+        3 => value_batch(rng),
+        4 => Response::Busy {
+            retry_after_ms: rng.next_u64() as u32,
+        },
+        _ => cover(rng),
+    }
+}
+
+fn garbage(rng: &mut XorShiftRng, max_len: u64) -> Vec<u8> {
+    let n = rng.next_in_range(0, max_len) as usize;
+    (0..n).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn approx(a: f64, b: f64, rel: f64) -> bool {
+    (a - b).abs() <= rel * (1.0 + b.abs())
+}
+
+// ---------------------------------------------------------------- roundtrips
+
+#[test]
+fn binary_request_roundtrip() {
+    for_each_case("binary_request_roundtrip", |rng| {
+        let req = request(rng);
+        let bytes = BinaryCodec.encode_request(&req);
+        assert_eq!(BinaryCodec.decode_request(&bytes).unwrap(), req);
+    });
+}
+
+#[test]
+fn binary_response_roundtrip() {
+    for_each_case("binary_response_roundtrip", |rng| {
+        let resp = response(rng);
+        let bytes = BinaryCodec.encode_response(&resp);
+        assert_eq!(BinaryCodec.decode_response(&bytes).unwrap(), resp);
+    });
+}
+
+#[test]
+fn text_request_roundtrip_up_to_coordinate_precision() {
+    for_each_case("text_request_roundtrip", |rng| {
+        let req = request(rng);
+        let bytes = TextCodec.encode_request(&req);
+        // Positions print with 6 decimals; compare fields accordingly.
+        match (TextCodec.decode_request(&bytes).unwrap(), req) {
+            (Request::Query { time: t1, pos: p1 }, Request::Query { time: t2, pos: p2 }) => {
+                assert_eq!(t1, t2);
+                assert!(approx(p1.x, p2.x, 1e-6));
+                assert!(approx(p1.y, p2.y, 1e-6));
+            }
+            (Request::ModelRequest { time: t1 }, Request::ModelRequest { time: t2 }) => {
+                assert_eq!(t1, t2)
+            }
+            (
+                Request::QueryBatch {
+                    seq: s1,
+                    queries: q1,
+                },
+                Request::QueryBatch {
+                    seq: s2,
+                    queries: q2,
+                },
+            ) => {
+                assert_eq!(s1, s2, "sequence numbers must survive the text codec");
+                assert_eq!(q1.len(), q2.len());
+                for (a, b) in q1.iter().zip(&q2) {
+                    assert_eq!(a.time, b.time);
+                    assert!(approx(a.pos.x, b.pos.x, 1e-6));
+                    assert!(approx(a.pos.y, b.pos.y, 1e-6));
+                }
+            }
+            other => panic!("variant mismatch: {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn text_value_batch_roundtrip_up_to_value_precision() {
+    for_each_case("text_value_batch_roundtrip", |rng| {
+        let resp = value_batch(rng);
+        let bytes = TextCodec.encode_response(&resp);
+        let (
+            Response::ValueBatch {
+                seq: s1,
+                values: v1,
+            },
+            Response::ValueBatch {
+                seq: s2,
+                values: v2,
+            },
+        ) = (TextCodec.decode_response(&bytes).unwrap(), resp)
+        else {
+            panic!("value batch decoded to a different variant");
+        };
+        assert_eq!(s1, s2);
+        assert_eq!(v1.len(), v2.len());
+        for (a, b) in v1.iter().zip(&v2) {
+            match (a, b) {
+                // Values print with 9 decimals.
+                (Some(a), Some(b)) => assert!(approx(*a, *b, 1e-9), "{a} vs {b}"),
+                (None, None) => {}
+                other => panic!("hit/miss flag flipped: {other:?}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn text_error_roundtrip_is_exact() {
+    for_each_case("text_error_roundtrip", |rng| {
+        // Error diagnostics carry whitespace and `%`, the characters the
+        // text codec's escaping exists for — they must survive exactly.
+        let resp = Response::Error(protocol_error(rng));
+        let bytes = TextCodec.encode_response(&resp);
+        assert_eq!(TextCodec.decode_response(&bytes).unwrap(), resp);
+    });
+}
+
+#[test]
+fn busy_roundtrip_both_codecs() {
+    for_each_case("busy_roundtrip", |rng| {
+        let resp = Response::Busy {
+            retry_after_ms: rng.next_u64() as u32,
+        };
+        let bin = BinaryCodec.encode_response(&resp);
+        assert_eq!(BinaryCodec.decode_response(&bin).unwrap(), resp);
+        let text = TextCodec.encode_response(&resp);
+        assert_eq!(TextCodec.decode_response(&text).unwrap(), resp);
+    });
+}
+
+// ------------------------------------------------------------- adversarial
+
+#[test]
+fn binary_decoders_survive_truncation() {
+    for_each_case("binary_truncation", |rng| {
+        let req = request(rng);
+        let bytes = BinaryCodec.encode_request(&req);
+        let cut = rng.next_in_range(0, bytes.len() as u64) as usize;
+        // Either decodes to the original (only possible when nothing was
+        // cut) or errors — never panics, never fabricates.
+        match BinaryCodec.decode_request(&bytes[..cut]) {
+            Ok(decoded) => {
+                assert_eq!(cut, bytes.len());
+                assert_eq!(decoded, req);
+            }
+            Err(_) => assert!(cut < bytes.len()),
+        }
+
+        let resp = response(rng);
+        let bytes = BinaryCodec.encode_response(&resp);
+        let cut = rng.next_in_range(0, bytes.len() as u64) as usize;
+        match BinaryCodec.decode_response(&bytes[..cut]) {
+            Ok(decoded) => {
+                assert_eq!(cut, bytes.len());
+                assert_eq!(decoded, resp);
+            }
+            Err(_) => assert!(cut < bytes.len()),
+        }
+    });
+}
+
+#[test]
+fn decoders_never_panic_on_garbage() {
+    for_each_case("garbage", |rng| {
+        let bytes = garbage(rng, 512);
+        let _ = BinaryCodec.decode_request(&bytes);
+        let _ = BinaryCodec.decode_response(&bytes);
+        let _ = TextCodec.decode_request(&bytes);
+        let _ = TextCodec.decode_response(&bytes);
+    });
+}
+
+#[test]
+fn bit_flips_never_panic_either_codec() {
+    for_each_case("bit_flips_never_panic", |rng| {
+        let req = request(rng);
+        let resp = response(rng);
+        for bytes in [
+            BinaryCodec.encode_request(&req),
+            BinaryCodec.encode_response(&resp),
+            TextCodec.encode_request(&req),
+            TextCodec.encode_response(&resp),
+        ] {
+            let mut bytes = bytes;
+            if bytes.is_empty() {
+                continue;
+            }
+            let at = rng.next_in_range(0, bytes.len() as u64 - 1) as usize;
+            let bit = (rng.next_u64() % 8) as u8;
+            bytes[at] ^= 1 << bit;
+            let _ = BinaryCodec.decode_request(&bytes);
+            let _ = BinaryCodec.decode_response(&bytes);
+            let _ = TextCodec.decode_request(&bytes);
+            let _ = TextCodec.decode_response(&bytes);
+        }
+    });
+}
+
+/// The CRC guarantee the chaos suite leans on: a v2 batch frame with any
+/// single bit flipped must be *rejected*, never silently mis-decoded. A
+/// CRC-32 detects every 1-bit error, and the frame layout leaves no byte
+/// outside the checksum's reach (a flipped tag or version byte fails the
+/// layout checks instead).
+#[test]
+fn any_single_bit_flip_in_a_batch_frame_is_rejected() {
+    for_each_case("batch_bit_flip_rejected", |rng| {
+        let req = batch_request(rng, 12);
+        let mut bytes = BinaryCodec.encode_request(&req);
+        let at = rng.next_in_range(0, bytes.len() as u64 - 1) as usize;
+        let bit = (rng.next_u64() % 8) as u8;
+        bytes[at] ^= 1 << bit;
+        assert!(
+            BinaryCodec.decode_request(&bytes).is_err(),
+            "flip at byte {at} bit {bit} slipped past the CRC"
+        );
+
+        let resp = value_batch(rng);
+        let mut bytes = BinaryCodec.encode_response(&resp);
+        let at = rng.next_in_range(0, bytes.len() as u64 - 1) as usize;
+        let bit = (rng.next_u64() % 8) as u8;
+        bytes[at] ^= 1 << bit;
+        assert!(
+            BinaryCodec.decode_response(&bytes).is_err(),
+            "flip at byte {at} bit {bit} slipped past the CRC"
+        );
+    });
+}
+
+// -------------------------------------------------------------- boundaries
+
+#[test]
+fn empty_batches_roundtrip_in_both_codecs() {
+    let req = Request::QueryBatch {
+        seq: 1,
+        queries: Vec::new(),
+    };
+    let resp = Response::ValueBatch {
+        seq: 1,
+        values: Vec::new(),
+    };
+    for codec in [&BinaryCodec as &dyn WireCodec, &TextCodec] {
+        let bytes = codec.encode_request(&req);
+        assert_eq!(codec.decode_request(&bytes).unwrap(), req);
+        let bytes = codec.encode_response(&resp);
+        assert_eq!(codec.decode_response(&bytes).unwrap(), resp);
+    }
+}
+
+#[test]
+fn max_batch_roundtrips_and_one_over_is_rejected() {
+    let mut rng = XorShiftRng::new(suite_seed());
+    let tuples: Vec<QueryTuple> = (0..MAX_BATCH + 1).map(|_| tuple(&mut rng)).collect();
+
+    let at_cap = Request::QueryBatch {
+        seq: 7,
+        queries: tuples[..MAX_BATCH].to_vec(),
+    };
+    for codec in [&BinaryCodec as &dyn WireCodec, &TextCodec] {
+        let bytes = codec.encode_request(&at_cap);
+        match codec.decode_request(&bytes).unwrap() {
+            Request::QueryBatch { seq, queries } => {
+                assert_eq!(seq, 7);
+                assert_eq!(queries.len(), MAX_BATCH);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+
+        // One past the cap: the encoder is the caller's problem, but the
+        // decoder must refuse before allocating for a hostile count.
+        let over = Request::QueryBatch {
+            seq: 8,
+            queries: tuples.clone(),
+        };
+        let bytes = codec.encode_request(&over);
+        let err = codec.decode_request(&bytes).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+}

@@ -1,0 +1,493 @@
+//! Seeded chaos suite: the acceptance gate for fault-injected serving.
+//!
+//! A resilient [`EnviroClient`] must complete long continuous queries over
+//! a wire that drops, duplicates, reorders and bit-corrupts frames — with
+//! **zero wrong answers** (every `Fresh` value bit-identical to a
+//! fault-free run), bounded retries, and no hangs. All time is virtual
+//! (shared [`VirtualClock`]), so the suite never sleeps, and every fault
+//! schedule is seeded: two runs of the same case are identical, stats and
+//! all.
+//!
+//! Reproduction knobs:
+//! * `CHAOS_SEED=<u64>`  — replay the whole suite under a different seed
+//!   (decimal, or hex with an `0x` prefix).
+//! * `CHAOS_VERBOSE=1`   — log every injected fault to stderr.
+//!
+//! Every assertion message carries the seed that produced the failure.
+
+// Harness code, exempt from the library panic policy: an unwrap here
+// fails the run loudly, which is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use enviro_data::{LausanneSim, QueryTuple, SimConfig, Timestamp, WindowSpec};
+use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod, QueryOutcome};
+use enviro_net::{
+    BinaryCodec, ChaosWire, ConcurrentTransport, EnviroClient, EnviroServer, FaultPlan,
+    LinkProfile, LoopbackWire, Outage, ResilienceStats, RetryPolicy, SimulatedLink, TextCodec,
+    VirtualClock, WireCodec,
+};
+use std::sync::Arc;
+
+/// Default suite seed; override with `CHAOS_SEED=<u64>`.
+const DEFAULT_SEED: u64 = 0xC7A0_5C7A_0001;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn seed_is_pinned() -> bool {
+    std::env::var("CHAOS_SEED").is_err()
+}
+
+fn verbose() -> bool {
+    std::env::var("CHAOS_VERBOSE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn build_server<C: WireCodec>(codec: C) -> EnviroServer<C> {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 6 * 3_600,
+        seed: 4242,
+        ..SimConfig::default()
+    });
+    let platform = EnviroMeter::new(
+        sim.generate(),
+        WindowSpec::ByDuration(2 * 3_600),
+        AdKmnConfig::default(),
+        1_000.0,
+    );
+    EnviroServer::new(platform, codec, QueryMethod::ModelCover)
+}
+
+fn trajectory(n: usize, step_secs: i64, seed: u64) -> Vec<QueryTuple> {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 6 * 3_600,
+        seed: 4242,
+        ..SimConfig::default()
+    });
+    sim.continuous_trajectory(n, step_secs, seed)
+}
+
+/// The oracle: the same client stack and codec over a fault-free wire.
+/// (The text codec is deliberately lossy in its decimal formatting, so the
+/// ground truth must pass through the same codec as the chaos run.)
+fn oracle_values<C: WireCodec + Copy>(
+    server: &EnviroServer<C>,
+    codec: C,
+    traj: &[QueryTuple],
+    batch: usize,
+) -> Vec<Option<f64>> {
+    let mut client = EnviroClient::new(codec, server.platform().engine().dataset().pollutant())
+        .with_batch(batch);
+    let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+    let mut wire = LoopbackWire::new(server, &mut link);
+    let mut values = Vec::new();
+    client.query_batch(&mut wire, traj, &mut values).unwrap();
+    values
+}
+
+/// Counts `Fresh` outcomes whose value is not bit-identical to the oracle,
+/// plus the non-fresh tally — the "zero wrong answers" bookkeeping.
+fn audit(outcomes: &[QueryOutcome], oracle: &[Option<f64>]) -> (usize, usize) {
+    assert_eq!(outcomes.len(), oracle.len());
+    let mut wrong = 0;
+    let mut not_fresh = 0;
+    for (got, want) in outcomes.iter().zip(oracle) {
+        match got {
+            QueryOutcome::Fresh(v) => {
+                let matches = match (v, want) {
+                    (Some(a), Some(b)) => a.to_bits() == b.to_bits(),
+                    (None, None) => true,
+                    _ => false,
+                };
+                if !matches {
+                    wrong += 1;
+                }
+            }
+            _ => not_fresh += 1,
+        }
+    }
+    (wrong, not_fresh)
+}
+
+/// One resilient run over `ChaosWire<Session>` against a concurrent
+/// transport. Returns (outcomes, client stats, wire exchanges).
+fn run_concurrent_chaos<C: WireCodec + Copy + Send + Sync + 'static>(
+    server: Arc<EnviroServer<C>>,
+    codec: C,
+    traj: &[QueryTuple],
+    plan: FaultPlan,
+    seed: u64,
+    batch: usize,
+) -> (Vec<QueryOutcome>, ResilienceStats, usize) {
+    let transport = ConcurrentTransport::spawn_shared(Arc::clone(&server), 2).unwrap();
+    let clock = VirtualClock::new();
+    let mut wire =
+        ChaosWire::new(transport.session(), plan, seed, clock.clone()).with_trace(verbose());
+    let mut client = EnviroClient::new(codec, server.platform().engine().dataset().pollutant())
+        .with_batch(batch)
+        .with_clock(clock)
+        .with_rng_seed(seed ^ 0xD1CE);
+    let mut outcomes = Vec::new();
+    client.query_resilient(&mut wire, traj, &mut outcomes);
+    let stats = client.resilience_stats();
+    let exchanges = client.exchanges();
+    drop(wire); // release the session before the transport joins
+    (outcomes, stats, exchanges)
+}
+
+/// Same, over an in-process loopback wire.
+fn run_loopback_chaos<C: WireCodec + Copy>(
+    server: &EnviroServer<C>,
+    codec: C,
+    traj: &[QueryTuple],
+    plan: FaultPlan,
+    seed: u64,
+    batch: usize,
+) -> (Vec<QueryOutcome>, ResilienceStats, usize) {
+    let clock = VirtualClock::new();
+    let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+    let mut wire = ChaosWire::new(
+        LoopbackWire::new(server, &mut link),
+        plan,
+        seed,
+        clock.clone(),
+    )
+    .with_trace(verbose());
+    let mut client = EnviroClient::new(codec, server.platform().engine().dataset().pollutant())
+        .with_batch(batch)
+        .with_clock(clock)
+        .with_rng_seed(seed ^ 0xD1CE);
+    let mut outcomes = Vec::new();
+    client.query_resilient(&mut wire, traj, &mut outcomes);
+    (outcomes, client.resilience_stats(), client.exchanges())
+}
+
+/// The ISSUE's acceptance criterion, verbatim: 10 000 continuous queries
+/// over the concurrent transport under
+/// `FaultPlan { drop: 0.10, corrupt: 0.05, duplicate: 0.05 }` must
+/// complete with zero wrong answers, bounded retries and no hangs — and
+/// running it twice must produce identical outcomes and counters.
+#[test]
+fn acceptance_10k_queries_under_faults_with_zero_wrong_answers() {
+    const TUPLES: usize = 10_000;
+    const BATCH: usize = 64;
+    let seed = chaos_seed();
+    eprintln!("chaos acceptance: seed={seed} (override with CHAOS_SEED=<u64>)");
+
+    let server = Arc::new(build_server(BinaryCodec));
+    let traj = trajectory(TUPLES, 2, 1);
+    let oracle = oracle_values(&server, BinaryCodec, &traj, BATCH);
+    let plan = FaultPlan {
+        drop: 0.10,
+        corrupt: 0.05,
+        duplicate: 0.05,
+        ..FaultPlan::default()
+    };
+
+    let (outcomes, stats, exchanges) = run_concurrent_chaos(
+        Arc::clone(&server),
+        BinaryCodec,
+        &traj,
+        plan.clone(),
+        seed,
+        BATCH,
+    );
+
+    assert_eq!(outcomes.len(), TUPLES, "seed {seed}: answers missing");
+    let (wrong, not_fresh) = audit(&outcomes, &oracle);
+    assert_eq!(
+        wrong, 0,
+        "seed {seed}: {wrong} wrong answers, stats {stats:?}"
+    );
+    // Retries are bounded: at most 1 + max_retries sends per chunk.
+    let chunks = TUPLES.div_ceil(BATCH);
+    let cap = chunks * (1 + RetryPolicy::default().max_retries as usize);
+    assert!(
+        exchanges <= cap,
+        "seed {seed}: {exchanges} exchanges exceed the {cap} retry budget"
+    );
+    // The plan really fired: the run survived actual faults, not luck.
+    assert!(stats.timeouts > 0, "seed {seed}: no drops materialized");
+    assert!(
+        stats.corrupt_replies > 0,
+        "seed {seed}: no corruption materialized"
+    );
+    assert!(
+        stats.stale_replies > 0,
+        "seed {seed}: no duplicates materialized"
+    );
+    if seed_is_pinned() {
+        // The pinned seed is known to leave no chunk unanswered.
+        assert_eq!(
+            not_fresh, 0,
+            "seed {seed}: {not_fresh} tuples not answered fresh, stats {stats:?}"
+        );
+    }
+
+    // Determinism: an identical second run, counter for counter.
+    let (outcomes2, stats2, exchanges2) =
+        run_concurrent_chaos(server, BinaryCodec, &traj, plan, seed, BATCH);
+    assert_eq!(outcomes, outcomes2, "seed {seed}: outcomes diverged");
+    assert_eq!(stats, stats2, "seed {seed}: stats diverged");
+    assert_eq!(
+        exchanges2, exchanges,
+        "seed {seed}: exchange counts diverged"
+    );
+}
+
+/// The fault-rate matrix: {2%, 8%} base rates × {loopback, concurrent} ×
+/// {binary, text}. Every cell must finish with zero wrong answers.
+#[test]
+fn chaos_matrix_over_wires_codecs_and_rates() {
+    const TUPLES: usize = 2_500;
+    const BATCH: usize = 32;
+    let seed = chaos_seed();
+    let traj = trajectory(TUPLES, 8, 2);
+
+    fn plan_for(rate: f64) -> FaultPlan {
+        FaultPlan {
+            drop: rate,
+            duplicate: rate / 2.0,
+            corrupt: rate / 2.0,
+            reorder: rate / 4.0,
+            stall: rate / 4.0,
+            delay: rate,
+            ..FaultPlan::default()
+        }
+    }
+
+    fn cell<C: WireCodec + Copy + Send + Sync + 'static>(
+        server: &Arc<EnviroServer<C>>,
+        codec: C,
+        oracle: &[Option<f64>],
+        traj: &[QueryTuple],
+        rate: f64,
+        concurrent: bool,
+        seed: u64,
+    ) {
+        let label = format!(
+            "seed {seed} rate {rate} wire {} codec {}",
+            if concurrent { "concurrent" } else { "loopback" },
+            std::any::type_name::<C>()
+        );
+        let plan = plan_for(rate);
+        let (outcomes, stats, _) = if concurrent {
+            run_concurrent_chaos(Arc::clone(server), codec, traj, plan, seed, BATCH)
+        } else {
+            run_loopback_chaos(server, codec, traj, plan, seed, BATCH)
+        };
+        let (wrong, not_fresh) = audit(&outcomes, oracle);
+        assert_eq!(wrong, 0, "{label}: {wrong} wrong answers, stats {stats:?}");
+        // Even at 8% the retry budget must hold comfortably: allow up to
+        // two exhausted chunks' worth of tuples, never a wholesale failure.
+        assert!(
+            not_fresh <= 2 * BATCH,
+            "{label}: {not_fresh} tuples unanswered, stats {stats:?}"
+        );
+    }
+
+    let binary = Arc::new(build_server(BinaryCodec));
+    let text = Arc::new(build_server(TextCodec));
+    let binary_oracle = oracle_values(&binary, BinaryCodec, &traj, BATCH);
+    let text_oracle = oracle_values(&text, TextCodec, &traj, BATCH);
+
+    for (i, &rate) in [0.02, 0.08].iter().enumerate() {
+        let case_seed = seed ^ ((i as u64 + 1) << 32);
+        for concurrent in [false, true] {
+            cell(
+                &binary,
+                BinaryCodec,
+                &binary_oracle,
+                &traj,
+                rate,
+                concurrent,
+                case_seed,
+            );
+            cell(
+                &text,
+                TextCodec,
+                &text_oracle,
+                &traj,
+                rate,
+                concurrent,
+                case_seed,
+            );
+        }
+    }
+}
+
+/// Model-cache mode rides through a scripted outage: queries keep being
+/// answered (degrading to `Stale` from the expired cover, never
+/// `Unavailable`), and once the outage lifts the client reconnects and
+/// serves `Fresh` again. Corruption faults are excluded — `Cover` frames
+/// carry no CRC (only batch frames do), so a flipped coefficient could
+/// decode "successfully"; the batch path is where corruption is tested.
+#[test]
+fn model_cache_rides_through_an_outage() {
+    let seed = chaos_seed();
+    let server = build_server(BinaryCodec);
+    // Pinned query times, one every 120 s of data time: crosses the 2 h
+    // window boundaries at tuples 60 and 120.
+    let base = trajectory(170, 120, 3);
+    let traj: Vec<QueryTuple> = base
+        .iter()
+        .enumerate()
+        .map(|(i, q)| QueryTuple::new(Timestamp::from_secs(i as i64 * 120), q.pos))
+        .collect();
+    let oracle = {
+        let mut client = EnviroClient::new(
+            BinaryCodec,
+            server.platform().engine().dataset().pollutant(),
+        )
+        .with_model_cache(true);
+        let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut wire = LoopbackWire::new(&server, &mut link);
+        let mut values = Vec::new();
+        client.query_batch(&mut wire, &traj, &mut values).unwrap();
+        values
+    };
+
+    let clock = VirtualClock::new();
+    let plan = FaultPlan {
+        duplicate: 0.05,
+        outages: vec![Outage {
+            from_ms: 1_000,
+            until_ms: 4_000,
+        }],
+        ..FaultPlan::default()
+    };
+    let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+    let mut wire = ChaosWire::new(
+        LoopbackWire::new(&server, &mut link),
+        plan,
+        seed,
+        clock.clone(),
+    )
+    .with_trace(verbose());
+    let mut client = EnviroClient::new(
+        BinaryCodec,
+        server.platform().engine().dataset().pollutant(),
+    )
+    .with_model_cache(true)
+    .with_clock(clock.clone())
+    .with_rng_seed(seed ^ 0xD1CE);
+
+    // One tuple per 50 ms of wall time, so the outage window [1 s, 4 s)
+    // lands across the first cover-expiry refresh.
+    let mut outcomes = Vec::with_capacity(traj.len());
+    let mut one = Vec::new();
+    for q in &traj {
+        client.query_resilient(&mut wire, std::slice::from_ref(q), &mut one);
+        outcomes.push(one[0]);
+        clock.advance(50);
+    }
+
+    let stats = client.resilience_stats();
+    assert_eq!(outcomes.len(), traj.len());
+    assert!(
+        outcomes.iter().all(|o| !o.is_unavailable()),
+        "seed {seed}: outage must degrade, not fail: {stats:?}"
+    );
+    assert!(
+        stats.stale_answers > 0,
+        "seed {seed}: the outage never forced a stale answer: {stats:?}"
+    );
+    assert!(
+        stats.timeouts > 0,
+        "seed {seed}: the outage never bit a refresh: {stats:?}"
+    );
+    // Every Fresh answer matches the fault-free model-cache run exactly.
+    let (wrong, _) = audit(&outcomes, &oracle);
+    assert_eq!(wrong, 0, "seed {seed}: {wrong} wrong fresh answers");
+    // After the outage lifts, the client reconnects: the tail is fresh.
+    assert!(
+        outcomes.last().unwrap().is_fresh(),
+        "seed {seed}: never reconnected; stats {stats:?}"
+    );
+}
+
+/// A server whose queue is saturated sheds with `Busy`, and the resilient
+/// client absorbs the sheds: it backs off by the server's hint, retries,
+/// and once capacity returns still gets every answer right.
+#[test]
+fn client_rides_through_server_shedding() {
+    use enviro_net::TransportConfig;
+    const TUPLES: usize = 500;
+    let seed = chaos_seed();
+    let server = Arc::new(build_server(BinaryCodec));
+    let traj = trajectory(TUPLES, 4, 5);
+    let oracle = oracle_values(&server, BinaryCodec, &traj, 16);
+
+    // One paused worker with a one-slot queue: a pre-loaded request keeps
+    // the slot occupied, so the client's first sends are all shed. The
+    // client's Busy backoff really sleeps (system clock); a timer thread
+    // resumes the worker 25 ms in, well inside the retry budget.
+    let transport = ConcurrentTransport::spawn_shared_with(
+        Arc::clone(&server),
+        TransportConfig {
+            workers: 1,
+            max_queue: 1,
+            retry_after_ms: 5,
+            start_paused: true,
+        },
+    )
+    .unwrap();
+    let mut blocker = transport.session();
+    blocker
+        .send_with(|out| {
+            BinaryCodec.encode_request_into(
+                &enviro_net::Request::ModelRequest {
+                    time: Timestamp::from_secs(60),
+                },
+                out,
+            )
+        })
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        let transport_ref = &transport;
+        scope.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            transport_ref.resume_workers();
+        });
+
+        let mut session = transport.session();
+        let mut client = EnviroClient::new(BinaryCodec, enviro_data::Pollutant::Co2)
+            .with_batch(16)
+            .with_retry_policy(RetryPolicy {
+                deadline_ms: 10_000,
+                max_retries: 100,
+                ..RetryPolicy::default()
+            })
+            .with_rng_seed(seed);
+        let mut outcomes = Vec::new();
+        client.query_resilient(&mut session, &traj, &mut outcomes);
+
+        let stats = client.resilience_stats();
+        let (wrong, not_fresh) = audit(&outcomes, &oracle);
+        assert_eq!(
+            wrong, 0,
+            "seed {seed}: {wrong} wrong answers under shedding"
+        );
+        assert_eq!(
+            not_fresh, 0,
+            "seed {seed}: shedding must delay, not lose: {stats:?}"
+        );
+        assert!(
+            stats.busy_replies > 0,
+            "seed {seed}: the saturated queue never shed: {stats:?}"
+        );
+        assert_eq!(stats.busy_replies, stats.retries, "{stats:?}");
+    });
+    assert!(transport.shed_total() > 0);
+    let _ = blocker.recv(); // drain the pre-loaded request's reply
+}

@@ -192,11 +192,12 @@ fn pipelined_batches_round_trip_under_contention() {
     // exercising the queue depth rather than lock-step call/reply.
     let mut session = transport.session();
     let chunks: Vec<&[QueryTuple]> = traj.chunks(25).collect();
-    for chunk in &chunks {
+    for (i, chunk) in chunks.iter().enumerate() {
         session
             .send_with(|out| {
                 BinaryCodec.encode_request_into(
                     &Request::QueryBatch {
+                        seq: i as u32 + 1,
                         queries: chunk.to_vec(),
                     },
                     out,
@@ -205,10 +206,12 @@ fn pipelined_batches_round_trip_under_contention() {
             .unwrap();
     }
     let mut got = Vec::with_capacity(traj.len());
-    for chunk in &chunks {
+    for (i, chunk) in chunks.iter().enumerate() {
         let reply = session.recv().unwrap();
         match BinaryCodec.decode_response(reply).unwrap() {
-            Response::ValueBatch { values } => {
+            Response::ValueBatch { seq, values } => {
+                // In-order pipelining: reply N carries request N's seq.
+                assert_eq!(seq, i as u32 + 1);
                 assert_eq!(values.len(), chunk.len());
                 got.extend_from_slice(&values);
             }
@@ -216,6 +219,64 @@ fn pipelined_batches_round_trip_under_contention() {
         }
     }
     assert_bit_identical(&expected, &got, "pipelined batches");
+}
+
+#[test]
+fn corrupt_frame_mid_pipeline_is_isolated_to_its_own_reply() {
+    let server = shared_server();
+    let transport = ConcurrentTransport::spawn_shared(Arc::clone(&server), 2).unwrap();
+    let traj = trajectory(1);
+    let expected = sequential_answers(&server, &traj);
+
+    // Three pipelined batch frames; the middle one gets a bit flipped after
+    // encoding, so its CRC check must fail server-side. The corruption must
+    // produce exactly one Error reply, in order, with both neighbors served.
+    let mut session = transport.session();
+    let chunks: Vec<&[QueryTuple]> = traj.chunks(traj.len().div_ceil(3)).collect();
+    assert_eq!(chunks.len(), 3);
+    for (i, chunk) in chunks.iter().enumerate() {
+        session
+            .send_with(|out| {
+                BinaryCodec.encode_request_into(
+                    &Request::QueryBatch {
+                        seq: i as u32 + 1,
+                        queries: chunk.to_vec(),
+                    },
+                    out,
+                );
+                if i == 1 {
+                    let mid = out.len() / 2;
+                    out[mid] ^= 0x01;
+                }
+            })
+            .unwrap();
+    }
+    let mut got: Vec<Option<f64>> = Vec::new();
+    for (i, chunk) in chunks.iter().enumerate() {
+        let reply = session.recv().unwrap();
+        match BinaryCodec.decode_response(reply).unwrap() {
+            Response::ValueBatch { seq, values } => {
+                assert_ne!(i, 1, "corrupted frame must not be answered");
+                assert_eq!(seq, i as u32 + 1);
+                assert_eq!(values.len(), chunk.len());
+                got.extend_from_slice(&values);
+            }
+            Response::Error(_) => {
+                assert_eq!(i, 1, "only the corrupted frame may error");
+                // Placeholders so the audit below lines up positionally.
+                got.extend(std::iter::repeat_n(None, chunk.len()));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    let healthy = |v: &[Option<f64>]| {
+        v.iter()
+            .enumerate()
+            .filter(|(i, _)| *i < chunks[0].len() || *i >= chunks[0].len() + chunks[1].len())
+            .map(|(_, v)| *v)
+            .collect::<Vec<_>>()
+    };
+    assert_bit_identical(&healthy(&expected), &healthy(&got), "neighbor frames");
 }
 
 #[test]

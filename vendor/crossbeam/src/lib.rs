@@ -30,6 +30,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`], carrying the rejected value.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
     /// Creates a channel holding at most `cap` queued messages.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
@@ -43,6 +52,16 @@ pub mod channel {
             self.0
                 .send(value)
                 .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Non-blocking send: fails immediately with [`TrySendError::Full`]
+        /// when the channel is at capacity instead of waiting for room —
+        /// the primitive behind overload shedding.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -108,6 +127,18 @@ mod tests {
         let (tx, rx) = bounded::<i32>(1);
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
