@@ -1,0 +1,87 @@
+//! Runs the durable-write-path sweep and writes
+//! `results/BENCH_ingest.json`.
+//!
+//! ```text
+//! ingest [--out PATH] [--seed N] [--tuples M] [--queries Q] [--workers W]
+//! ```
+//!
+//! Sweeps ingest throughput over `IngestBatch` sizes {1, 16, 64, 256},
+//! then measures per-frame query latency (p50/p99) twice — on a quiet
+//! server and under a concurrent resilient writer with background cover
+//! rebuilds — so the cost of the write path on the read path is a number,
+//! not a claim. Latency cells are wall-clock timed; run on an idle host.
+
+#![forbid(unsafe_code)]
+
+use enviro_bench::ingest::{run, IngestBenchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = IngestBenchConfig::default();
+    let mut out_path = String::from("results/BENCH_ingest.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => out_path = iter.next().ok_or("--out needs a path")?.clone(),
+            "--seed" => cfg.seed = iter.next().ok_or("--seed needs an integer")?.parse()?,
+            "--tuples" => {
+                cfg.tuples = iter.next().ok_or("--tuples needs an integer")?.parse()?;
+            }
+            "--queries" => {
+                cfg.queries = iter.next().ok_or("--queries needs an integer")?.parse()?;
+            }
+            "--workers" => {
+                cfg.workers = iter.next().ok_or("--workers needs an integer")?.parse()?;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ingest [--out PATH] [--seed N] [--tuples M] [--queries Q] \
+                     [--workers W]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+
+    eprintln!(
+        "ingest sweep: batches {:?}, {} tuples/cell, {} queries, {} workers (seed {})",
+        cfg.batches, cfg.tuples, cfg.queries, cfg.workers, cfg.seed
+    );
+    let report = run(&cfg);
+    for row in &report.throughput {
+        println!(
+            "batch {:>4}: {:>9.0} tuples/s ({} acked, {} failed, {} durable, {:.3} s)",
+            row.batch, row.tuples_per_sec, row.acked, row.failed, row.durable, row.elapsed_secs
+        );
+    }
+    for row in &report.latency {
+        println!(
+            "queries {}: p50 {:>7.1} us, p99 {:>8.1} us, {:>7.0} q/s \
+             ({} tuples ingested alongside, {} generations published)",
+            if row.concurrent_ingest {
+                "under ingest"
+            } else {
+                "quiet       "
+            },
+            row.p50_us,
+            row.p99_us,
+            row.qps,
+            row.ingested_during,
+            row.generations_published
+        );
+    }
+    for row in &report.throughput {
+        if row.acked + row.failed != report.tuples as u64 {
+            return Err(format!(
+                "batch {}: {} tuples unaccounted for — durability invariant broken",
+                row.batch,
+                report.tuples as u64 - row.acked - row.failed
+            )
+            .into());
+        }
+    }
+    std::fs::write(&out_path, report.to_json())?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}

@@ -14,6 +14,7 @@
 //! | [`ablations`] | abl-k0 / abl-split / abl-tau / abl-codec / abl-radius |
 //! | [`throughput`] | concurrent serving: qps & wire bytes, workers × batch |
 //! | [`faults`] | resilience cost: goodput & retries vs injected fault rate |
+//! | [`ingest`] | durable write path: tuples/s vs batch, query p50/p99 under ingest |
 
 #![forbid(unsafe_code)]
 // Panic-prone sites in this crate are legacy debt tracked by the xtask
@@ -30,6 +31,7 @@ pub mod fig6a;
 pub mod fig6b;
 pub mod fig7a;
 pub mod fig7b;
+pub mod ingest;
 pub mod table;
 pub mod throughput;
 pub mod workload;

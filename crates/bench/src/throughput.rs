@@ -326,7 +326,7 @@ pub fn sanity_check_one_exchange(seed: u64) -> bool {
     let reply = server.handle_bytes(&req);
     matches!(
         BinaryCodec.decode_response(&reply),
-        Ok(Response::ValueBatch { seq: 1, values }) if values.len() == traj.len()
+        Ok(Response::ValueBatch { seq: 1, values, .. }) if values.len() == traj.len()
     )
 }
 

@@ -7,11 +7,12 @@ use enviro_data::{Dataset, LausanneSim, Pollutant, QueryTuple, SimConfig, Window
 use enviro_geo::{Point, Polyline};
 use enviro_meter::{default_parallelism, AdKmnConfig, EnviroMeter, QueryMethod};
 use enviro_net::{
-    BinaryCodec, ConcurrentTransport, EnviroClient, EnviroServer, RetryPolicy, TransportConfig,
-    Wire,
+    BinaryCodec, Clock, ConcurrentTransport, EnviroClient, EnviroServer, IngestConfig, IngestState,
+    ModelMaintenance, RetryPolicy, SystemClock, TransportConfig, VirtualClock, Wire, WireCodec,
 };
-use enviro_storage::TupleStore;
+use enviro_storage::{TupleStore, WalConfig};
 use std::io::Write;
+use std::sync::Arc;
 
 /// Routes a raw argument list to its subcommand.
 pub fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -27,6 +28,7 @@ pub fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "heatmap" => cmd_heatmap(&args, out),
         "route" => cmd_route(&args, out),
         "serve" => cmd_serve(&args, out),
+        "ingest" => cmd_ingest(&args, out),
         "store" => cmd_store(&args, out),
         "--help" | "help" => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
@@ -313,14 +315,17 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             out,
             "usage: enviro serve FILE [--workers N] [--batch B] [--clients K] \
              [--requests M] [--method M] [--window H | --window-secs S]\n\
-             [--max-queue Q] [--deadline-ms MS] [--retries R]\n\
+             [--max-queue Q] [--deadline-ms MS] [--retries R] [--ingest DIR]\n\
              runs the concurrent server over FILE and drives it with K \
              in-process clients issuing M queries each;\n\
              --workers defaults to the detected CPU parallelism;\n\
              --max-queue bounds each worker's queue (overload is shed with \
              Busy replies);\n\
              --deadline-ms and --retries set each client's per-request \
-             deadline and retry budget"
+             deadline and retry budget;\n\
+             --ingest DIR opens a WAL-backed ingest state at DIR, streams \
+             the dataset through the durable write path concurrently with \
+             the query load, and publishes covers online"
         )
         .map_err(io_err)?;
         return Ok(());
@@ -331,6 +336,15 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         .time_span()
         .ok_or_else(|| CliError::runtime("dataset is empty".to_string()))?;
     let bounds = dataset.bounds();
+    // With --ingest the same tuples are streamed through the durable write
+    // path while the query clients run; keep a copy before the platform
+    // consumes the dataset.
+    let ingest_dir = args.get("ingest").map(str::to_string);
+    let stream: Vec<enviro_data::RawTuple> = if ingest_dir.is_some() {
+        dataset.tuples().to_vec()
+    } else {
+        Vec::new()
+    };
     let platform = platform_from(args, dataset)?;
     let method = parse_method(args)?;
     let workers: usize = args.get_or("workers", default_parallelism())?;
@@ -352,7 +366,34 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     // Build every per-window structure up front (in parallel across the
     // worker count) so the measured load sees steady-state serving.
     platform.engine().prepare_parallel(method, workers);
-    let server = std::sync::Arc::new(EnviroServer::new(platform, BinaryCodec, method));
+    let ingest = match &ingest_dir {
+        Some(dir) => {
+            let window_secs: i64 = args.get_or("window-secs", 4 * 3_600)?;
+            let state = Arc::new(
+                IngestState::open(
+                    std::path::Path::new(dir),
+                    WalConfig {
+                        window_secs,
+                        ..WalConfig::default()
+                    },
+                    IngestConfig {
+                        pollutant,
+                        ..IngestConfig::default()
+                    },
+                )
+                .map_err(|e| CliError::runtime(format!("cannot open ingest dir {dir}: {e}")))?,
+            );
+            let maintenance = ModelMaintenance::spawn(Arc::clone(&state))
+                .map_err(|e| CliError::runtime(format!("cannot spawn maintenance: {e}")))?;
+            Some((state, maintenance))
+        }
+        None => None,
+    };
+    let mut server = EnviroServer::new(platform, BinaryCodec, method);
+    if let Some((state, _)) = &ingest {
+        server = server.with_ingest(Arc::clone(state));
+    }
+    let server = Arc::new(server);
     let transport = ConcurrentTransport::spawn_shared_with(
         server,
         TransportConfig {
@@ -387,7 +428,21 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     let start = std::time::Instant::now();
     type ClientResult = (u64, usize, usize, u64, enviro_net::ResilienceStats);
-    let results: Vec<ClientResult> = std::thread::scope(|scope| {
+    type ServeOutcome = (Vec<ClientResult>, Option<enviro_net::IngestReport>);
+    let (results, ingest_report): ServeOutcome = std::thread::scope(|scope| {
+        // The durable write path runs concurrently with the query load:
+        // one extra session streams the dataset as `IngestBatch` frames.
+        let ingest_handle = (!stream.is_empty()).then(|| {
+            let transport = &transport;
+            let stream = &stream;
+            scope.spawn(move || {
+                let mut wire = transport.session();
+                let mut client = EnviroClient::new(BinaryCodec, pollutant)
+                    .with_batch(batch)
+                    .with_retry_policy(policy);
+                client.ingest_resilient(&mut wire, 0xC11, stream)
+            })
+        });
         let handles: Vec<_> = trajectories
             .iter()
             .map(|traj| {
@@ -415,13 +470,15 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 })
             })
             .collect();
-        handles
+        let results = handles
             .into_iter()
             .map(|h| {
                 h.join()
                     .unwrap_or((0, 0, 0, 0, enviro_net::ResilienceStats::default()))
             })
-            .collect()
+            .collect();
+        let report = ingest_handle.and_then(|h| h.join().ok());
+        (results, report)
     });
     let elapsed = start.elapsed().as_secs_f64();
 
@@ -453,6 +510,146 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "resilience: {retries} retries, {busy} busy replies, {} shed by server, \
          {unavailable} unavailable",
         transport.shed_total()
+    )
+    .map_err(io_err)?;
+    if let Some((state, _maintenance)) = &ingest {
+        // Publish whatever is still pending so the summary reflects the
+        // whole run, not the maintenance worker's race with shutdown.
+        state
+            .rebuild_dirty_now()
+            .map_err(|e| CliError::runtime(format!("cover rebuild failed: {e}")))?;
+        let stats = state.stats();
+        let report = ingest_report.unwrap_or_default();
+        writeln!(
+            out,
+            "ingest: {} tuples acked, {} failed, durable {}, \
+             {} windows published, generation {}",
+            report.acked_tuples,
+            report.failed_tuples,
+            stats.durable_tuples,
+            stats.published_windows,
+            state.generation()
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// A [`Wire`] that calls the server in-process with no simulated link —
+/// the `enviro ingest` replayer's transport.
+struct DirectWire<'a, C: WireCodec> {
+    server: &'a EnviroServer<C>,
+    reply: Vec<u8>,
+}
+
+impl<C: WireCodec> Wire for DirectWire<'_, C> {
+    fn exchange(&mut self, request: &[u8]) -> Result<&[u8], enviro_net::TransportError> {
+        self.server.handle_bytes_into(request, &mut self.reply);
+        Ok(&self.reply)
+    }
+}
+
+fn cmd_ingest(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.has("help") {
+        writeln!(
+            out,
+            "usage: enviro ingest FILE --dir DIR [--rate N] [--batch B] \
+             [--window-secs S] [--source ID] [--virtual-clock]\n\
+             replays FILE through the durable write path at --rate tuples/s \
+             (default 1000): tuples are appended to the WAL at DIR, \
+             acknowledged once durable, and background maintenance \
+             publishes Ad-KMN covers online;\n\
+             --virtual-clock paces on a virtual clock (no real sleeping), \
+             for deterministic tests"
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+    let dataset = load_dataset(args)?;
+    let pollutant = dataset.pollutant();
+    let dir = args.require("dir")?;
+    let rate: f64 = args.get_or("rate", 1_000.0)?;
+    let batch: usize = args.get_or("batch", 64)?;
+    let window_secs: i64 = args.get_or("window-secs", 3_600)?;
+    let source: u64 = args.get_or("source", 1)?;
+    if !rate.is_finite() || rate <= 0.0 || batch == 0 || window_secs <= 0 {
+        return Err(CliError::usage(
+            "--rate, --batch and --window-secs must be positive",
+        ));
+    }
+
+    let state = Arc::new(
+        IngestState::open(
+            std::path::Path::new(dir),
+            WalConfig {
+                window_secs,
+                ..WalConfig::default()
+            },
+            IngestConfig {
+                pollutant,
+                ..IngestConfig::default()
+            },
+        )
+        .map_err(|e| CliError::runtime(format!("cannot open ingest dir {dir}: {e}")))?,
+    );
+    let maintenance = ModelMaintenance::spawn(Arc::clone(&state))
+        .map_err(|e| CliError::runtime(format!("cannot spawn maintenance: {e}")))?;
+    // An ingest-only endpoint: the static platform behind it is empty, so
+    // every query answer comes from the stream's published covers.
+    let server = EnviroServer::new(
+        EnviroMeter::new(
+            Dataset::new(pollutant),
+            WindowSpec::ByDuration(window_secs),
+            AdKmnConfig::default(),
+            1_000.0,
+        ),
+        BinaryCodec,
+        QueryMethod::ModelCover,
+    )
+    .with_ingest(Arc::clone(&state));
+
+    let clock: Box<dyn Clock> = if args.has("virtual-clock") {
+        Box::new(VirtualClock::new())
+    } else {
+        Box::new(SystemClock::new())
+    };
+    let mut wire = DirectWire {
+        server: &server,
+        reply: Vec::new(),
+    };
+    let mut client = EnviroClient::new(BinaryCodec, pollutant).with_batch(batch);
+
+    let start_ms = clock.now_ms();
+    let mut sent = 0u64;
+    let mut acked = 0u64;
+    let mut failed = 0u64;
+    let mut durable = 0u64;
+    for chunk in dataset.tuples().chunks(batch) {
+        let report = client.ingest_resilient(&mut wire, source, chunk);
+        acked += report.acked_tuples;
+        failed += report.failed_tuples;
+        durable = durable.max(report.durable_upto);
+        sent += chunk.len() as u64;
+        // Pace the replay: sleep until `sent` tuples' worth of virtual (or
+        // real) time has elapsed at the target rate.
+        let target_ms = start_ms + (sent as f64 / rate * 1_000.0) as u64;
+        let now = clock.now_ms();
+        if target_ms > now {
+            clock.sleep_ms(target_ms - now);
+        }
+    }
+    drop(maintenance); // shut the worker down before the final sync rebuild
+    state
+        .rebuild_dirty_now()
+        .map_err(|e| CliError::runtime(format!("cover rebuild failed: {e}")))?;
+    let stats = state.stats();
+    let elapsed = (clock.now_ms() - start_ms) as f64 / 1_000.0;
+    writeln!(
+        out,
+        "ingested {acked} tuples ({failed} failed) at target {rate:.0} tuples/s; \
+         durable {durable}; {} windows published (generation {}); elapsed {elapsed:.3} s",
+        stats.published_windows,
+        state.generation()
     )
     .map_err(io_err)?;
     Ok(())
@@ -751,6 +948,80 @@ mod tests {
         assert!(out.contains("resilience:"), "{out}");
         assert!(out.contains("0 unavailable"), "{out}");
         std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn ingest_replays_at_rate_on_a_virtual_clock() {
+        let csv = temp_path("ingest-replay.csv");
+        let dir = temp_path("ingest-replay-wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_cmd(&["simulate", "--hours", "2", "--out", csv.to_str().unwrap()]);
+        let (code, out) = run_cmd(&[
+            "ingest",
+            csv.to_str().unwrap(),
+            "--dir",
+            dir.to_str().unwrap(),
+            "--rate",
+            "120",
+            "--batch",
+            "32",
+            "--virtual-clock",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        // 2 simulated hours at 60 s sampling = 240 tuples; at 120 tuples/s
+        // the virtual-clock pacing makes the replay exactly 2 s long.
+        assert!(out.contains("ingested 240 tuples (0 failed)"), "{out}");
+        assert!(out.contains("durable 240"), "{out}");
+        assert!(out.contains("elapsed 2.000 s"), "{out}");
+        assert!(out.contains("windows published"), "{out}");
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_rejects_bad_rate() {
+        let csv = temp_path("ingest-bad-rate.csv");
+        let dir = temp_path("ingest-bad-rate-wal");
+        run_cmd(&["simulate", "--hours", "1", "--out", csv.to_str().unwrap()]);
+        let (code, _) = run_cmd(&[
+            "ingest",
+            csv.to_str().unwrap(),
+            "--dir",
+            dir.to_str().unwrap(),
+            "--rate",
+            "0",
+        ]);
+        assert_eq!(code, 2);
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_with_ingest_streams_the_write_path_under_query_load() {
+        let csv = temp_path("serve-ingest.csv");
+        let dir = temp_path("serve-ingest-wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_cmd(&["simulate", "--hours", "2", "--out", csv.to_str().unwrap()]);
+        let (code, out) = run_cmd(&[
+            "serve",
+            csv.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--batch",
+            "16",
+            "--clients",
+            "2",
+            "--requests",
+            "100",
+            "--ingest",
+            dir.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("served 200 queries"), "{out}");
+        assert!(out.contains("ingest: 240 tuples acked, 0 failed"), "{out}");
+        assert!(out.contains("durable 240"), "{out}");
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

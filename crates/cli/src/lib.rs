@@ -10,6 +10,7 @@
 //! enviro heatmap day.csv --time 8h --out map.ppm    # web UI's heatmap mode
 //! enviro route day.csv --start 7h --points "x,y;…"  # app's route summary
 //! enviro serve day.csv --workers 4 --batch 64       # concurrent load drive
+//! enviro ingest day.csv --dir ./wal --rate 500      # durable write path
 //! enviro store ingest day.csv --dir ./store         # durable segment store
 //! enviro store export --dir ./store --out back.csv
 //! ```
@@ -84,6 +85,7 @@ commands:
   heatmap    render the model cover as a PPM image
   route      evaluate a route and print the OSHA summary
   serve      run the concurrent server and drive it with in-process clients
+  ingest     replay a dataset through the WAL-backed durable write path
   store      durable segment-store operations (ingest | export | stats)
 
 run `enviro <command> --help` for the command's flags";

@@ -30,6 +30,8 @@
 //!   grid, with PPM/ASCII rendering.
 //! * [`route`] — the Android app's route recording with OSHA
 //!   classification.
+//! * [`publish`] — the [`CoverRegistry`]: epoch-versioned, atomically
+//!   swapped cover sets for the durable write path's online maintenance.
 //! * [`platform`] — the [`EnviroMeter`] facade tying everything together.
 //!
 //! ## Quickstart
@@ -78,6 +80,7 @@ pub mod heatmap;
 pub mod live;
 pub mod model;
 pub mod platform;
+pub mod publish;
 pub mod query;
 pub mod route;
 
@@ -88,6 +91,7 @@ pub use heatmap::{Heatmap, HeatmapBuilder};
 pub use live::{LiveConfig, LiveEngine, LiveStats};
 pub use model::{ApproximationError, FitConfig, LinearModel, RegionModel};
 pub use platform::EnviroMeter;
+pub use publish::{CoverRegistry, CoverSet, PublishedCover};
 pub use query::{
     default_parallelism, CoverProcessor, IdwConfig, IdwProcessor, IndexKind, IndexedProcessor,
     NaiveProcessor, PointQueryProcessor, QueryEngine, QueryMethod, QueryOutcome,

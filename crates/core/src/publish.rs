@@ -1,0 +1,327 @@
+//! Online cover publication: epoch-versioned, atomically swapped cover sets.
+//!
+//! The durable write path rebuilds model covers on a background thread
+//! while queries keep flowing. The two sides meet here: the maintenance
+//! worker assembles a fresh [`CoverSet`] off the hot path and
+//! [`CoverRegistry::publish`]es it with a single `Arc` swap, so a reader
+//! either sees the complete old set or the complete new one — never a
+//! half-updated mixture, and never a lock held across a model rebuild.
+//!
+//! Each publication bumps a monotone **generation** number. The server
+//! stamps it into every `ValueBatch` reply, which lets a cover-caching
+//! client detect that the models it holds predate the latest publication
+//! and refetch instead of serving stale interpolations.
+//!
+//! Query routing mirrors the batch engine: a query at time `t` is answered
+//! by the newest window whose **first tuple** is at or before `t` (not the
+//! window's epoch boundary — an empty leading stretch of a window belongs
+//! to its predecessor until data actually arrives). Keeping that rule
+//! identical is what makes streamed answers bit-equal to batch answers.
+
+use crate::cover::ModelCover;
+use enviro_data::Timestamp;
+use enviro_memsize::DeepSize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One published cover: a window's models plus the routing key.
+#[derive(Debug, Clone)]
+pub struct PublishedCover {
+    /// The window this cover was learned from.
+    pub window_id: u64,
+    /// Arrival time of the window's first tuple — the routing key that
+    /// keeps streamed routing bit-identical to the batch engine's.
+    pub first_time: Timestamp,
+    /// The cover itself, shared with in-flight readers.
+    pub cover: Arc<ModelCover>,
+}
+
+/// An immutable, atomically-published set of covers, sorted by window id.
+#[derive(Debug, Clone, Default)]
+pub struct CoverSet {
+    entries: Vec<PublishedCover>,
+}
+
+impl CoverSet {
+    /// An empty set (what a registry holds before the first publication).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of published windows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The published covers, oldest window first.
+    pub fn entries(&self) -> &[PublishedCover] {
+        &self.entries
+    }
+
+    /// The cover published for window `id`, if any.
+    pub fn cover_for_window(&self, id: u64) -> Option<&PublishedCover> {
+        self.entries
+            .binary_search_by_key(&id, |e| e.window_id)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// The cover responsible for a query at `t`: the newest window whose
+    /// first tuple is at or before `t`, falling back to the oldest window
+    /// for queries that predate all data — exactly the batch
+    /// [`crate::QueryEngine`]'s routing rule.
+    pub fn cover_for_time(&self, t: Timestamp) -> Option<&PublishedCover> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let idx = self
+            .entries
+            .partition_point(|e| e.first_time <= t)
+            .saturating_sub(1);
+        Some(&self.entries[idx])
+    }
+
+    /// Verifies the set's ordering invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for pair in self.entries.windows(2) {
+            if pair[0].window_id >= pair[1].window_id {
+                return Err(format!(
+                    "window ids not strictly increasing: {} then {}",
+                    pair[0].window_id, pair[1].window_id
+                ));
+            }
+            if pair[0].first_time > pair[1].first_time {
+                return Err(format!(
+                    "first times not monotone: window {} starts at {} but window {} at {}",
+                    pair[0].window_id,
+                    pair[0].first_time.as_secs(),
+                    pair[1].window_id,
+                    pair[1].first_time.as_secs()
+                ));
+            }
+        }
+        for e in &self.entries {
+            if e.cover.window_id != e.window_id {
+                return Err(format!(
+                    "entry for window {} holds a cover built from window {}",
+                    e.window_id, e.cover.window_id
+                ));
+            }
+            e.cover
+                .check_invariants()
+                .map_err(|err| format!("window {}: {err}", e.window_id))?;
+        }
+        Ok(())
+    }
+}
+
+impl DeepSize for PublishedCover {
+    fn heap_size(&self) -> usize {
+        // The Arc'd cover is attributed to the set that publishes it; a
+        // second snapshot sharing the Arc double-counts, which is the
+        // conservative direction for a memory budget.
+        self.cover.deep_size_of()
+    }
+}
+
+impl DeepSize for CoverSet {
+    fn heap_size(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<PublishedCover>()
+            + self.entries.iter().map(|e| e.heap_size()).sum::<usize>()
+    }
+}
+
+/// The registry queries read from and the maintenance worker publishes to.
+///
+/// Readers call [`CoverRegistry::snapshot`] (one `RwLock` read + `Arc`
+/// clone, never blocked by a rebuild) and keep using the snapshot for the
+/// whole request; writers assemble the next [`CoverSet`] off to the side
+/// and swap it in with [`CoverRegistry::publish`].
+#[derive(Debug, Default)]
+pub struct CoverRegistry {
+    current: RwLock<Arc<CoverSet>>,
+    generation: AtomicU64,
+}
+
+impl CoverRegistry {
+    /// An empty registry at generation 0 (generation 0 is reserved for
+    /// "nothing ever published" — the wire value a non-ingesting server
+    /// reports).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current cover set. Cheap; the returned `Arc` stays valid (and
+    /// internally consistent) however many publications happen after.
+    pub fn snapshot(&self) -> Arc<CoverSet> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The generation of the latest publication (0 = none yet). Monotone.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Publishes `updates`: each entry replaces the current cover for its
+    /// window (or inserts a new window), the rest of the set carries over.
+    /// Returns the new generation. Entries with an empty cover are
+    /// published too — an all-outlier window legitimately models nothing.
+    pub fn publish(&self, updates: Vec<PublishedCover>) -> u64 {
+        let mut guard = self.current.write().unwrap_or_else(|e| e.into_inner());
+        let mut entries = guard.entries.clone();
+        for update in updates {
+            match entries.binary_search_by_key(&update.window_id, |e| e.window_id) {
+                Ok(i) => entries[i] = update,
+                Err(i) => entries.insert(i, update),
+            }
+        }
+        *guard = Arc::new(CoverSet { entries });
+        // Bumped while still holding the write lock, so generations observed
+        // through a fresh snapshot are never ahead of the set's contents.
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Verifies the registry and its current set.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let snap = self.snapshot();
+        if self.generation() == 0 && !snap.is_empty() {
+            return Err("covers present at generation 0".into());
+        }
+        snap.check_invariants()
+    }
+}
+
+impl DeepSize for CoverRegistry {
+    fn heap_size(&self) -> usize {
+        self.snapshot().deep_size_of()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::AdKmnConfig;
+    use crate::cover::CoverBuilder;
+    use enviro_data::{Pollutant, RawTuple, Window};
+    use enviro_geo::Point;
+
+    fn built_cover(window_id: u64, base_secs: i64) -> Arc<ModelCover> {
+        let tuples: Vec<RawTuple> = (0..12)
+            .map(|i| {
+                RawTuple::new(
+                    Timestamp::from_secs(base_secs + i * 60),
+                    Point::new(i as f64 * 40.0, -(i as f64) * 15.0),
+                    420.0 + i as f64,
+                )
+            })
+            .collect();
+        let window = Window {
+            id: window_id,
+            tuples: &tuples,
+            valid_until: Timestamp::from_secs((window_id as i64 + 1) * 3_600),
+        };
+        Arc::new(CoverBuilder::new(AdKmnConfig::default()).build(&window, Pollutant::Co2))
+    }
+
+    fn entry(window_id: u64, first_secs: i64) -> PublishedCover {
+        PublishedCover {
+            window_id,
+            first_time: Timestamp::from_secs(first_secs),
+            cover: built_cover(window_id, first_secs),
+        }
+    }
+
+    #[test]
+    fn empty_registry_answers_nothing_at_generation_zero() {
+        let reg = CoverRegistry::new();
+        assert_eq!(reg.generation(), 0);
+        assert!(reg.snapshot().cover_for_time(Timestamp::ZERO).is_none());
+        assert_eq!(reg.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn publish_bumps_generation_and_replaces_windows() {
+        let reg = CoverRegistry::new();
+        assert_eq!(reg.publish(vec![entry(0, 10), entry(1, 3_700)]), 1);
+        assert_eq!(reg.generation(), 1);
+        let before = reg.snapshot();
+        assert_eq!(before.len(), 2);
+        // Re-publishing window 1 replaces it without touching window 0.
+        let replacement = entry(1, 3_650);
+        assert_eq!(reg.publish(vec![replacement]), 2);
+        let after = reg.snapshot();
+        assert_eq!(after.len(), 2);
+        assert_eq!(
+            after.cover_for_window(1).map(|e| e.first_time.as_secs()),
+            Some(3_650)
+        );
+        // The old snapshot is untouched — in-flight readers are safe.
+        assert_eq!(
+            before.cover_for_window(1).map(|e| e.first_time.as_secs()),
+            Some(3_700)
+        );
+        assert_eq!(reg.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn time_routing_uses_first_tuple_time() {
+        let reg = CoverRegistry::new();
+        // Window 1's first tuple lands 100 s into its epoch span.
+        reg.publish(vec![entry(0, 10), entry(1, 3_700)]);
+        let snap = reg.snapshot();
+        let at = |secs| {
+            snap.cover_for_time(Timestamp::from_secs(secs))
+                .map(|e| e.window_id)
+        };
+        // Before any data: the oldest window answers (batch-engine rule).
+        assert_eq!(at(0), Some(0));
+        assert_eq!(at(10), Some(0));
+        // Inside window 1's epoch but before its first tuple: still window 0.
+        assert_eq!(at(3_650), Some(0));
+        assert_eq!(at(3_700), Some(1));
+        assert_eq!(at(1_000_000), Some(1));
+    }
+
+    #[test]
+    fn invariants_catch_mislabelled_covers() {
+        let reg = CoverRegistry::new();
+        reg.publish(vec![PublishedCover {
+            window_id: 5,
+            first_time: Timestamp::from_secs(0),
+            cover: built_cover(4, 0),
+        }]);
+        assert!(reg.check_invariants().is_err());
+    }
+
+    #[test]
+    fn deep_size_counts_published_covers() {
+        let reg = CoverRegistry::new();
+        let empty = reg.deep_size_of();
+        reg.publish(vec![entry(0, 10)]);
+        assert!(reg.deep_size_of() > empty);
+    }
+
+    #[test]
+    fn snapshots_stay_consistent_under_concurrent_publication() {
+        let reg = Arc::new(CoverRegistry::new());
+        let writer = {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for round in 0..50u64 {
+                    reg.publish(vec![entry(round % 4, (round % 4) as i64 * 3_600 + 10)]);
+                }
+            })
+        };
+        for _ in 0..200 {
+            let snap = reg.snapshot();
+            assert_eq!(snap.check_invariants(), Ok(()), "torn snapshot");
+        }
+        writer.join().expect("writer panicked");
+        assert_eq!(reg.generation(), 50);
+    }
+}

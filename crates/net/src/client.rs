@@ -15,7 +15,7 @@ use crate::link::{LinkUsage, SimulatedLink};
 use crate::protocol::{Request, Response, MAX_BATCH};
 use crate::server::EnviroServer;
 use crate::transport::TransportError;
-use enviro_data::{Pollutant, QueryTuple, Timestamp};
+use enviro_data::{Pollutant, QueryTuple, RawTuple, Timestamp};
 use enviro_meter::{ModelCover, QueryOutcome};
 
 /// The outcome of running one continuous query session.
@@ -125,6 +125,9 @@ pub struct ResilienceStats {
     pub stale_answers: u64,
     /// Tuples the client could not answer at all.
     pub unavailable: u64,
+    /// Cached covers dropped because a reply carried a newer cover
+    /// generation — background maintenance republished behind our back.
+    pub invalidated_covers: u64,
 }
 
 /// The baseline technique: one server round-trip per query tuple — "simply
@@ -171,8 +174,11 @@ impl<C: WireCodec> BaselineClient<C> {
                     protocol_errors += 1;
                     None
                 }
-                // Cover/ValueBatch/Busy: protocol misuse; treat as miss.
-                Response::Cover(_) | Response::ValueBatch { .. } | Response::Busy { .. } => None,
+                // Cover/ValueBatch/IngestAck/Busy: protocol misuse; miss.
+                Response::Cover(_)
+                | Response::ValueBatch { .. }
+                | Response::IngestAck { .. }
+                | Response::Busy { .. } => None,
             };
             values.push(value);
         }
@@ -358,6 +364,9 @@ pub struct EnviroClient<C: WireCodec> {
     /// While the injected clock reads below this, the model-cache path
     /// serves stale answers without re-probing an unreachable server.
     degraded_until: u64,
+    /// Highest cover generation seen in any reply (0 until a generation-
+    /// stamping server answers). An increase invalidates the cached cover.
+    last_generation: u64,
 }
 
 impl<C: WireCodec> EnviroClient<C> {
@@ -383,6 +392,7 @@ impl<C: WireCodec> EnviroClient<C> {
             next_seq: 0,
             resilience: ResilienceStats::default(),
             degraded_until: 0,
+            last_generation: 0,
         }
     }
 
@@ -437,6 +447,33 @@ impl<C: WireCodec> EnviroClient<C> {
     /// Counters from the resilient path (zero until it runs).
     pub fn resilience_stats(&self) -> ResilienceStats {
         self.resilience
+    }
+
+    /// The highest cover generation observed in any server reply (0 until
+    /// a generation-stamping server has answered).
+    pub fn last_generation(&self) -> u64 {
+        self.last_generation
+    }
+
+    /// Records the cover generation stamped into a server reply.
+    ///
+    /// The first nonzero generation is the baseline — the client learned
+    /// what epoch the server is in, nothing to invalidate. Any *increase*
+    /// after that means the maintenance worker published fresher covers:
+    /// the cached cover is dropped and the "server has nothing fresher"
+    /// latch and degraded-mode cool-off are cleared, so the next miss
+    /// refreshes instead of serving a cover the server has superseded.
+    fn observe_generation(&mut self, generation: u64) {
+        if generation <= self.last_generation {
+            return; // same epoch, or a duplicated older reply
+        }
+        if self.last_generation != 0 {
+            self.cached = None;
+            self.server_exhausted = false;
+            self.degraded_until = 0;
+            self.resilience.invalidated_covers += 1;
+        }
+        self.last_generation = generation;
     }
 
     /// Per-chunk sequence numbers start at 1 and wrap around 0 — v1 frames
@@ -500,8 +537,10 @@ impl<C: WireCodec> EnviroClient<C> {
         {
             Response::ValueBatch {
                 seq: reply_seq,
+                generation,
                 values,
             } => {
+                self.observe_generation(generation);
                 if reply_seq != seq {
                     return Err(ClientError::BadReply(format!(
                         "reply sequence {reply_seq} does not match request {seq}"
@@ -624,8 +663,10 @@ impl<C: WireCodec> EnviroClient<C> {
         match self.codec.decode_response(reply) {
             Ok(Response::ValueBatch {
                 seq: reply_seq,
+                generation,
                 values,
             }) => {
+                self.observe_generation(generation);
                 if reply_seq == seq && values.len() == expected {
                     AttemptOutcome::Answered(values)
                 } else {
@@ -769,6 +810,113 @@ impl<C: WireCodec> EnviroClient<C> {
         }
     }
 
+    /// Streams `tuples` to the server as `IngestBatch` frames of up to
+    /// `batch` tuples, with the same retry/deadline/backoff discipline as
+    /// [`Self::query_resilient`].
+    ///
+    /// Chunks are stop-and-wait: a chunk is re-sent (same sequence number)
+    /// until a matching [`Response::IngestAck`] arrives or its budget is
+    /// spent, then the next chunk goes out. The server deduplicates by
+    /// `(source, seq)`, so a retransmit whose original *did* land is acked
+    /// without a second append — together this gives exactly-once appends
+    /// for every acked chunk. Never fails: chunks whose budget is spent
+    /// are reported in [`IngestReport::failed_tuples`] and
+    /// [`IngestReport::chunk_acked`], for the caller to replay later.
+    pub fn ingest_resilient(
+        &mut self,
+        wire: &mut dyn Wire,
+        source: u64,
+        tuples: &[RawTuple],
+    ) -> IngestReport {
+        let mut report = IngestReport::default();
+        for chunk in tuples.chunks(self.batch) {
+            let seq = self.take_seq();
+            self.scratch.clear();
+            let request = Request::IngestBatch {
+                source,
+                seq,
+                tuples: chunk.to_vec(),
+            };
+            self.codec.encode_request_into(&request, &mut self.scratch);
+            let deadline = self.clock.now_ms() + self.policy.deadline_ms;
+            let mut attempt: u32 = 0;
+            let mut acked = false;
+            while !acked {
+                if attempt > self.policy.max_retries || self.clock.now_ms() >= deadline {
+                    break;
+                }
+                if attempt > 0 {
+                    self.resilience.retries += 1;
+                }
+                attempt += 1;
+                match self.attempt_ingest(wire, seq) {
+                    IngestAttempt::Acked(durable_upto) => {
+                        report.durable_upto = report.durable_upto.max(durable_upto);
+                        acked = true;
+                    }
+                    IngestAttempt::RetryAfter(ms) => {
+                        let remaining = deadline.saturating_sub(self.clock.now_ms());
+                        self.clock.sleep_ms(ms.min(remaining));
+                    }
+                    IngestAttempt::Backoff => self.backoff_sleep(attempt, deadline),
+                    IngestAttempt::RetryNow => {}
+                }
+            }
+            if acked {
+                report.acked_tuples += chunk.len() as u64;
+            } else {
+                report.failed_tuples += chunk.len() as u64;
+            }
+            report.chunk_acked.push(acked);
+        }
+        report
+    }
+
+    /// One send/receive attempt for the ingest frame in `self.scratch`.
+    fn attempt_ingest(&mut self, wire: &mut dyn Wire, seq: u32) -> IngestAttempt {
+        self.exchanges += 1;
+        let reply = match wire.exchange(&self.scratch) {
+            Ok(r) => r,
+            Err(_) => {
+                self.resilience.timeouts += 1;
+                return IngestAttempt::Backoff;
+            }
+        };
+        match self.codec.decode_response(reply) {
+            Ok(Response::IngestAck {
+                seq: reply_seq,
+                durable_upto,
+            }) => {
+                if reply_seq == seq {
+                    IngestAttempt::Acked(durable_upto)
+                } else {
+                    // A duplicated ack for an earlier chunk: consume it and
+                    // listen again for ours.
+                    self.resilience.stale_replies += 1;
+                    IngestAttempt::RetryNow
+                }
+            }
+            Ok(Response::Busy { retry_after_ms }) => {
+                self.resilience.busy_replies += 1;
+                IngestAttempt::RetryAfter(u64::from(retry_after_ms))
+            }
+            Ok(Response::Error(_)) => {
+                // Request corrupted in flight (server CRC) or a transient
+                // server-side failure: the frame we hold is fine — re-send.
+                self.protocol_errors += 1;
+                IngestAttempt::Backoff
+            }
+            Ok(_) => {
+                self.resilience.stale_replies += 1;
+                IngestAttempt::RetryNow
+            }
+            Err(_) => {
+                self.resilience.corrupt_replies += 1;
+                IngestAttempt::Backoff
+            }
+        }
+    }
+
     /// Fetches the cover responsible for `time`, mirroring
     /// [`ModelCacheClient`]'s refresh-and-stale-serve policy.
     fn refresh_cover(&mut self, wire: &mut dyn Wire, time: Timestamp) -> Result<(), ClientError> {
@@ -798,6 +946,37 @@ impl<C: WireCodec> EnviroClient<C> {
         }
         Ok(())
     }
+}
+
+/// The outcome of one [`EnviroClient::ingest_resilient`] call.
+///
+/// Deterministic for a fixed seed, clock and fault schedule, like
+/// [`ResilienceStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Tuples in chunks the server acknowledged as durable.
+    pub acked_tuples: u64,
+    /// Tuples in chunks whose retry budget was spent without an ack; the
+    /// caller should replay them (the server-side dedup makes that safe).
+    pub failed_tuples: u64,
+    /// Highest durable watermark any ack reported (total tuples the server
+    /// has retained from all sources).
+    pub durable_upto: u64,
+    /// Per-chunk ack flags, in send order — chunk `i` covered tuples
+    /// `[i * batch, (i + 1) * batch)` of the input slice.
+    pub chunk_acked: Vec<bool>,
+}
+
+/// What one resilient ingest attempt produced.
+enum IngestAttempt {
+    /// A matching `IngestAck`: the chunk is durable server-side.
+    Acked(u64),
+    /// The server shed the request; retry after its hint (ms).
+    RetryAfter(u64),
+    /// Transport failure or corruption; retry with exponential backoff.
+    Backoff,
+    /// A stale reply was consumed; re-send immediately, no backoff.
+    RetryNow,
 }
 
 /// What one resilient send/receive attempt produced.
@@ -1289,5 +1468,111 @@ mod tests {
         client.query_batch(&mut wire, &traj, &mut values).unwrap();
         assert_eq!(values, vec![None; 5]);
         assert_eq!(client.protocol_errors(), 0);
+    }
+
+    fn sample_stream(n: i64) -> Vec<RawTuple> {
+        (0..n)
+            .map(|i| {
+                RawTuple::new(
+                    Timestamp::from_secs(600 + i),
+                    enviro_geo::Point::new(i as f64 * 15.0, -100.0),
+                    420.0 + i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_resilient_chunks_and_reports_durability() {
+        let (server, _sim) = setup();
+        let dir = std::env::temp_dir().join(format!("enviro-client-ingest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = std::sync::Arc::new(
+            crate::ingest::IngestState::open(
+                &dir,
+                enviro_storage::WalConfig::default(),
+                crate::ingest::IngestConfig::default(),
+            )
+            .unwrap(),
+        );
+        let server = server.with_ingest(std::sync::Arc::clone(&state));
+        let mut client = EnviroClient::new(BinaryCodec, pollutant_of(&server)).with_batch(8);
+        let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+        let mut wire = LoopbackWire::new(&server, &mut link);
+
+        let tuples = sample_stream(20);
+        let report = client.ingest_resilient(&mut wire, 42, &tuples);
+        assert_eq!(report.acked_tuples, 20);
+        assert_eq!(report.failed_tuples, 0);
+        assert_eq!(report.durable_upto, 20);
+        assert_eq!(report.chunk_acked, vec![true; 3]); // 8 + 8 + 4
+        assert_eq!(state.stats().durable_tuples, 20);
+        assert_eq!(client.resilience_stats(), ResilienceStats::default());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ingest_resilient_survives_a_dead_wire() {
+        let clock = VirtualClock::new();
+        let mut client = EnviroClient::new(BinaryCodec, Pollutant::Co2)
+            .with_batch(4)
+            .with_clock(clock)
+            .with_rng_seed(3);
+        let tuples = sample_stream(8);
+        let report = client.ingest_resilient(&mut DeadWire, 9, &tuples);
+        assert_eq!(report.acked_tuples, 0);
+        assert_eq!(report.failed_tuples, 8);
+        assert_eq!(report.durable_upto, 0);
+        assert_eq!(report.chunk_acked, vec![false, false]);
+        assert!(client.resilience_stats().timeouts > 0);
+    }
+
+    #[test]
+    fn generation_bump_invalidates_cached_cover() {
+        let (server, _sim) = setup();
+        let cover = server
+            .platform()
+            .cover_at(Timestamp::from_secs(600))
+            .unwrap()
+            .clone();
+        let mut client = EnviroClient::new(BinaryCodec, pollutant_of(&server)).with_batch(4);
+        client.cached = Some(cover);
+        client.server_exhausted = true;
+
+        let reply = |seq: u32, generation: u64| {
+            BinaryCodec.encode_response(&Response::ValueBatch {
+                seq,
+                generation,
+                values: vec![None],
+            })
+        };
+        let mut wire = CannedWire {
+            server: &server,
+            canned: [reply(1, 7), reply(2, 7), reply(3, 9)].into(),
+            reply: Vec::new(),
+        };
+        let q = vec![QueryTuple::new(
+            Timestamp::from_secs(600),
+            enviro_geo::Point::new(0.0, -200.0),
+        )];
+        let mut out = Vec::new();
+
+        // The first nonzero generation is the baseline: learning which
+        // epoch the server is in must not drop a perfectly good cover.
+        client.query_batch(&mut wire, &q, &mut out).unwrap();
+        assert_eq!(client.last_generation(), 7);
+        assert!(client.cached_cover().is_some());
+
+        // The same generation again: still nothing to invalidate.
+        client.query_batch(&mut wire, &q, &mut out).unwrap();
+        assert_eq!(client.resilience_stats().invalidated_covers, 0);
+
+        // A bump: background maintenance superseded the cached cover.
+        client.query_batch(&mut wire, &q, &mut out).unwrap();
+        assert_eq!(client.last_generation(), 9);
+        assert!(client.cached_cover().is_none());
+        assert!(!client.server_exhausted);
+        assert_eq!(client.resilience_stats().invalidated_covers, 1);
     }
 }

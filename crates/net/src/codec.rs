@@ -14,10 +14,10 @@
 use crate::buffers;
 use crate::protocol::{
     ErrorCode, ProtocolError, Request, Response, WireCover, WireModel, WireRegion, BATCH_VERSION,
-    BATCH_VERSION_V1, MAX_BATCH,
+    BATCH_VERSION_V1, BATCH_VERSION_V2, MAX_BATCH,
 };
 use bytes::{Buf, BufMut};
-use enviro_data::{QueryTuple, Timestamp};
+use enviro_data::{QueryTuple, RawTuple, Timestamp};
 use enviro_geo::Point;
 use enviro_meter::LinearModel;
 use std::io::Write;
@@ -93,12 +93,14 @@ pub struct BinaryCodec;
 const TAG_QUERY: u8 = 0x01;
 const TAG_MODEL_REQUEST: u8 = 0x02;
 const TAG_QUERY_BATCH: u8 = 0x03;
+const TAG_INGEST: u8 = 0x04;
 const TAG_VALUE: u8 = 0x81;
 const TAG_NO_DATA: u8 = 0x82;
 const TAG_COVER: u8 = 0x83;
 const TAG_ERROR: u8 = 0x84;
 const TAG_VALUE_BATCH: u8 = 0x85;
 const TAG_BUSY: u8 = 0x86;
+const TAG_INGEST_ACK: u8 = 0x87;
 const MODEL_MEAN: u8 = 0x01;
 const MODEL_LINEAR: u8 = 0x02;
 /// Flag byte of a batch value slot.
@@ -184,7 +186,7 @@ fn crc_mismatch(declared: u32, computed: u32) -> CodecError {
     ))
 }
 
-/// Verifies the trailing CRC-32 of a v2 binary batch frame.
+/// Verifies the trailing CRC-32 of a v2/v3 binary batch frame.
 ///
 /// `frame` is the whole message; `rest` is the still-unparsed suffix (past
 /// tag and version). Returns `rest` with the 4-byte trailer stripped so the
@@ -233,6 +235,26 @@ impl WireCodec for BinaryCodec {
                 let crc = crc32(&out[start..]);
                 out.put_u32_le(crc);
             }
+            Request::IngestBatch {
+                source,
+                seq,
+                tuples,
+            } => {
+                let start = out.len();
+                out.put_u8(TAG_INGEST);
+                out.put_u8(BATCH_VERSION);
+                out.put_u64_le(*source);
+                out.put_u32_le(*seq);
+                out.put_u32_le(tuples.len() as u32);
+                for t in tuples {
+                    out.put_i64_le(t.time.as_secs());
+                    out.put_f64_le(t.pos.x);
+                    out.put_f64_le(t.pos.y);
+                    out.put_f64_le(t.value);
+                }
+                let crc = crc32(&out[start..]);
+                out.put_u32_le(crc);
+            }
         }
     }
 
@@ -259,7 +281,7 @@ impl WireCodec for BinaryCodec {
                 let version = take_u8(&mut bytes)?;
                 let seq = match version {
                     BATCH_VERSION_V1 => 0,
-                    BATCH_VERSION => {
+                    BATCH_VERSION_V2 | BATCH_VERSION => {
                         bytes = split_crc_trailer(frame, bytes)?;
                         take_u32(&mut bytes)?
                     }
@@ -283,6 +305,41 @@ impl WireCodec for BinaryCodec {
                 ensure_empty(bytes)?;
                 Ok(Request::QueryBatch { seq, queries })
             }
+            TAG_INGEST => {
+                // New in v3; no older layout to accept.
+                let version = take_u8(&mut bytes)?;
+                if version != BATCH_VERSION {
+                    return Err(bad_batch_version(version));
+                }
+                bytes = split_crc_trailer(frame, bytes)?;
+                let source = take_u64(&mut bytes)?;
+                let seq = take_u32(&mut bytes)?;
+                let n = take_u32(&mut bytes)? as usize;
+                check_batch_count(n)?;
+                // Each raw tuple is exactly 32 bytes; check before
+                // allocating.
+                if bytes.remaining() < n * 32 {
+                    return Err(CodecError::Truncated);
+                }
+                let mut tuples = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let time = Timestamp::from_secs(take_i64(&mut bytes)?);
+                    let x = take_f64(&mut bytes)?;
+                    let y = take_f64(&mut bytes)?;
+                    let s = take_f64(&mut bytes)?;
+                    let t = RawTuple::new(time, Point::new(x, y), s);
+                    if !t.is_finite() {
+                        return Err(CodecError::Malformed("non-finite ingest tuple".into()));
+                    }
+                    tuples.push(t);
+                }
+                ensure_empty(bytes)?;
+                Ok(Request::IngestBatch {
+                    source,
+                    seq,
+                    tuples,
+                })
+            }
             other => Err(CodecError::BadTag(other)),
         }
     }
@@ -294,11 +351,16 @@ impl WireCodec for BinaryCodec {
                 out.put_f64_le(*value);
             }
             Response::NoData => out.put_u8(TAG_NO_DATA),
-            Response::ValueBatch { seq, values } => {
+            Response::ValueBatch {
+                seq,
+                generation,
+                values,
+            } => {
                 let start = out.len();
                 out.put_u8(TAG_VALUE_BATCH);
                 out.put_u8(BATCH_VERSION);
                 out.put_u32_le(*seq);
+                out.put_u64_le(*generation);
                 out.put_u32_le(values.len() as u32);
                 for v in values {
                     match v {
@@ -315,6 +377,15 @@ impl WireCodec for BinaryCodec {
             Response::Busy { retry_after_ms } => {
                 out.put_u8(TAG_BUSY);
                 out.put_u32_le(*retry_after_ms);
+            }
+            Response::IngestAck { seq, durable_upto } => {
+                let start = out.len();
+                out.put_u8(TAG_INGEST_ACK);
+                out.put_u8(BATCH_VERSION);
+                out.put_u32_le(*seq);
+                out.put_u64_le(*durable_upto);
+                let crc = crc32(&out[start..]);
+                out.put_u32_le(crc);
             }
             Response::Cover(cover) => {
                 out.put_u8(TAG_COVER);
@@ -362,11 +433,17 @@ impl WireCodec for BinaryCodec {
             }
             TAG_VALUE_BATCH => {
                 let version = take_u8(&mut bytes)?;
-                let seq = match version {
-                    BATCH_VERSION_V1 => 0,
+                let (seq, generation) = match version {
+                    BATCH_VERSION_V1 => (0, 0),
+                    BATCH_VERSION_V2 => {
+                        bytes = split_crc_trailer(frame, bytes)?;
+                        (take_u32(&mut bytes)?, 0)
+                    }
                     BATCH_VERSION => {
                         bytes = split_crc_trailer(frame, bytes)?;
-                        take_u32(&mut bytes)?
+                        let seq = take_u32(&mut bytes)?;
+                        let generation = take_u64(&mut bytes)?;
+                        (seq, generation)
                     }
                     other => return Err(bad_batch_version(other)),
                 };
@@ -382,12 +459,27 @@ impl WireCodec for BinaryCodec {
                     }
                 }
                 ensure_empty(bytes)?;
-                Ok(Response::ValueBatch { seq, values })
+                Ok(Response::ValueBatch {
+                    seq,
+                    generation,
+                    values,
+                })
             }
             TAG_BUSY => {
                 let retry_after_ms = take_u32(&mut bytes)?;
                 ensure_empty(bytes)?;
                 Ok(Response::Busy { retry_after_ms })
+            }
+            TAG_INGEST_ACK => {
+                let version = take_u8(&mut bytes)?;
+                if version != BATCH_VERSION {
+                    return Err(bad_batch_version(version));
+                }
+                bytes = split_crc_trailer(frame, bytes)?;
+                let seq = take_u32(&mut bytes)?;
+                let durable_upto = take_u64(&mut bytes)?;
+                ensure_empty(bytes)?;
+                Ok(Response::IngestAck { seq, durable_upto })
             }
             TAG_COVER => {
                 let valid_until = Timestamp::from_secs(take_i64(&mut bytes)?);
@@ -467,6 +559,13 @@ fn take_i64(bytes: &mut &[u8]) -> Result<i64, CodecError> {
     Ok(bytes.get_i64_le())
 }
 
+fn take_u64(bytes: &mut &[u8]) -> Result<u64, CodecError> {
+    if bytes.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(bytes.get_u64_le())
+}
+
 fn take_f64(bytes: &mut &[u8]) -> Result<f64, CodecError> {
     if bytes.remaining() < 8 {
         return Err(CodecError::Truncated);
@@ -533,6 +632,30 @@ impl WireCodec for TextCodec {
                 let crc = crc32(&out[start..]);
                 let _ = writeln!(out, "crc={crc:08X}");
             }
+            Request::IngestBatch {
+                source,
+                seq,
+                tuples,
+            } => {
+                let start = out.len();
+                let _ = writeln!(
+                    out,
+                    "REQUEST ingest-batch v={BATCH_VERSION} source={source} seq={seq} n={}",
+                    tuples.len()
+                );
+                for t in tuples {
+                    let _ = writeln!(
+                        out,
+                        "b time={} x={:.6} y={:.6} s={:.9}",
+                        t.time.as_secs(),
+                        t.pos.x,
+                        t.pos.y,
+                        t.value
+                    );
+                }
+                let crc = crc32(&out[start..]);
+                let _ = writeln!(out, "crc={crc:08X}");
+            }
         }
     }
 
@@ -565,7 +688,7 @@ impl WireCodec for TextCodec {
                 }
                 let seq = match version as u8 {
                     BATCH_VERSION_V1 => 0,
-                    BATCH_VERSION => {
+                    BATCH_VERSION_V2 | BATCH_VERSION => {
                         let seq = kv_i64(&mut parts, "seq")?;
                         if !(0..=u32::MAX as i64).contains(&seq) {
                             return Err(CodecError::Malformed("bad batch header".into()));
@@ -579,7 +702,7 @@ impl WireCodec for TextCodec {
                     return Err(CodecError::Malformed("bad batch header".into()));
                 }
                 check_batch_count(n as usize)?;
-                // v2 frames carry a trailing `crc=` line hashing every
+                // v2+ frames carry a trailing `crc=` line hashing every
                 // preceding line (newlines included); v1 frames have none.
                 let mut hasher = Crc32::new();
                 hasher.update(header.as_bytes());
@@ -609,7 +732,7 @@ impl WireCodec for TextCodec {
                     let y = kv_f64(&mut p, "y")?;
                     queries.push(QueryTuple::new(time, Point::new(x, y)));
                 }
-                if version as u8 == BATCH_VERSION {
+                if version as u8 != BATCH_VERSION_V1 {
                     let declared = trailer
                         .ok_or_else(|| CodecError::Malformed("missing crc trailer".into()))?;
                     let computed = hasher.finish();
@@ -627,6 +750,76 @@ impl WireCodec for TextCodec {
                 }
                 Ok(Request::QueryBatch { seq, queries })
             }
+            Some("ingest-batch") => {
+                let version = kv_i64(&mut parts, "v")?;
+                if !(0..=u8::MAX as i64).contains(&version) {
+                    return Err(CodecError::Malformed("bad batch header".into()));
+                }
+                // Ingest frames are a v3 addition: no older layout exists.
+                if version as u8 != BATCH_VERSION {
+                    return Err(bad_batch_version(version as u8));
+                }
+                let source = kv_u64(&mut parts, "source")?;
+                let seq = kv_i64(&mut parts, "seq")?;
+                if !(0..=u32::MAX as i64).contains(&seq) {
+                    return Err(CodecError::Malformed("bad batch header".into()));
+                }
+                let seq = seq as u32;
+                let n = kv_i64(&mut parts, "n")?;
+                if n < 0 {
+                    return Err(CodecError::Malformed("bad batch header".into()));
+                }
+                check_batch_count(n as usize)?;
+                let mut hasher = Crc32::new();
+                hasher.update(header.as_bytes());
+                hasher.update(b"\n");
+                let mut trailer = None;
+                let mut tuples = Vec::with_capacity(n as usize);
+                for line in lines {
+                    if trailer.is_some() {
+                        return Err(CodecError::Malformed("lines after crc trailer".into()));
+                    }
+                    if let Some(hex) = line.strip_prefix("crc=") {
+                        let declared = u32::from_str_radix(hex, 16)
+                            .map_err(|_| CodecError::Malformed(format!("bad crc {hex:?}")))?;
+                        trailer = Some(declared);
+                        continue;
+                    }
+                    if tuples.len() == n as usize {
+                        return Err(CodecError::Malformed("extra batch lines".into()));
+                    }
+                    hasher.update(line.as_bytes());
+                    hasher.update(b"\n");
+                    let mut p = line.split_whitespace();
+                    expect_token(&mut p, "b")?;
+                    let time = Timestamp::from_secs(kv_i64(&mut p, "time")?);
+                    let x = kv_f64(&mut p, "x")?;
+                    let y = kv_f64(&mut p, "y")?;
+                    let s = kv_f64(&mut p, "s")?;
+                    let tuple = RawTuple::new(time, Point::new(x, y), s);
+                    if !tuple.is_finite() {
+                        return Err(CodecError::Malformed("non-finite ingest tuple".into()));
+                    }
+                    tuples.push(tuple);
+                }
+                let declared =
+                    trailer.ok_or_else(|| CodecError::Malformed("missing crc trailer".into()))?;
+                let computed = hasher.finish();
+                if declared != computed {
+                    return Err(crc_mismatch(declared, computed));
+                }
+                if tuples.len() != n as usize {
+                    return Err(CodecError::Malformed(format!(
+                        "declared {n} tuples, got {}",
+                        tuples.len()
+                    )));
+                }
+                Ok(Request::IngestBatch {
+                    source,
+                    seq,
+                    tuples,
+                })
+            }
             other => Err(CodecError::Malformed(format!("bad verb {other:?}"))),
         }
     }
@@ -639,11 +832,15 @@ impl WireCodec for TextCodec {
             Response::NoData => {
                 let _ = writeln!(out, "RESPONSE no-data");
             }
-            Response::ValueBatch { seq, values } => {
+            Response::ValueBatch {
+                seq,
+                generation,
+                values,
+            } => {
                 let start = out.len();
                 let _ = writeln!(
                     out,
-                    "RESPONSE value-batch v={BATCH_VERSION} seq={seq} n={}",
+                    "RESPONSE value-batch v={BATCH_VERSION} seq={seq} gen={generation} n={}",
                     values.len()
                 );
                 for v in values {
@@ -661,6 +858,15 @@ impl WireCodec for TextCodec {
             }
             Response::Busy { retry_after_ms } => {
                 let _ = writeln!(out, "RESPONSE busy retry-after-ms={retry_after_ms}");
+            }
+            Response::IngestAck { seq, durable_upto } => {
+                let start = out.len();
+                let _ = writeln!(
+                    out,
+                    "RESPONSE ingest-ack v={BATCH_VERSION} seq={seq} durable={durable_upto}"
+                );
+                let crc = crc32(&out[start..]);
+                let _ = writeln!(out, "crc={crc:08X}");
             }
             Response::Cover(cover) => {
                 let _ = writeln!(
@@ -723,14 +929,19 @@ impl WireCodec for TextCodec {
                 if !(0..=u8::MAX as i64).contains(&version) {
                     return Err(CodecError::Malformed("bad batch header".into()));
                 }
-                let seq = match version as u8 {
-                    BATCH_VERSION_V1 => 0,
-                    BATCH_VERSION => {
+                let (seq, generation) = match version as u8 {
+                    BATCH_VERSION_V1 => (0, 0),
+                    v @ (BATCH_VERSION_V2 | BATCH_VERSION) => {
                         let seq = kv_i64(&mut parts, "seq")?;
                         if !(0..=u32::MAX as i64).contains(&seq) {
                             return Err(CodecError::Malformed("bad batch header".into()));
                         }
-                        seq as u32
+                        let generation = if v == BATCH_VERSION {
+                            kv_u64(&mut parts, "gen")?
+                        } else {
+                            0
+                        };
+                        (seq as u32, generation)
                     }
                     other => return Err(bad_batch_version(other)),
                 };
@@ -772,7 +983,7 @@ impl WireCodec for TextCodec {
                         values.push(Some(value));
                     }
                 }
-                if version as u8 == BATCH_VERSION {
+                if version as u8 != BATCH_VERSION_V1 {
                     let declared = trailer
                         .ok_or_else(|| CodecError::Malformed("missing crc trailer".into()))?;
                     let computed = hasher.finish();
@@ -788,7 +999,11 @@ impl WireCodec for TextCodec {
                         values.len()
                     )));
                 }
-                Ok(Response::ValueBatch { seq, values })
+                Ok(Response::ValueBatch {
+                    seq,
+                    generation,
+                    values,
+                })
             }
             Some("busy") => {
                 let retry_after_ms = kv_i64(&mut parts, "retry-after-ms")?;
@@ -797,6 +1012,40 @@ impl WireCodec for TextCodec {
                 }
                 Ok(Response::Busy {
                     retry_after_ms: retry_after_ms as u32,
+                })
+            }
+            Some("ingest-ack") => {
+                let version = kv_i64(&mut parts, "v")?;
+                if !(0..=u8::MAX as i64).contains(&version) {
+                    return Err(CodecError::Malformed("bad batch header".into()));
+                }
+                if version as u8 != BATCH_VERSION {
+                    return Err(bad_batch_version(version as u8));
+                }
+                let seq = kv_i64(&mut parts, "seq")?;
+                if !(0..=u32::MAX as i64).contains(&seq) {
+                    return Err(CodecError::Malformed("bad batch header".into()));
+                }
+                let durable_upto = kv_u64(&mut parts, "durable")?;
+                let mut hasher = Crc32::new();
+                hasher.update(header.as_bytes());
+                hasher.update(b"\n");
+                let trailer = lines
+                    .next()
+                    .and_then(|line| line.strip_prefix("crc="))
+                    .ok_or_else(|| CodecError::Malformed("missing crc trailer".into()))?;
+                let declared = u32::from_str_radix(trailer, 16)
+                    .map_err(|_| CodecError::Malformed(format!("bad crc {trailer:?}")))?;
+                let computed = hasher.finish();
+                if declared != computed {
+                    return Err(crc_mismatch(declared, computed));
+                }
+                if lines.next().is_some() {
+                    return Err(CodecError::Malformed("lines after crc trailer".into()));
+                }
+                Ok(Response::IngestAck {
+                    seq: seq as u32,
+                    durable_upto,
                 })
             }
             Some("cover") => {
@@ -936,6 +1185,12 @@ fn kv_f64<'a>(parts: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<f6
 }
 
 fn kv_i64<'a>(parts: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<i64, CodecError> {
+    kv_str(parts, key)?
+        .parse()
+        .map_err(|_| CodecError::Malformed(format!("bad int for {key}")))
+}
+
+fn kv_u64<'a>(parts: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<u64, CodecError> {
     kv_str(parts, key)?
         .parse()
         .map_err(|_| CodecError::Malformed(format!("bad int for {key}")))
@@ -1144,6 +1399,7 @@ mod tests {
     fn batch_roundtrip_all_codecs() {
         let values = Response::ValueBatch {
             seq: 9,
+            generation: 41,
             values: vec![Some(421.125), None, Some(-3.5), Some(0.0), None],
         };
         for codec in codecs() {
@@ -1178,34 +1434,36 @@ mod tests {
 
     #[test]
     fn binary_batch_size_formula() {
-        // v2 layout: tag(1) + version(1) + seq(4) + count(4) + 24 per tuple
-        // + crc(4): at batch 16 the request costs 14/16 + 24 ≈ 24.9
-        // bytes/query vs 25 single-query.
+        // Request layout (unchanged since v2): tag(1) + version(1) + seq(4)
+        // + count(4) + 24 per tuple + crc(4).
         let bytes = BinaryCodec.encode_request(&sample_batch(16));
         assert_eq!(bytes.len(), 14 + 16 * 24);
-        // Reply: tag(1) + version(1) + seq(4) + count(4) + flag(1)
-        // [+ value(8)] + crc(4).
+        // Reply (v3): tag(1) + version(1) + seq(4) + generation(8) +
+        // count(4) + flag(1) [+ value(8)] + crc(4).
         let resp = Response::ValueBatch {
             seq: 1,
+            generation: 0,
             values: vec![Some(1.0), None, Some(2.0)],
         };
-        assert_eq!(BinaryCodec.encode_response(&resp).len(), 14 + 3 + 2 * 8);
+        assert_eq!(BinaryCodec.encode_response(&resp).len(), 22 + 3 + 2 * 8);
     }
 
     #[test]
     fn batched_frames_cost_fewer_wire_bytes_per_query() {
         // The acceptance criterion of the batching tentpole, at codec level.
-        // v2's 8 extra bytes per direction (seq + crc) push the break-even
-        // past batch 16, so the sweep starts at 32.
+        // v3's fixed overhead (seq + generation + crc, 36 + 33n total vs 34n
+        // single-query) puts the break-even just past batch 36, so the sweep
+        // starts at 64.
         let single_req = BinaryCodec.encode_request(&Request::Query {
             time: Timestamp::ZERO,
             pos: Point::origin(),
         });
         let single_resp = BinaryCodec.encode_response(&Response::Value { value: 1.0 });
-        for n in [32, 64, 256] {
+        for n in [64, 256, 1024] {
             let req = BinaryCodec.encode_request(&sample_batch(n));
             let resp = BinaryCodec.encode_response(&Response::ValueBatch {
                 seq: 7,
+                generation: 1,
                 values: vec![Some(1.0); n],
             });
             assert!(
@@ -1222,12 +1480,12 @@ mod tests {
     fn batch_rejects_wrong_version() {
         for codec in codecs() {
             let mut bytes = codec.encode_request(&sample_batch(2));
-            // Corrupt the version byte (binary: offset 1; text: "v=2").
+            // Corrupt the version byte (binary: offset 1; text: "v=3").
             match codec.name() {
                 "binary" => bytes[1] = BATCH_VERSION + 1,
                 _ => {
                     let s = String::from_utf8(bytes).unwrap();
-                    bytes = s.replace("v=2", "v=9").into_bytes();
+                    bytes = s.replace("v=3", "v=9").into_bytes();
                 }
             }
             match codec.decode_request(&bytes) {
@@ -1305,9 +1563,89 @@ mod tests {
         // Text v1 value batch.
         let text = "RESPONSE value-batch v=1 n=2\nv s=1.500000000\nv s=miss\n";
         match TextCodec.decode_response(text.as_bytes()).unwrap() {
-            Response::ValueBatch { seq, values } => {
+            Response::ValueBatch {
+                seq,
+                generation,
+                values,
+            } => {
                 assert_eq!(seq, 0);
+                assert_eq!(generation, 0);
                 assert_eq!(*values, [Some(1.5), None]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_frames_still_decode_with_generation_zero() {
+        // A v2 peer sends seq + crc but no generation; both codecs must
+        // keep accepting those frames after the v3 bump.
+        let Request::QueryBatch { queries, .. } = sample_batch(2) else {
+            unreachable!()
+        };
+        let mut bytes = Vec::new();
+        bytes.put_u8(0x03);
+        bytes.put_u8(BATCH_VERSION_V2);
+        bytes.put_u32_le(7);
+        bytes.put_u32_le(2);
+        for q in &queries {
+            bytes.put_i64_le(q.time.as_secs());
+            bytes.put_f64_le(q.pos.x);
+            bytes.put_f64_le(q.pos.y);
+        }
+        let crc = crc32(&bytes);
+        bytes.put_u32_le(crc);
+        match BinaryCodec.decode_request(&bytes).unwrap() {
+            Request::QueryBatch { seq, queries: q } => {
+                assert_eq!(seq, 7);
+                assert_eq!(*q, queries[..]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Binary v2 value batch: seq but no generation before the count.
+        let mut resp = Vec::new();
+        resp.put_u8(0x85);
+        resp.put_u8(BATCH_VERSION_V2);
+        resp.put_u32_le(9);
+        resp.put_u32_le(1);
+        resp.put_u8(0x01);
+        resp.put_f64_le(1.5);
+        let crc = crc32(&resp);
+        resp.put_u32_le(crc);
+        match BinaryCodec.decode_response(&resp).unwrap() {
+            Response::ValueBatch {
+                seq,
+                generation,
+                values,
+            } => {
+                assert_eq!((seq, generation), (9, 0));
+                assert_eq!(*values, [Some(1.5)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Text v2: header carries seq but no gen, trailer still required.
+        let body = "RESPONSE value-batch v=2 seq=9 n=1\nv s=1.500000000\n";
+        let crc = crc32(body.as_bytes());
+        let text = format!("{body}crc={crc:08X}\n");
+        match TextCodec.decode_response(text.as_bytes()).unwrap() {
+            Response::ValueBatch {
+                seq,
+                generation,
+                values,
+            } => {
+                assert_eq!((seq, generation), (9, 0));
+                assert_eq!(*values, [Some(1.5)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Text v2 query batch.
+        let body = "REQUEST query-batch v=2 seq=7 n=1\nq time=60 x=1.500000 y=-0.250000\n";
+        let crc = crc32(body.as_bytes());
+        let text = format!("{body}crc={crc:08X}\n");
+        match TextCodec.decode_request(text.as_bytes()).unwrap() {
+            Request::QueryBatch { seq, queries: q } => {
+                assert_eq!(seq, 7);
+                assert_eq!(q.len(), 1);
             }
             other => panic!("{other:?}"),
         }
@@ -1396,6 +1734,170 @@ mod tests {
             BinaryCodec.decode_response(&bytes),
             Err(CodecError::BadTag(0x7F))
         );
+    }
+
+    fn sample_ingest(n: usize) -> Request {
+        Request::IngestBatch {
+            source: 0xDEAD_BEEF_0042,
+            seq: 11,
+            tuples: (0..n)
+                .map(|i| {
+                    RawTuple::new(
+                        Timestamp::from_secs(i as i64 * 30),
+                        Point::new(i as f64 * 2.5, -(i as f64) * 0.125),
+                        400.0 + i as f64,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ingest_roundtrip_all_codecs() {
+        let ack = Response::IngestAck {
+            seq: 11,
+            durable_upto: 123_456,
+        };
+        for codec in codecs() {
+            for n in [0, 1, 5, 64] {
+                let req = sample_ingest(n);
+                let back = codec.decode_request(&codec.encode_request(&req)).unwrap();
+                assert_eq!(back, req, "{} n={n}", codec.name());
+            }
+            let bytes = codec.encode_response(&ack);
+            assert_eq!(
+                codec.decode_response(&bytes).unwrap(),
+                ack,
+                "{}",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn binary_ingest_size_formula() {
+        // tag(1) + version(1) + source(8) + seq(4) + count(4) + 32 per
+        // tuple + crc(4).
+        let bytes = BinaryCodec.encode_request(&sample_ingest(16));
+        assert_eq!(bytes.len(), 22 + 16 * 32);
+        // Ack: tag(1) + version(1) + seq(4) + durable(8) + crc(4).
+        let ack = Response::IngestAck {
+            seq: 1,
+            durable_upto: 2,
+        };
+        assert_eq!(BinaryCodec.encode_response(&ack).len(), 18);
+    }
+
+    #[test]
+    fn ingest_rejects_any_single_bit_flip() {
+        // Same CRC guarantee the query frames carry: flipping any payload
+        // byte of an ingest frame must be a decode error, never a
+        // mis-decoded batch. (Offset 0 is the tag — a flip there is a
+        // BadTag or a different frame, so start at the version byte.)
+        let good = BinaryCodec.encode_request(&sample_ingest(2));
+        for idx in 1..good.len() {
+            let mut bad = good.clone();
+            bad[idx] ^= 0x40;
+            assert!(
+                BinaryCodec.decode_request(&bad).is_err(),
+                "flip at {idx} slipped through"
+            );
+        }
+        let ack = Response::IngestAck {
+            seq: 3,
+            durable_upto: 99,
+        };
+        let good = BinaryCodec.encode_response(&ack);
+        for idx in 1..good.len() {
+            let mut bad = good.clone();
+            bad[idx] ^= 0x40;
+            assert!(
+                BinaryCodec.decode_response(&bad).is_err(),
+                "ack flip at {idx} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_rejects_truncation_and_oversize() {
+        let bytes = BinaryCodec.encode_request(&sample_ingest(3));
+        for cut in [1, 7, 21, bytes.len() - 1] {
+            assert!(
+                BinaryCodec.decode_request(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut padded = bytes;
+        padded.push(0xEE);
+        assert!(BinaryCodec.decode_request(&padded).is_err());
+        // Hostile count with a valid CRC: rejected at the cap, before any
+        // allocation.
+        let mut frame = Vec::new();
+        frame.put_u8(TAG_INGEST);
+        frame.put_u8(BATCH_VERSION);
+        frame.put_u64_le(1);
+        frame.put_u32_le(0);
+        frame.put_u32_le(u32::MAX);
+        let crc = crc32(&frame);
+        frame.put_u32_le(crc);
+        match BinaryCodec.decode_request(&frame) {
+            Err(CodecError::Malformed(m)) => assert!(m.contains("cap"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        // Text: count/line mismatch is caught even with a valid trailer.
+        let body = "REQUEST ingest-batch v=3 source=1 seq=0 n=2\nb time=0 x=0.000000 y=0.000000 s=1.000000000\n";
+        let crc = crc32(body.as_bytes());
+        let text = format!("{body}crc={crc:08X}\n");
+        assert!(TextCodec.decode_request(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn ingest_rejects_non_finite_tuples() {
+        // The durable write path must never ack a tuple it cannot store;
+        // the codec is the first line of defence.
+        for payload in ["nan", "inf", "-inf"] {
+            let body = format!(
+                "REQUEST ingest-batch v=3 source=1 seq=0 n=1\nb time=0 x=0.000000 y=0.000000 s={payload}\n"
+            );
+            let crc = crc32(body.as_bytes());
+            let text = format!("{body}crc={crc:08X}\n");
+            match TextCodec.decode_request(text.as_bytes()) {
+                Err(CodecError::Malformed(m)) => assert!(m.contains("non-finite"), "{m}"),
+                other => panic!("{payload}: {other:?}"),
+            }
+        }
+        // Binary: patch a stored value to NaN and re-seal the CRC so only
+        // the finiteness check can reject it.
+        let mut bytes = BinaryCodec.encode_request(&sample_ingest(1));
+        let value_at = 18; // tag+ver+source+seq+count, then time(8)+x(8)+y(8)
+        bytes.truncate(bytes.len() - 4); // drop the old crc
+        bytes[value_at + 24..value_at + 32].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let crc = crc32(&bytes);
+        bytes.put_u32_le(crc);
+        match BinaryCodec.decode_request(&bytes) {
+            Err(CodecError::Malformed(m)) => assert!(m.contains("non-finite"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_frames_are_v3_only() {
+        for codec in codecs() {
+            let mut bytes = codec.encode_request(&sample_ingest(1));
+            match codec.name() {
+                "binary" => bytes[1] = BATCH_VERSION_V2,
+                _ => {
+                    let s = String::from_utf8(bytes).unwrap();
+                    bytes = s.replace("v=3", "v=2").into_bytes();
+                }
+            }
+            match codec.decode_request(&bytes) {
+                Err(CodecError::Malformed(m)) => {
+                    assert!(m.contains("version"), "{}: {m}", codec.name())
+                }
+                other => panic!("{}: {other:?}", codec.name()),
+            }
+        }
     }
 
     #[test]

@@ -69,29 +69,35 @@ impl Default for TransportConfig {
     }
 }
 
-/// The pause gate workers park at between envelopes.
+/// The pause gate workers park at between envelopes (also used by the
+/// ingest maintenance worker, so tests can pin deterministic publication
+/// points).
 #[derive(Debug, Default)]
-struct Gate {
+pub(crate) struct Gate {
     paused: Mutex<bool>,
     resumed: Condvar,
 }
 
 impl Gate {
-    fn new(paused: bool) -> Self {
+    pub(crate) fn new(paused: bool) -> Self {
         Self {
             paused: Mutex::new(paused),
             resumed: Condvar::new(),
         }
     }
 
-    fn resume(&self) {
+    pub(crate) fn pause(&self) {
+        *self.paused.lock().unwrap_or_else(PoisonError::into_inner) = true;
+    }
+
+    pub(crate) fn resume(&self) {
         // A poisoned lock only means a worker panicked mid-serve; the gate
         // state itself (a bool) cannot be torn, so continue with it.
         *self.paused.lock().unwrap_or_else(PoisonError::into_inner) = false;
         self.resumed.notify_all();
     }
 
-    fn wait_until_resumed(&self) {
+    pub(crate) fn wait_until_resumed(&self) {
         let mut paused = self.paused.lock().unwrap_or_else(PoisonError::into_inner);
         while *paused {
             paused = self

@@ -1,0 +1,625 @@
+//! The durable write path: WAL-backed ingestion with online model
+//! maintenance.
+//!
+//! [`IngestState`] is what an ingesting [`crate::EnviroServer`] holds. The
+//! hot path is deliberately small: an `IngestBatch` locks the state, runs
+//! the per-source idempotency check, appends to the
+//! [`enviro_storage::WalStore`] (which fsyncs before returning), marks the
+//! affected windows dirty, and acks. Everything expensive — Ad-KMN
+//! rebuilds, window sealing, WAL compaction — happens on the
+//! [`ModelMaintenance`] worker thread, which drains the dirty set, builds
+//! fresh covers **without holding any lock**, and publishes them through an
+//! [`enviro_meter::CoverRegistry`] `Arc` swap. Queries only ever read a
+//! registry snapshot, so an in-flight rebuild can never block them.
+//!
+//! Exactly-once acks under retransmission: the client resends a chunk until
+//! it sees a matching ack, and each source tags chunks with a sequence
+//! number. The state remembers each source's last applied `(seq,
+//! durable_upto)` and re-acks a retransmitted chunk idempotently instead of
+//! appending it twice. (A client is stop-and-wait per chunk, so one
+//! remembered sequence number per source suffices.)
+
+use crate::concurrent::Gate;
+use enviro_data::{Pollutant, QueryTuple, RawTuple, Timestamp, Window};
+use enviro_memsize::DeepSize;
+use enviro_meter::{
+    AdKmnConfig, CoverBuilder, CoverProcessor, CoverRegistry, ModelCover, PointQueryProcessor,
+    PublishedCover,
+};
+use enviro_storage::{StorageError, WalConfig, WalStore};
+use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Model-maintenance knobs for an ingesting server.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// The pollutant the ingested values measure.
+    pub pollutant: Pollutant,
+    /// Ad-KMN configuration for the background cover rebuilds.
+    pub adkmn: AdKmnConfig,
+    /// Windows within `seal_lag` of the newest stay open (late tuples are
+    /// still accepted); older ones are sealed to segment files — and their
+    /// WAL space reclaimed — on the next maintenance pass.
+    pub seal_lag: u64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            pollutant: Pollutant::Co2,
+            adkmn: AdKmnConfig::default(),
+            seal_lag: 1,
+        }
+    }
+}
+
+/// Counters describing the write path. Snapshot via
+/// [`IngestState::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Batches appended and acked (excluding duplicates).
+    pub acked_batches: u64,
+    /// Retransmitted batches re-acked without a second append.
+    pub duplicate_batches: u64,
+    /// Tuples acked as durable (the WAL watermark).
+    pub durable_tuples: u64,
+    /// Tuples acked but dropped because their window was already sealed.
+    pub late_tuples: u64,
+    /// Maintenance passes that published at least one cover.
+    pub rebuilds: u64,
+    /// Covers published across all passes (one per dirty window).
+    pub published_windows: u64,
+    /// Windows sealed to segment files.
+    pub sealed_windows: u64,
+    /// Maintenance passes that failed (storage errors while sealing). The
+    /// worker keeps running; the windows stay dirty and are retried.
+    pub maintenance_errors: u64,
+}
+
+/// What one [`IngestState::ingest`] call produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// The durability watermark to ack with.
+    pub durable_upto: u64,
+    /// `true` when the batch was a retransmission and nothing was appended.
+    pub duplicate: bool,
+}
+
+/// Everything guarded by the ingest lock (the ack path's only lock).
+#[derive(Debug)]
+struct Inner {
+    wal: WalStore,
+    /// Per-source `(last_seq, durable_upto_at_ack)` for idempotent re-acks.
+    dedup: HashMap<u64, (u32, u64)>,
+    /// Windows with data not yet reflected in the published covers.
+    dirty: BTreeSet<u64>,
+    stats: IngestStats,
+}
+
+/// Shared state of an ingesting server: WAL + dedup on the hot path, cover
+/// registry on the query path, a dirty set in between.
+#[derive(Debug)]
+pub struct IngestState {
+    inner: Mutex<Inner>,
+    /// Signalled when the dirty set grows or shutdown is requested.
+    work: Condvar,
+    shutdown: AtomicBool,
+    /// Test hook: while paused, the worker parks *before* each rebuild
+    /// pass, letting a test pin "queries are served mid-rebuild" without
+    /// racing the worker.
+    rebuild_gate: Gate,
+    registry: CoverRegistry,
+    config: IngestConfig,
+    builder: CoverBuilder,
+}
+
+impl IngestState {
+    /// Opens (or recovers) the durable state under `dir`.
+    ///
+    /// Recovery marks every retained window dirty, so the first maintenance
+    /// pass republishes covers for everything the WAL preserved.
+    pub fn open(
+        dir: &Path,
+        wal_config: WalConfig,
+        config: IngestConfig,
+    ) -> Result<Self, StorageError> {
+        let wal = WalStore::open(dir, wal_config)?;
+        let mut dirty: BTreeSet<u64> = wal.memtables().map(|(id, _)| id).collect();
+        dirty.extend(wal.sealed_window_ids());
+        let wal_stats = wal.stats();
+        let stats = IngestStats {
+            durable_tuples: wal_stats.durable_tuples,
+            ..IngestStats::default()
+        };
+        let builder = CoverBuilder::new(config.adkmn.clone());
+        Ok(Self {
+            inner: Mutex::new(Inner {
+                wal,
+                dedup: HashMap::new(),
+                dirty,
+                stats,
+            }),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            rebuild_gate: Gate::new(false),
+            registry: CoverRegistry::new(),
+            config,
+            builder,
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A poisoned lock means some thread panicked mid-operation; the
+        // WAL on disk is still consistent (every mutation syncs before
+        // acking), so serving beats tearing the whole server down.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The maintenance configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// The published-cover registry queries read from.
+    pub fn registry(&self) -> &CoverRegistry {
+        &self.registry
+    }
+
+    /// The current cover generation (0 until the first publication).
+    pub fn generation(&self) -> u64 {
+        self.registry.generation()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> IngestStats {
+        let inner = self.lock();
+        let wal_stats = inner.wal.stats();
+        IngestStats {
+            durable_tuples: wal_stats.durable_tuples,
+            late_tuples: wal_stats.late_tuples,
+            ..inner.stats
+        }
+    }
+
+    /// The ack path: dedup, durable append, dirty marking.
+    ///
+    /// Returns only after the WAL has fsynced the batch (or recognized a
+    /// retransmission), so acking the returned watermark never promises
+    /// more than the disk holds.
+    pub fn ingest(
+        &self,
+        source: u64,
+        seq: u32,
+        tuples: &[RawTuple],
+    ) -> Result<IngestOutcome, StorageError> {
+        let mut inner = self.lock();
+        if let Some(&(last_seq, durable)) = inner.dedup.get(&source) {
+            if last_seq == seq {
+                inner.stats.duplicate_batches += 1;
+                return Ok(IngestOutcome {
+                    durable_upto: durable,
+                    duplicate: true,
+                });
+            }
+        }
+        let durable_upto = inner.wal.append_batch(tuples)?;
+        for t in tuples {
+            let id = inner.wal.window_id_of(t.time);
+            if !inner.wal.is_sealed(id) {
+                inner.dirty.insert(id);
+            }
+        }
+        inner.dedup.insert(source, (seq, durable_upto));
+        inner.stats.acked_batches += 1;
+        drop(inner);
+        self.work.notify_all();
+        Ok(IngestOutcome {
+            durable_upto,
+            duplicate: false,
+        })
+    }
+
+    /// One synchronous maintenance pass: drain the dirty set, rebuild those
+    /// windows' covers off-lock, publish them, then seal windows older than
+    /// the [`IngestConfig::seal_lag`] horizon. Returns the number of covers
+    /// published.
+    ///
+    /// This is what the [`ModelMaintenance`] worker runs; tests call it
+    /// directly for deterministic publication points.
+    pub fn rebuild_dirty_now(&self) -> Result<usize, StorageError> {
+        // Snapshot the dirty windows' tuples under the lock…
+        let (snapshots, window_secs): (Vec<(u64, Vec<RawTuple>)>, i64) = {
+            let mut inner = self.lock();
+            let dirty = std::mem::take(&mut inner.dirty);
+            let window_secs = inner.wal.config().window_secs;
+            let snapshots = dirty
+                .into_iter()
+                .filter_map(|id| {
+                    inner
+                        .wal
+                        .window_tuples(id)
+                        .map(|tuples| (id, tuples.to_vec()))
+                })
+                .collect();
+            (snapshots, window_secs)
+        };
+        // …then run Ad-KMN with no lock held: ingest acks and (lock-free)
+        // queries proceed while models rebuild.
+        let published = snapshots.len();
+        let covers: Vec<PublishedCover> = snapshots
+            .into_iter()
+            .map(|(id, tuples)| self.build_cover(id, window_secs, &tuples))
+            .collect();
+        if !covers.is_empty() {
+            self.registry.publish(covers);
+            let mut inner = self.lock();
+            inner.stats.rebuilds += 1;
+            inner.stats.published_windows += published as u64;
+        }
+        // Seal + compact last: expensive I/O that shares the ingest lock,
+        // but never the query path.
+        let sealed = {
+            let mut inner = self.lock();
+            let watermark = inner
+                .wal
+                .max_window_id()
+                .map(|max| max.saturating_sub(self.config.seal_lag));
+            match watermark {
+                Some(w) => match inner.wal.seal_windows_before(w) {
+                    Ok(ids) => ids.len() as u64,
+                    Err(e) => {
+                        inner.stats.maintenance_errors += 1;
+                        return Err(e);
+                    }
+                },
+                None => 0,
+            }
+        };
+        if sealed > 0 {
+            let mut inner = self.lock();
+            inner.stats.sealed_windows += sealed;
+        }
+        Ok(published)
+    }
+
+    /// Builds one window's cover exactly the way the batch engine would:
+    /// cold Ad-KMN over the window's tuples, epoch-aligned validity, the
+    /// window's earliest tuple time as the routing key.
+    fn build_cover(&self, id: u64, window_secs: i64, tuples: &[RawTuple]) -> PublishedCover {
+        let window = Window {
+            id,
+            tuples,
+            valid_until: Timestamp::from_secs((id as i64 + 1) * window_secs),
+        };
+        let cover: ModelCover = self.builder.build(&window, self.config.pollutant);
+        let first_time = tuples
+            .iter()
+            .map(|t| t.time)
+            .min()
+            .unwrap_or(Timestamp::ZERO);
+        PublishedCover {
+            window_id: id,
+            first_time,
+            cover: Arc::new(cover),
+        }
+    }
+
+    /// Answers one query from the published covers, or `None` when nothing
+    /// has been published yet (the server then falls back to its batch
+    /// platform).
+    pub fn query(&self, q: &QueryTuple) -> Option<Option<f64>> {
+        let snapshot = self.registry.snapshot();
+        let entry = snapshot.cover_for_time(q.time)?;
+        Some(CoverProcessor::new(&entry.cover).interpolate(q))
+    }
+
+    /// The published cover responsible for `t`, if any.
+    pub fn cover_at(&self, t: Timestamp) -> Option<Arc<ModelCover>> {
+        let snapshot = self.registry.snapshot();
+        snapshot.cover_for_time(t).map(|e| Arc::clone(&e.cover))
+    }
+
+    /// `true` once any cover has been published (queries are then served
+    /// from the registry).
+    pub fn can_answer_queries(&self) -> bool {
+        !self.registry.snapshot().is_empty()
+    }
+
+    /// Parks the maintenance worker before its next rebuild pass (test
+    /// hook; queries and ingest acks are unaffected).
+    pub fn pause_rebuilds(&self) {
+        self.rebuild_gate.pause();
+    }
+
+    /// Releases a paused maintenance worker.
+    pub fn resume_rebuilds(&self) {
+        self.rebuild_gate.resume();
+    }
+
+    /// `true` while there are dirty windows awaiting a maintenance pass.
+    pub fn has_dirty_windows(&self) -> bool {
+        !self.lock().dirty.is_empty()
+    }
+
+    /// Verifies the cross-structure invariants (WAL, registry, dedup).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let inner = self.lock();
+        inner.wal.check_invariants()?;
+        let durable = inner.wal.durable_upto();
+        for (source, &(seq, acked)) in &inner.dedup {
+            if acked > durable {
+                return Err(format!(
+                    "source {source} acked watermark {acked} (seq {seq}) beyond durable {durable}"
+                ));
+            }
+        }
+        for &id in &inner.dirty {
+            if inner.wal.window_tuples(id).is_none() {
+                return Err(format!("dirty window {id} holds no tuples"));
+            }
+        }
+        drop(inner);
+        self.registry.check_invariants()
+    }
+
+    /// Wakes the worker and tells it to exit. Idempotent.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.rebuild_gate.resume();
+        self.work.notify_all();
+    }
+
+    /// Worker body: wait for dirty windows, rebuild, repeat until shutdown.
+    fn maintenance_loop(&self) {
+        loop {
+            {
+                let mut inner = self.lock();
+                while inner.dirty.is_empty() && !self.shutdown.load(Ordering::Acquire) {
+                    inner = self
+                        .work
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            self.rebuild_gate.wait_until_resumed();
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if self.rebuild_dirty_now().is_err() {
+                // Counted in stats; the windows stay dirty only if new data
+                // arrives, so don't spin — wait for the next signal.
+            }
+        }
+    }
+}
+
+impl DeepSize for IngestState {
+    fn heap_size(&self) -> usize {
+        let inner = self.lock();
+        inner.wal.heap_size()
+            + inner.dedup.capacity()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<(u32, u64)>())
+            + inner.dirty.len() * std::mem::size_of::<u64>()
+            + self.registry.heap_size()
+    }
+}
+
+/// Owns the background maintenance thread. Dropping it shuts the worker
+/// down and joins it.
+#[derive(Debug)]
+pub struct ModelMaintenance {
+    state: Arc<IngestState>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ModelMaintenance {
+    /// Spawns the worker over `state`.
+    pub fn spawn(state: Arc<IngestState>) -> std::io::Result<Self> {
+        let worker_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("enviro-maintenance".into())
+            .spawn(move || worker_state.maintenance_loop())?;
+        Ok(Self {
+            state,
+            handle: Some(handle),
+        })
+    }
+
+    /// The shared state the worker maintains.
+    pub fn state(&self) -> &Arc<IngestState> {
+        &self.state
+    }
+}
+
+impl Drop for ModelMaintenance {
+    fn drop(&mut self) {
+        self.state.request_shutdown();
+        if let Some(handle) = self.handle.take() {
+            // A worker that panicked has already detached from the state;
+            // there is nothing useful to do with the error here.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use enviro_geo::Point;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("enviro-ingest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tuple(secs: i64, x: f64, v: f64) -> RawTuple {
+        RawTuple::new(Timestamp::from_secs(secs), Point::new(x, 0.0), v)
+    }
+
+    fn window_tuples(window: i64, n: i64) -> Vec<RawTuple> {
+        (0..n)
+            .map(|i| tuple(window * 100 + i, i as f64 * 25.0, 400.0 + i as f64))
+            .collect()
+    }
+
+    fn open_state(dir: &Path) -> IngestState {
+        IngestState::open(
+            dir,
+            WalConfig {
+                window_secs: 100,
+                ..WalConfig::default()
+            },
+            IngestConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ingest_acks_durable_watermark() {
+        let dir = temp_dir("ack");
+        let state = open_state(&dir);
+        let batch = window_tuples(0, 8);
+        let out = state.ingest(1, 1, &batch).unwrap();
+        assert_eq!(out.durable_upto, 8);
+        assert!(!out.duplicate);
+        assert!(state.has_dirty_windows());
+        assert_eq!(state.check_invariants(), Ok(()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retransmission_is_acked_without_a_second_append() {
+        let dir = temp_dir("dedup");
+        let state = open_state(&dir);
+        let batch = window_tuples(0, 5);
+        let first = state.ingest(7, 3, &batch).unwrap();
+        let replay = state.ingest(7, 3, &batch).unwrap();
+        assert!(replay.duplicate);
+        assert_eq!(replay.durable_upto, first.durable_upto);
+        assert_eq!(state.stats().durable_tuples, 5, "no double append");
+        assert_eq!(state.stats().duplicate_batches, 1);
+        // A different source reusing the same seq is not a duplicate.
+        let other = state.ingest(8, 3, &window_tuples(0, 2)).unwrap();
+        assert!(!other.duplicate);
+        assert_eq!(other.durable_upto, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebuild_publishes_covers_and_bumps_generation() {
+        let dir = temp_dir("publish");
+        let state = open_state(&dir);
+        assert_eq!(state.generation(), 0);
+        state.ingest(1, 1, &window_tuples(0, 10)).unwrap();
+        let published = state.rebuild_dirty_now().unwrap();
+        assert_eq!(published, 1);
+        assert_eq!(state.generation(), 1);
+        assert!(state.can_answer_queries());
+        let q = QueryTuple::new(Timestamp::from_secs(10), Point::new(50.0, 0.0));
+        let answer = state.query(&q).expect("registry answers");
+        assert!(answer.is_some());
+        // Nothing dirty: a second pass publishes nothing and keeps the
+        // generation stable.
+        assert_eq!(state.rebuild_dirty_now().unwrap(), 0);
+        assert_eq!(state.generation(), 1);
+        assert_eq!(state.check_invariants(), Ok(()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn maintenance_seals_windows_behind_the_lag() {
+        let dir = temp_dir("seal");
+        let state = open_state(&dir);
+        for w in 0..4i64 {
+            state.ingest(1, w as u32 + 1, &window_tuples(w, 6)).unwrap();
+        }
+        state.rebuild_dirty_now().unwrap();
+        // seal_lag 1 and max window 3: windows 0 and 1 seal, 2 and 3 open.
+        let stats = state.stats();
+        assert_eq!(stats.sealed_windows, 2);
+        // Sealed windows still answer queries from their published covers.
+        let q = QueryTuple::new(Timestamp::from_secs(10), Point::new(50.0, 0.0));
+        assert!(state.query(&q).expect("covers exist").is_some());
+        assert_eq!(state.check_invariants(), Ok(()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_marks_everything_dirty_and_republishes() {
+        let dir = temp_dir("recover");
+        {
+            let state = open_state(&dir);
+            state.ingest(1, 1, &window_tuples(0, 10)).unwrap();
+            state.ingest(1, 2, &window_tuples(1, 10)).unwrap();
+            state.rebuild_dirty_now().unwrap();
+        }
+        let state = open_state(&dir);
+        assert!(state.has_dirty_windows(), "recovered windows are dirty");
+        assert_eq!(state.generation(), 0, "registry starts empty");
+        let published = state.rebuild_dirty_now().unwrap();
+        assert_eq!(published, 2);
+        assert!(state.can_answer_queries());
+        assert_eq!(state.check_invariants(), Ok(()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_drains_dirty_windows_in_the_background() {
+        let dir = temp_dir("worker");
+        let state = Arc::new(open_state(&dir));
+        let maintenance = ModelMaintenance::spawn(Arc::clone(&state)).unwrap();
+        state.ingest(1, 1, &window_tuples(0, 10)).unwrap();
+        // Bounded wait: the worker owns the rebuild, we just observe it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while state.generation() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never published"
+            );
+            std::thread::yield_now();
+        }
+        assert!(state.can_answer_queries());
+        drop(maintenance); // shuts down and joins
+        assert_eq!(state.check_invariants(), Ok(()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paused_worker_defers_publication_until_resume() {
+        let dir = temp_dir("gate");
+        let state = Arc::new(open_state(&dir));
+        state.pause_rebuilds();
+        let maintenance = ModelMaintenance::spawn(Arc::clone(&state)).unwrap();
+        state.ingest(1, 1, &window_tuples(0, 10)).unwrap();
+        // The worker is parked at the gate: no publication happens.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(state.generation(), 0);
+        state.resume_rebuilds();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while state.generation() == 0 {
+            assert!(std::time::Instant::now() < deadline, "resume never took");
+            std::thread::yield_now();
+        }
+        drop(maintenance);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deep_size_grows_with_ingested_data() {
+        let dir = temp_dir("memsize");
+        let state = open_state(&dir);
+        let empty = state.deep_size_of();
+        state.ingest(1, 1, &window_tuples(0, 64)).unwrap();
+        state.rebuild_dirty_now().unwrap();
+        assert!(state.deep_size_of() > empty);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -34,6 +34,10 @@
 //! * [`fault`] — the chaos layer: [`fault::ChaosWire`] perturbs any wire
 //!   per a seeded declarative [`fault::FaultPlan`] (drop / duplicate /
 //!   reorder / corrupt / delay / stall / scripted outages).
+//! * [`ingest`] — the durable write path: [`ingest::IngestState`] appends
+//!   `IngestBatch` frames to a WAL-backed store and a background
+//!   [`ingest::ModelMaintenance`] worker rebuilds Ad-KMN covers off the hot
+//!   path, publishing them atomically via an epoch-versioned registry.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -45,19 +49,21 @@ pub mod clock;
 pub mod codec;
 pub mod concurrent;
 pub mod fault;
+pub mod ingest;
 pub mod link;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
 pub use client::{
-    BaselineClient, ClientError, EnviroClient, LoopbackWire, ModelCacheClient, ResilienceStats,
-    RetryPolicy, SessionStats, Wire,
+    BaselineClient, ClientError, EnviroClient, IngestReport, LoopbackWire, ModelCacheClient,
+    ResilienceStats, RetryPolicy, SessionStats, Wire,
 };
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use codec::{BinaryCodec, TextCodec, WireCodec};
 pub use concurrent::{ConcurrentTransport, Session, TransportConfig, PIPELINE_MAX};
 pub use fault::{ChaosStats, ChaosWire, FaultPlan, Outage, XorShiftRng};
+pub use ingest::{IngestConfig, IngestOutcome, IngestState, IngestStats, ModelMaintenance};
 pub use link::{LinkProfile, SimulatedLink};
 pub use protocol::{
     ErrorCode, ProtocolError, Request, Response, WireCover, WireRegion, BATCH_VERSION,

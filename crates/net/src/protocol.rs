@@ -1,6 +1,6 @@
 //! Protocol messages between the EnviroMeter app and server.
 
-use enviro_data::{Pollutant, QueryTuple, Timestamp};
+use enviro_data::{Pollutant, QueryTuple, RawTuple, Timestamp};
 use enviro_geo::Point;
 use enviro_meter::{CoverRegion, LinearModel, ModelCover, RegionModel};
 
@@ -12,13 +12,21 @@ use enviro_meter::{CoverRegion, LinearModel, ModelCover, RegionModel};
 ///   can discard duplicated or stale replies after a retry) and a trailing
 ///   CRC-32 over the frame (so a bit-corrupted batch is *detected* instead
 ///   of silently mis-answering).
+/// * **v3** — adds the ingestion frames (`IngestBatch` / `IngestAck`) and a
+///   cover **generation** number to `ValueBatch`, so a caching client can
+///   tell its cover was rebuilt behind its back and refresh instead of
+///   serving answers past `t_n`.
 ///
-/// Encoders always emit v2; decoders accept both v1 and v2 frames and
-/// reject any other version with a `Malformed` error. A v1 frame decodes
-/// with sequence number 0.
-pub const BATCH_VERSION: u8 = 2;
+/// Encoders always emit v3; decoders accept v1–v3 frames and reject any
+/// other version with a `Malformed` error. A v1 frame decodes with
+/// sequence number 0; v1/v2 frames decode with generation 0. The ingest
+/// frames are new in v3 and are rejected at any other version.
+pub const BATCH_VERSION: u8 = 3;
 
-/// The previous, CRC-less batch layout, still accepted by decoders so
+/// The v2 layout (seq + CRC, no generation), still accepted by decoders.
+pub const BATCH_VERSION_V2: u8 = 2;
+
+/// The original, CRC-less batch layout, still accepted by decoders so
 /// already-deployed phones keep working across the upgrade.
 pub const BATCH_VERSION_V1: u8 = 1;
 
@@ -61,6 +69,22 @@ pub enum Request {
         /// The query tuples, in trajectory order.
         queries: Vec<QueryTuple>,
     },
+    /// A chunk of raw sensor tuples `b_i = (t_i, x_i, y_i, s_i)` to persist:
+    /// the durable write path. Up to [`MAX_BATCH`] tuples per frame.
+    ///
+    /// The server WAL-appends and fsyncs the chunk *before* answering with
+    /// a [`Response::IngestAck`]; a retransmitted `(source, seq)` pair is
+    /// re-acked idempotently instead of applied twice, so a client that
+    /// lost an ack can resend without duplicating data.
+    IngestBatch {
+        /// Stable identity of the sending sensor platform (e.g. one bus).
+        /// Retransmission dedup is scoped per source.
+        source: u64,
+        /// Client-chosen sequence number, echoed in the matching ack.
+        seq: u32,
+        /// The sensed tuples, in arrival order. Every tuple must be finite.
+        tuples: Vec<RawTuple>,
+    },
 }
 
 /// A server → client response.
@@ -79,11 +103,26 @@ pub enum Response {
         /// The sequence number of the [`Request::QueryBatch`] this answers,
         /// echoed verbatim. Always 0 when decoded from a v1 frame.
         seq: u32,
+        /// The server's cover **generation** at answer time: a counter that
+        /// the model-maintenance worker bumps on every atomic cover
+        /// publication. A client holding a cached cover from an older
+        /// generation knows to invalidate it. 0 when the server does not
+        /// ingest (static covers never change) and in v1/v2 frames.
+        generation: u64,
         /// `Some(ŝ_l)` per answerable tuple, `None` per miss.
         values: Vec<Option<f64>>,
     },
     /// The model cover `(t_n, µ, M)` for a [`Request::ModelRequest`].
     Cover(WireCover),
+    /// Durability acknowledgement for a [`Request::IngestBatch`]: sent only
+    /// after the chunk is WAL-appended and fsynced.
+    IngestAck {
+        /// The sequence number of the acked `IngestBatch`, echoed verbatim.
+        seq: u32,
+        /// The server's durability watermark after this chunk: total tuples
+        /// accepted and fsynced so far. Monotone; survives any crash.
+        durable_upto: u64,
+    },
     /// The server is overloaded and shed this request before queueing it.
     ///
     /// Unlike [`Response::Error`] this is not the client's fault: the

@@ -2,9 +2,11 @@
 
 use crate::buffers;
 use crate::codec::WireCodec;
+use crate::ingest::IngestState;
 use crate::protocol::{ErrorCode, ProtocolError, Request, Response, WireCover};
 use enviro_data::QueryTuple;
 use enviro_meter::{EnviroMeter, QueryMethod};
+use std::sync::Arc;
 
 /// The server side of Figure 3: decodes a request, consults the platform,
 /// encodes the response.
@@ -13,10 +15,18 @@ use enviro_meter::{EnviroMeter, QueryMethod};
 /// [`QueryMethod::ModelCover`] in production (the whole point of the
 /// paper), but the evaluation can plug any method to isolate network
 /// effects from processing effects.
+///
+/// A server built [`EnviroServer::with_ingest`] additionally accepts
+/// `IngestBatch` frames on the durable write path, and serves value/model
+/// queries from the ingest state's published covers once any exist (the
+/// static platform remains the fallback for times the stream has not
+/// covered yet). Every `ValueBatch` reply then carries the current cover
+/// generation so caching clients can invalidate.
 pub struct EnviroServer<C: WireCodec> {
     platform: EnviroMeter,
     codec: C,
     method: QueryMethod,
+    ingest: Option<Arc<IngestState>>,
 }
 
 impl<C: WireCodec> EnviroServer<C> {
@@ -26,7 +36,15 @@ impl<C: WireCodec> EnviroServer<C> {
             platform,
             codec,
             method,
+            ingest: None,
         }
+    }
+
+    /// Attaches a durable ingest state: `IngestBatch` frames are accepted,
+    /// and queries prefer the stream's published covers.
+    pub fn with_ingest(mut self, ingest: Arc<IngestState>) -> Self {
+        self.ingest = Some(ingest);
+        self
     }
 
     /// The platform behind the server.
@@ -34,9 +52,20 @@ impl<C: WireCodec> EnviroServer<C> {
         &self.platform
     }
 
+    /// The attached ingest state, if the server accepts writes.
+    pub fn ingest_state(&self) -> Option<&Arc<IngestState>> {
+        self.ingest.as_ref()
+    }
+
     /// The codec in use.
     pub fn codec(&self) -> &C {
         &self.codec
+    }
+
+    /// The cover generation stamped into `ValueBatch` replies (0 when the
+    /// server does not ingest).
+    fn generation(&self) -> u64 {
+        self.ingest.as_ref().map_or(0, |i| i.generation())
     }
 
     /// Handles one decoded request.
@@ -44,15 +73,31 @@ impl<C: WireCodec> EnviroServer<C> {
         match request {
             Request::Query { time, pos } => {
                 let q = QueryTuple::new(*time, *pos);
-                match self.platform.point_query(&q, self.method) {
+                match self.answer_query(&q) {
                     Some(value) => Response::Value { value },
                     None => Response::NoData,
                 }
             }
-            Request::ModelRequest { time } => match self.platform.cover_at(*time) {
-                Some(cover) if !cover.is_empty() => Response::Cover(WireCover::from_cover(cover)),
-                _ => Response::NoData,
-            },
+            Request::ModelRequest { time } => {
+                // The stream's published cover wins when one exists; the
+                // static platform covers the pre-ingest past.
+                if let Some(cover) = self
+                    .ingest
+                    .as_ref()
+                    .and_then(|ingest| ingest.cover_at(*time))
+                {
+                    if !cover.is_empty() {
+                        return Response::Cover(WireCover::from_cover(cover.as_ref()));
+                    }
+                    return Response::NoData;
+                }
+                match self.platform.cover_at(*time) {
+                    Some(cover) if !cover.is_empty() => {
+                        Response::Cover(WireCover::from_cover(cover))
+                    }
+                    _ => Response::NoData,
+                }
+            }
             Request::QueryBatch { seq, queries } => {
                 // The value buffer comes from the thread's pool and goes
                 // back to it in `handle_bytes_into` after encoding, so a
@@ -60,10 +105,53 @@ impl<C: WireCodec> EnviroServer<C> {
                 // The request's sequence number is echoed so the client can
                 // pair this reply with its chunk even after retries.
                 let mut values = buffers::take_values();
-                self.platform
-                    .point_query_batch_into(queries, self.method, &mut values);
-                Response::ValueBatch { seq: *seq, values }
+                match self.ingest.as_ref().filter(|i| i.can_answer_queries()) {
+                    Some(ingest) => {
+                        values.extend(queries.iter().map(|q| ingest.query(q).flatten()));
+                    }
+                    None => {
+                        self.platform
+                            .point_query_batch_into(queries, self.method, &mut values);
+                    }
+                }
+                Response::ValueBatch {
+                    seq: *seq,
+                    generation: self.generation(),
+                    values,
+                }
             }
+            Request::IngestBatch {
+                source,
+                seq,
+                tuples,
+            } => match &self.ingest {
+                Some(ingest) => match ingest.ingest(*source, *seq, tuples) {
+                    Ok(outcome) => Response::IngestAck {
+                        seq: *seq,
+                        durable_upto: outcome.durable_upto,
+                    },
+                    // The append failed *before* anything was acked: the
+                    // client backs off and retransmits; durability is
+                    // never overpromised.
+                    Err(e) => Response::Error(ProtocolError::new(
+                        ErrorCode::Internal,
+                        format!("ingest failed: {e}"),
+                    )),
+                },
+                None => Response::Error(ProtocolError::new(
+                    ErrorCode::Unsupported,
+                    "this server does not accept ingestion",
+                )),
+            },
+        }
+    }
+
+    /// Answers one point query: published covers first (once any exist),
+    /// the batch platform otherwise.
+    fn answer_query(&self, q: &QueryTuple) -> Option<f64> {
+        match self.ingest.as_ref().filter(|i| i.can_answer_queries()) {
+            Some(ingest) => ingest.query(q).flatten(),
+            None => self.platform.point_query(q, self.method),
         }
     }
 
@@ -172,12 +260,110 @@ mod tests {
             )],
         });
         match resp {
-            Response::ValueBatch { seq, values } => {
+            Response::ValueBatch {
+                seq,
+                generation,
+                values,
+            } => {
                 assert_eq!(seq, 41);
+                assert_eq!(generation, 0, "no ingest state => generation 0");
                 assert_eq!(values.len(), 1);
             }
             other => panic!("expected value batch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn ingest_without_state_is_unsupported() {
+        let s = server();
+        let resp = s.handle(&Request::IngestBatch {
+            source: 7,
+            seq: 1,
+            tuples: vec![enviro_data::RawTuple::new(
+                Timestamp::from_secs(60),
+                Point::origin(),
+                400.0,
+            )],
+        });
+        match resp {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Unsupported),
+            other => panic!("expected unsupported error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_server_acks_and_stamps_generations() {
+        use crate::ingest::{IngestConfig, IngestState};
+        use enviro_data::RawTuple;
+        use enviro_storage::WalConfig;
+
+        let dir = std::env::temp_dir().join(format!("enviro-server-ingest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = Arc::new(
+            IngestState::open(
+                &dir,
+                WalConfig {
+                    window_secs: 3_600,
+                    ..WalConfig::default()
+                },
+                IngestConfig::default(),
+            )
+            .unwrap(),
+        );
+        let s = server().with_ingest(Arc::clone(&state));
+
+        // Write a batch over the wire path.
+        let tuples: Vec<RawTuple> = (0..32)
+            .map(|i| {
+                RawTuple::new(
+                    Timestamp::from_secs(600 + i),
+                    Point::new(f64::from(i as u32) * 20.0, -100.0),
+                    420.0 + f64::from(i as u32),
+                )
+            })
+            .collect();
+        let resp = s.handle(&Request::IngestBatch {
+            source: 9,
+            seq: 3,
+            tuples,
+        });
+        match resp {
+            Response::IngestAck { seq, durable_upto } => {
+                assert_eq!(seq, 3);
+                assert_eq!(durable_upto, 32);
+            }
+            other => panic!("expected ingest ack, got {other:?}"),
+        }
+
+        // Before any cover is published, batch replies stamp generation 0
+        // and queries fall back to the static platform.
+        let q = Request::QueryBatch {
+            seq: 1,
+            queries: vec![QueryTuple::new(
+                Timestamp::from_secs(600),
+                Point::new(0.0, -200.0),
+            )],
+        };
+        match s.handle(&q) {
+            Response::ValueBatch { generation, .. } => assert_eq!(generation, 0),
+            other => panic!("expected value batch, got {other:?}"),
+        }
+
+        // Publish covers for the ingested window; replies now carry the new
+        // generation and answers come from the stream's cover.
+        state.rebuild_dirty_now().unwrap();
+        assert!(state.generation() > 0);
+        match s.handle(&q) {
+            Response::ValueBatch {
+                generation, values, ..
+            } => {
+                assert_eq!(generation, state.generation());
+                assert!(values[0].is_some(), "published cover should answer");
+            }
+            other => panic!("expected value batch, got {other:?}"),
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -94,6 +94,7 @@ fn value_batch(rng: &mut XorShiftRng) -> Response {
     let n = rng.next_in_range(0, 40) as usize;
     Response::ValueBatch {
         seq: rng.next_u64() as u32,
+        generation: rng.next_u64(),
         values: (0..n)
             .map(|_| (rng.next_u64() & 1 == 1).then(|| finite(rng)))
             .collect(),
@@ -233,10 +234,12 @@ fn text_value_batch_roundtrip_up_to_value_precision() {
         let (
             Response::ValueBatch {
                 seq: s1,
+                generation: g1,
                 values: v1,
             },
             Response::ValueBatch {
                 seq: s2,
+                generation: g2,
                 values: v2,
             },
         ) = (TextCodec.decode_response(&bytes).unwrap(), resp)
@@ -244,6 +247,7 @@ fn text_value_batch_roundtrip_up_to_value_precision() {
             panic!("value batch decoded to a different variant");
         };
         assert_eq!(s1, s2);
+        assert_eq!(g1, g2);
         assert_eq!(v1.len(), v2.len());
         for (a, b) in v1.iter().zip(&v2) {
             match (a, b) {
@@ -388,6 +392,7 @@ fn empty_batches_roundtrip_in_both_codecs() {
     };
     let resp = Response::ValueBatch {
         seq: 1,
+        generation: 0,
         values: Vec::new(),
     };
     for codec in [&BinaryCodec as &dyn WireCodec, &TextCodec] {

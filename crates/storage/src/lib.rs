@@ -43,5 +43,7 @@ pub mod crc;
 pub mod record;
 pub mod segment;
 pub mod store;
+pub mod wal;
 
 pub use store::{StorageError, StoreStats, TupleStore};
+pub use wal::{Memtable, WalConfig, WalStats, WalStore};

@@ -382,7 +382,7 @@ impl TupleStore {
 const MANIFEST: &str = "MANIFEST";
 
 /// Reads the manifest: one decimal segment seq per line. `None` if absent.
-fn read_manifest(dir: &Path) -> Result<Option<Vec<u32>>, StorageError> {
+pub(crate) fn read_manifest(dir: &Path) -> Result<Option<Vec<u32>>, StorageError> {
     let path = dir.join(MANIFEST);
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -405,7 +405,7 @@ fn read_manifest(dir: &Path) -> Result<Option<Vec<u32>>, StorageError> {
 }
 
 /// Writes the manifest atomically (temp file + fsync + rename).
-fn write_manifest(dir: &Path, seqs: &[u32]) -> Result<(), StorageError> {
+pub(crate) fn write_manifest(dir: &Path, seqs: &[u32]) -> Result<(), StorageError> {
     use std::io::Write as _;
     let tmp = dir.join("MANIFEST.tmp");
     {

@@ -1,0 +1,864 @@
+//! The WAL store: the durable write path behind network ingestion.
+//!
+//! [`TupleStore`](crate::TupleStore) is the offline raw-tuple file; this
+//! module is its streaming sibling, shaped like the write path of an
+//! LSM-style ingestion node:
+//!
+//! * every accepted batch is appended to a **write-ahead log** (the same
+//!   CRC-framed segment format as [`crate::segment`]) and fsynced *before*
+//!   it is acknowledged — the ack carries `durable_upto`, the count of
+//!   tuples that survive any crash;
+//! * accepted tuples also land in an in-memory **memtable per epoch-aligned
+//!   window** `W_c` (the paper's model-building unit), in arrival order;
+//! * once a window falls behind the ingest watermark it is **sealed**: its
+//!   memtable is written to a time-partitioned segment under `windows/`,
+//!   the windows manifest is switched atomically, and the WAL is compacted
+//!   down to the still-open memtables — the background compactor keeps the
+//!   log from growing without bound;
+//! * **recovery** reads the sealed windows, then replays the WAL in order,
+//!   truncating a torn tail on the final segment only (the expected crash
+//!   shape) and skipping tuples whose window is already sealed.
+//!
+//! Tuples that arrive for an already-sealed window are *late* under the
+//! watermark semantics: they are acknowledged, counted, and dropped, so a
+//! sealed window's model cover is immutable once published.
+//!
+//! Directory layout:
+//!
+//! ```text
+//! <dir>/wal/seg-00000000.log      append-only log + MANIFEST
+//! <dir>/windows/seg-00000007.log  sealed window 7 + MANIFEST
+//! ```
+
+use crate::segment::{
+    parse_segment_file_name, read_segment, segment_file_name, SegmentWriter, HEADER_SIZE,
+};
+use crate::store::{read_manifest, write_manifest, StorageError, DEFAULT_MAX_SEGMENT_BYTES};
+use enviro_data::{RawTuple, Timestamp};
+use enviro_memsize::DeepSize;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Configuration of a [`WalStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Epoch-aligned window length `H` in seconds; window `c` holds tuples
+    /// with `c·H ≤ t < (c+1)·H` (the same mapping as
+    /// `WindowSpec::ByDuration`).
+    pub window_secs: i64,
+    /// WAL segment rotation threshold in bytes.
+    pub max_wal_segment_bytes: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            window_secs: 7_200,
+            max_wal_segment_bytes: DEFAULT_MAX_SEGMENT_BYTES,
+        }
+    }
+}
+
+/// One open (not yet sealed) window's buffered tuples, in arrival order.
+#[derive(Debug, Default, Clone)]
+pub struct Memtable {
+    tuples: Vec<RawTuple>,
+}
+
+impl Memtable {
+    /// The buffered tuples, in arrival order.
+    pub fn tuples(&self) -> &[RawTuple] {
+        &self.tuples
+    }
+
+    /// Number of buffered tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when no tuple has arrived for the window yet.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+impl DeepSize for Memtable {
+    fn heap_size(&self) -> usize {
+        self.tuples.heap_size()
+    }
+}
+
+/// Summary statistics of a [`WalStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Tuples durably accepted (fsynced and retained): the ingest ack
+    /// watermark.
+    pub durable_tuples: u64,
+    /// Open windows still buffered in memtables.
+    pub memtable_windows: usize,
+    /// Tuples across all memtables.
+    pub memtable_tuples: usize,
+    /// Windows sealed to `windows/` segments.
+    pub sealed_windows: usize,
+    /// Tuples across all sealed windows.
+    pub sealed_tuples: usize,
+    /// WAL segment files (including the active one).
+    pub wal_segments: usize,
+    /// WAL bytes on disk (headers + frames).
+    pub wal_bytes: u64,
+    /// Acknowledged-then-dropped tuples that arrived for a sealed window.
+    pub late_tuples: u64,
+    /// Dropped tuples with a non-finite position or value.
+    pub rejected_tuples: u64,
+    /// `true` if recovery truncated a torn WAL tail on open.
+    pub recovered_torn_tail: bool,
+}
+
+/// A sealed window resident in memory (its durable copy lives under
+/// `windows/`).
+#[derive(Debug, Clone)]
+struct SealedWindow {
+    tuples: Vec<RawTuple>,
+}
+
+/// A durable, crash-recoverable ingestion store: WAL + per-window memtables
+/// + sealed window segments. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct WalStore {
+    dir: PathBuf,
+    wal_dir: PathBuf,
+    windows_dir: PathBuf,
+    config: WalConfig,
+    writer: SegmentWriter,
+    /// `(seq, clean bytes)` of every live WAL segment, active one last.
+    wal_segments: Vec<(u32, u64)>,
+    memtables: BTreeMap<u64, Memtable>,
+    sealed: BTreeMap<u64, SealedWindow>,
+    durable_tuples: u64,
+    late_tuples: u64,
+    rejected_tuples: u64,
+    recovered_torn_tail: bool,
+    /// Reusable filter buffer for [`WalStore::append_batch`].
+    scratch: Vec<RawTuple>,
+}
+
+impl WalStore {
+    /// Opens (or creates) a WAL store in `dir`, running recovery.
+    ///
+    /// Sealed window segments must be fully intact (they are synced before
+    /// the manifest lists them, so a torn one is real corruption); a torn
+    /// tail is tolerated — and truncated — on the *final* WAL segment only.
+    pub fn open(dir: impl AsRef<Path>, config: WalConfig) -> Result<Self, StorageError> {
+        if config.window_secs <= 0 {
+            return Err(StorageError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("window_secs must be positive, got {}", config.window_secs),
+            )));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        let wal_dir = dir.join("wal");
+        let windows_dir = dir.join("windows");
+        std::fs::create_dir_all(&wal_dir)?;
+        std::fs::create_dir_all(&windows_dir)?;
+
+        // 1. Sealed windows. A segment file not named by the manifest is
+        //    the residue of a crash between writing the segment and the
+        //    atomic manifest switch; its tuples are still in the WAL, so
+        //    the orphan is deleted, not recovered.
+        let sealed_live = read_manifest(&windows_dir)?.unwrap_or_default();
+        let mut sealed = BTreeMap::new();
+        for seq in discover_segments(&windows_dir)? {
+            if !sealed_live.contains(&seq) {
+                let _ = std::fs::remove_file(windows_dir.join(segment_file_name(seq)));
+            }
+        }
+        for &seq in &sealed_live {
+            let path = windows_dir.join(segment_file_name(seq));
+            let contents = read_segment(&path).map_err(|e| StorageError::InvalidSegment {
+                path: path.clone(),
+                reason: e.to_string(),
+            })?;
+            if contents.truncated_tail {
+                return Err(StorageError::InvalidSegment {
+                    path,
+                    reason: "sealed window segment has a torn tail".into(),
+                });
+            }
+            sealed.insert(
+                u64::from(seq),
+                SealedWindow {
+                    tuples: contents.tuples,
+                },
+            );
+        }
+
+        // 2. WAL replay. No manifest = every discovered segment is live.
+        let mut wal_seqs = discover_segments(&wal_dir)?;
+        if let Some(live) = read_manifest(&wal_dir)? {
+            for &seq in &wal_seqs {
+                if !live.contains(&seq) {
+                    let _ = std::fs::remove_file(wal_dir.join(segment_file_name(seq)));
+                }
+            }
+            wal_seqs.retain(|s| live.contains(s));
+        }
+        let mut wal_segments = Vec::with_capacity(wal_seqs.len());
+        let mut memtables: BTreeMap<u64, Memtable> = BTreeMap::new();
+        let mut recovered_torn_tail = false;
+        let last_idx = wal_seqs.len().checked_sub(1);
+        for (i, &seq) in wal_seqs.iter().enumerate() {
+            let path = wal_dir.join(segment_file_name(seq));
+            // A final segment shorter than its own header is a torn
+            // creation: the crash hit between `create` and the first sync,
+            // so nothing in it was ever acknowledged. Recreate it empty.
+            if Some(i) == last_idx && std::fs::metadata(&path)?.len() < HEADER_SIZE as u64 {
+                std::fs::remove_file(&path)?;
+                let w = SegmentWriter::create(&wal_dir, seq)?;
+                drop(w);
+                recovered_torn_tail = true;
+                wal_segments.push((seq, HEADER_SIZE as u64));
+                continue;
+            }
+            let contents = read_segment(&path).map_err(|e| StorageError::InvalidSegment {
+                path: path.clone(),
+                reason: e.to_string(),
+            })?;
+            if contents.truncated_tail {
+                if Some(i) != last_idx {
+                    return Err(StorageError::InvalidSegment {
+                        path,
+                        reason: "corrupt batch in a non-final WAL segment".into(),
+                    });
+                }
+                recovered_torn_tail = true;
+            }
+            for t in contents.tuples {
+                let id = window_id_of(config.window_secs, t.time);
+                // Tuples of a window sealed before the crash were already
+                // persisted under windows/; replaying them would double
+                // count.
+                if !sealed.contains_key(&id) {
+                    memtables.entry(id).or_default().tuples.push(t);
+                }
+            }
+            wal_segments.push((seq, contents.clean_len));
+        }
+
+        // 3. Active writer: reopen the last WAL segment at its clean length
+        //    (truncating any torn tail) or create segment 0.
+        let writer = match wal_segments.last() {
+            Some(&(seq, clean)) => SegmentWriter::reopen(&wal_dir, seq, clean)?,
+            None => {
+                let w = SegmentWriter::create(&wal_dir, 0)?;
+                wal_segments.push((0, HEADER_SIZE as u64));
+                w
+            }
+        };
+        let seqs: Vec<u32> = wal_segments.iter().map(|&(s, _)| s).collect();
+        write_manifest(&wal_dir, &seqs)?;
+
+        let durable_tuples = sealed.values().map(|w| w.tuples.len() as u64).sum::<u64>()
+            + memtables
+                .values()
+                .map(|m| m.tuples.len() as u64)
+                .sum::<u64>();
+        let store = Self {
+            dir,
+            wal_dir,
+            windows_dir,
+            config,
+            writer,
+            wal_segments,
+            memtables,
+            sealed,
+            durable_tuples,
+            late_tuples: 0,
+            rejected_tuples: 0,
+            recovered_torn_tail,
+            scratch: Vec::new(),
+        };
+        debug_assert_eq!(store.check_invariants(), Ok(()));
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> WalConfig {
+        self.config
+    }
+
+    /// The window id `c` that a timestamp maps to.
+    pub fn window_id_of(&self, time: Timestamp) -> u64 {
+        window_id_of(self.config.window_secs, time)
+    }
+
+    /// The ingest ack watermark: tuples durably accepted so far.
+    pub fn durable_upto(&self) -> u64 {
+        self.durable_tuples
+    }
+
+    /// Appends a batch of tuples: WAL write + fsync, then memtable insert.
+    ///
+    /// Returns the new `durable_upto` watermark. Non-finite tuples are
+    /// dropped and counted; tuples for an already-sealed window are *late*
+    /// — acknowledged, counted, and dropped (watermark semantics).
+    pub fn append_batch(&mut self, tuples: &[RawTuple]) -> Result<u64, StorageError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for t in tuples {
+            if !t.is_finite() {
+                self.rejected_tuples += 1;
+            } else if self.sealed.contains_key(&self.window_id_of(t.time)) {
+                self.late_tuples += 1;
+            } else {
+                scratch.push(*t);
+            }
+        }
+        if scratch.is_empty() {
+            self.scratch = scratch;
+            return Ok(self.durable_tuples);
+        }
+        if self.writer.len() >= self.config.max_wal_segment_bytes {
+            self.rotate_wal()?;
+        }
+        let append = (|| -> Result<(), StorageError> {
+            self.writer.append_batch(&scratch)?;
+            self.writer.sync()?;
+            Ok(())
+        })();
+        if let Err(e) = append {
+            self.scratch = scratch;
+            return Err(e);
+        }
+        if let Some(active) = self.wal_segments.last_mut() {
+            active.1 = self.writer.len();
+        }
+        for &t in &scratch {
+            let id = window_id_of(self.config.window_secs, t.time);
+            self.memtables.entry(id).or_default().tuples.push(t);
+        }
+        self.durable_tuples += scratch.len() as u64;
+        self.scratch = scratch;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        Ok(self.durable_tuples)
+    }
+
+    /// The open windows, lowest id first.
+    pub fn memtables(&self) -> impl Iterator<Item = (u64, &Memtable)> {
+        self.memtables.iter().map(|(&id, m)| (id, m))
+    }
+
+    /// Ids of sealed windows, lowest first.
+    pub fn sealed_window_ids(&self) -> Vec<u64> {
+        self.sealed.keys().copied().collect()
+    }
+
+    /// `true` once `id` has been sealed.
+    pub fn is_sealed(&self, id: u64) -> bool {
+        self.sealed.contains_key(&id)
+    }
+
+    /// The tuples of window `id` (open or sealed), in arrival order.
+    pub fn window_tuples(&self, id: u64) -> Option<&[RawTuple]> {
+        self.memtables
+            .get(&id)
+            .map(|m| m.tuples.as_slice())
+            .or_else(|| self.sealed.get(&id).map(|w| w.tuples.as_slice()))
+    }
+
+    /// The highest window id with any data, open or sealed.
+    pub fn max_window_id(&self) -> Option<u64> {
+        let open = self.memtables.keys().next_back().copied();
+        let sealed = self.sealed.keys().next_back().copied();
+        open.max(sealed)
+    }
+
+    /// Seals every open window with `id < watermark`, then compacts the WAL
+    /// once. Returns the sealed ids.
+    pub fn seal_windows_before(&mut self, watermark: u64) -> Result<Vec<u64>, StorageError> {
+        let ids: Vec<u64> = self
+            .memtables
+            .range(..watermark)
+            .map(|(&id, _)| id)
+            .collect();
+        if ids.is_empty() {
+            return Ok(ids);
+        }
+        for &id in &ids {
+            self.seal_one(id)?;
+        }
+        self.compact_wal()?;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        Ok(ids)
+    }
+
+    /// Seals one open window (no-op returning `false` if it has no
+    /// memtable), then compacts the WAL.
+    pub fn seal_window(&mut self, id: u64) -> Result<bool, StorageError> {
+        if !self.memtables.contains_key(&id) {
+            return Ok(false);
+        }
+        self.seal_one(id)?;
+        self.compact_wal()?;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        Ok(true)
+    }
+
+    /// Store statistics.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            durable_tuples: self.durable_tuples,
+            memtable_windows: self.memtables.len(),
+            memtable_tuples: self.memtables.values().map(|m| m.tuples.len()).sum(),
+            sealed_windows: self.sealed.len(),
+            sealed_tuples: self.sealed.values().map(|w| w.tuples.len()).sum(),
+            wal_segments: self.wal_segments.len(),
+            wal_bytes: self.wal_segments.iter().map(|&(_, b)| b).sum(),
+            late_tuples: self.late_tuples,
+            rejected_tuples: self.rejected_tuples,
+            recovered_torn_tail: self.recovered_torn_tail,
+        }
+    }
+
+    /// Verifies the store's structural invariants, returning the first
+    /// violation found. Checked (in debug builds) after recovery and after
+    /// every mutation:
+    ///
+    /// * WAL segment seqs are strictly increasing and the writer sits on
+    ///   the last one, at its recorded length;
+    /// * no window is both open and sealed;
+    /// * every memtable tuple is finite and maps back to its window id;
+    /// * `durable_upto` equals the retained tuple count (sealed + open).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let Some(&(last_seq, last_bytes)) = self.wal_segments.last() else {
+            return Err("no active WAL segment".into());
+        };
+        for pair in self.wal_segments.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(format!(
+                    "WAL seqs not strictly increasing: {} then {}",
+                    pair[0].0, pair[1].0
+                ));
+            }
+        }
+        if self.writer.seq() != last_seq {
+            return Err(format!(
+                "writer on WAL segment {}, but last segment is {last_seq}",
+                self.writer.seq()
+            ));
+        }
+        if self.writer.len() != last_bytes {
+            return Err(format!(
+                "writer at {} bytes, but segment {last_seq} accounts for {last_bytes}",
+                self.writer.len()
+            ));
+        }
+        for (&id, m) in &self.memtables {
+            if self.sealed.contains_key(&id) {
+                return Err(format!("window {id} is both open and sealed"));
+            }
+            for t in &m.tuples {
+                if !t.is_finite() {
+                    return Err(format!("non-finite tuple in memtable {id}"));
+                }
+                if window_id_of(self.config.window_secs, t.time) != id {
+                    return Err(format!(
+                        "tuple at t={} filed under window {id}",
+                        t.time.as_secs()
+                    ));
+                }
+            }
+        }
+        let retained = self
+            .sealed
+            .values()
+            .map(|w| w.tuples.len() as u64)
+            .sum::<u64>()
+            + self
+                .memtables
+                .values()
+                .map(|m| m.tuples.len() as u64)
+                .sum::<u64>();
+        if retained != self.durable_tuples {
+            return Err(format!(
+                "durable_upto {} but {retained} tuples retained",
+                self.durable_tuples
+            ));
+        }
+        Ok(())
+    }
+
+    /// Writes window `id`'s memtable to a `windows/` segment, switches the
+    /// windows manifest atomically, and moves the memtable to the sealed
+    /// map. The WAL still holds the tuples until [`Self::compact_wal`].
+    fn seal_one(&mut self, id: u64) -> Result<(), StorageError> {
+        let seq = u32::try_from(id).map_err(|_| StorageError::InvalidSegment {
+            path: self.windows_dir.clone(),
+            reason: format!("window id {id} exceeds the segment naming range"),
+        })?;
+        let Some(mem) = self.memtables.get(&id) else {
+            return Ok(());
+        };
+        let mut w = SegmentWriter::create(&self.windows_dir, seq)?;
+        w.append_batch(&mem.tuples)?;
+        w.sync()?;
+        let mut live: Vec<u32> = Vec::with_capacity(self.sealed.len() + 1);
+        for &sid in self.sealed.keys() {
+            // Sealed keys always fit u32 (they were sealed through this
+            // same path), but stay total rather than assert.
+            if let Ok(s) = u32::try_from(sid) {
+                live.push(s);
+            }
+        }
+        live.push(seq);
+        live.sort_unstable();
+        write_manifest(&self.windows_dir, &live)?;
+        if let Some(mem) = self.memtables.remove(&id) {
+            self.sealed.insert(id, SealedWindow { tuples: mem.tuples });
+        }
+        Ok(())
+    }
+
+    /// Rewrites the WAL down to the still-open memtables: one compacted
+    /// segment plus a fresh active one, switched over atomically via the
+    /// WAL manifest (the same crash-safe dance as `TupleStore::compact`).
+    fn compact_wal(&mut self) -> Result<(), StorageError> {
+        self.writer.sync()?;
+        let old_seqs: Vec<u32> = self.wal_segments.iter().map(|&(s, _)| s).collect();
+        let compacted_seq = self.writer.seq() + 1;
+        let active_seq = compacted_seq + 1;
+        let mut compacted = SegmentWriter::create(&self.wal_dir, compacted_seq)?;
+        for mem in self.memtables.values() {
+            compacted.append_batch(&mem.tuples)?;
+        }
+        compacted.sync()?;
+        let compacted_bytes = compacted.len();
+        let active = SegmentWriter::create(&self.wal_dir, active_seq)?;
+        write_manifest(&self.wal_dir, &[compacted_seq, active_seq])?;
+        for seq in old_seqs {
+            let _ = std::fs::remove_file(self.wal_dir.join(segment_file_name(seq)));
+        }
+        self.wal_segments = vec![
+            (compacted_seq, compacted_bytes),
+            (active_seq, HEADER_SIZE as u64),
+        ];
+        self.writer = active;
+        Ok(())
+    }
+
+    /// Forces a fresh active WAL segment (called on size rotation).
+    fn rotate_wal(&mut self) -> Result<(), StorageError> {
+        self.writer.sync()?;
+        let next_seq = self.writer.seq() + 1;
+        self.writer = SegmentWriter::create(&self.wal_dir, next_seq)?;
+        self.wal_segments.push((next_seq, HEADER_SIZE as u64));
+        let seqs: Vec<u32> = self.wal_segments.iter().map(|&(s, _)| s).collect();
+        write_manifest(&self.wal_dir, &seqs)?;
+        Ok(())
+    }
+}
+
+impl DeepSize for WalStore {
+    fn heap_size(&self) -> usize {
+        // BTreeMap node overhead is approximated by the entry payloads;
+        // what matters for capacity planning is the tuple buffers.
+        let memtables: usize = self
+            .memtables
+            .values()
+            .map(|m| std::mem::size_of::<(u64, Memtable)>() + m.heap_size())
+            .sum();
+        let sealed: usize = self
+            .sealed
+            .values()
+            .map(|w| std::mem::size_of::<(u64, SealedWindow)>() + w.tuples.heap_size())
+            .sum();
+        memtables
+            + sealed
+            + self.scratch.heap_size()
+            + self.wal_segments.capacity() * std::mem::size_of::<(u32, u64)>()
+            + self.dir.as_os_str().len()
+            + self.wal_dir.as_os_str().len()
+            + self.windows_dir.as_os_str().len()
+    }
+}
+
+/// The window id `c` of a timestamp — the `WindowSpec::ByDuration` mapping.
+fn window_id_of(window_secs: i64, time: Timestamp) -> u64 {
+    time.as_secs().div_euclid(window_secs) as u64
+}
+
+/// Lists the segment seqs present in `dir`, sorted.
+fn discover_segments(dir: &Path) -> Result<Vec<u32>, StorageError> {
+    let mut seqs: Vec<u32> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().to_str().and_then(parse_segment_file_name))
+        .collect();
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use enviro_geo::Point;
+
+    const H: i64 = 100;
+
+    fn cfg() -> WalConfig {
+        WalConfig {
+            window_secs: H,
+            max_wal_segment_bytes: 1 << 20,
+        }
+    }
+
+    fn tuple(secs: i64, v: f64) -> RawTuple {
+        RawTuple::new(Timestamp::from_secs(secs), Point::new(1.0, 2.0), v)
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("enviro-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_recover_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        assert_eq!(w.durable_upto(), 0);
+        assert_eq!(
+            w.append_batch(&[tuple(10, 1.0), tuple(150, 2.0)]).unwrap(),
+            2
+        );
+        assert_eq!(w.append_batch(&[tuple(20, 3.0)]).unwrap(), 3);
+        drop(w);
+        let w = WalStore::open(&dir, cfg()).unwrap();
+        assert_eq!(w.durable_upto(), 3);
+        assert_eq!(
+            w.window_tuples(0).unwrap(),
+            &[tuple(10, 1.0), tuple(20, 3.0)]
+        );
+        assert_eq!(w.window_tuples(1).unwrap(), &[tuple(150, 2.0)]);
+        assert!(!w.stats().recovered_torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memtables_keep_arrival_order() {
+        let dir = tempdir("order");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        // Out-of-time-order arrivals inside one window stay in arrival
+        // order (the model build consumes them as the stream delivered
+        // them).
+        w.append_batch(&[tuple(50, 1.0), tuple(10, 2.0), tuple(30, 3.0)])
+            .unwrap();
+        assert_eq!(
+            w.window_tuples(0).unwrap(),
+            &[tuple(50, 1.0), tuple(10, 2.0), tuple(30, 3.0)]
+        );
+        drop(w);
+        let w = WalStore::open(&dir, cfg()).unwrap();
+        assert_eq!(
+            w.window_tuples(0).unwrap(),
+            &[tuple(50, 1.0), tuple(10, 2.0), tuple(30, 3.0)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seal_moves_window_and_compacts_wal() {
+        let dir = tempdir("seal");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        for i in 0..50 {
+            w.append_batch(&[tuple(i, 1.0), tuple(H + i, 2.0)]).unwrap();
+        }
+        let wal_before = w.stats().wal_bytes;
+        let sealed = w.seal_windows_before(1).unwrap();
+        assert_eq!(sealed, vec![0]);
+        assert!(w.is_sealed(0));
+        let s = w.stats();
+        assert_eq!(s.sealed_windows, 1);
+        assert_eq!(s.sealed_tuples, 50);
+        assert_eq!(s.memtable_windows, 1);
+        assert_eq!(s.durable_tuples, 100);
+        assert!(
+            s.wal_bytes < wal_before,
+            "compaction should shrink the WAL: {} vs {wal_before}",
+            s.wal_bytes
+        );
+        // Sealed data survives a reopen; WAL replay must not double count.
+        drop(w);
+        let w = WalStore::open(&dir, cfg()).unwrap();
+        assert_eq!(w.durable_upto(), 100);
+        assert_eq!(w.window_tuples(0).unwrap().len(), 50);
+        assert_eq!(w.window_tuples(1).unwrap().len(), 50);
+        assert!(w.is_sealed(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn late_tuples_are_acked_and_dropped() {
+        let dir = tempdir("late");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        w.append_batch(&[tuple(10, 1.0)]).unwrap();
+        w.seal_window(0).unwrap();
+        let durable = w
+            .append_batch(&[tuple(20, 2.0), tuple(H + 5, 3.0)])
+            .unwrap();
+        // The late tuple for sealed window 0 is dropped but the batch still
+        // advances the watermark by the retained tuple.
+        assert_eq!(durable, 2);
+        assert_eq!(w.stats().late_tuples, 1);
+        assert_eq!(w.window_tuples(0).unwrap(), &[tuple(10, 1.0)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_finite_tuples_are_rejected() {
+        let dir = tempdir("nonfinite");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        let durable = w
+            .append_batch(&[tuple(10, f64::NAN), tuple(20, 1.0)])
+            .unwrap();
+        assert_eq!(durable, 1);
+        assert_eq!(w.stats().rejected_tuples, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_on_recovery() {
+        let dir = tempdir("torn");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        w.append_batch(&[tuple(10, 1.0)]).unwrap();
+        w.append_batch(&[tuple(20, 2.0)]).unwrap();
+        drop(w);
+        // Chop into the last batch.
+        let path = dir.join("wal").join(segment_file_name(0));
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let w = WalStore::open(&dir, cfg()).unwrap();
+        assert!(w.stats().recovered_torn_tail);
+        assert_eq!(w.durable_upto(), 1);
+        assert_eq!(w.window_tuples(0).unwrap(), &[tuple(10, 1.0)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_window_segment_is_cleaned_up() {
+        let dir = tempdir("orphan");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        w.append_batch(&[tuple(10, 1.0)]).unwrap();
+        drop(w);
+        // Simulate a crash between writing a window segment and the
+        // manifest switch: the file exists but no manifest names it.
+        let windows = dir.join("windows");
+        let mut orphan = SegmentWriter::create(&windows, 0).unwrap();
+        orphan.append_batch(&[tuple(10, 99.0)]).unwrap();
+        orphan.sync().unwrap();
+        drop(orphan);
+        let w = WalStore::open(&dir, cfg()).unwrap();
+        // The orphan was deleted; the tuple came back from the WAL.
+        assert!(!w.is_sealed(0));
+        assert_eq!(w.window_tuples(0).unwrap(), &[tuple(10, 1.0)]);
+        assert!(!windows.join(segment_file_name(0)).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_rotates_at_size_threshold() {
+        let dir = tempdir("rotate");
+        let mut w = WalStore::open(
+            &dir,
+            WalConfig {
+                window_secs: H,
+                max_wal_segment_bytes: 256,
+            },
+        )
+        .unwrap();
+        for i in 0..40 {
+            w.append_batch(&[tuple(i, i as f64)]).unwrap();
+        }
+        assert!(w.stats().wal_segments > 1);
+        drop(w);
+        let w = WalStore::open(
+            &dir,
+            WalConfig {
+                window_secs: H,
+                max_wal_segment_bytes: 256,
+            },
+        )
+        .unwrap();
+        assert_eq!(w.durable_upto(), 40);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let dir = tempdir("emptybatch");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        assert_eq!(w.append_batch(&[]).unwrap(), 0);
+        assert_eq!(w.stats().memtable_windows, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_positive_window() {
+        let dir = tempdir("badwin");
+        let bad = WalConfig {
+            window_secs: 0,
+            max_wal_segment_bytes: 1 << 20,
+        };
+        assert!(WalStore::open(&dir, bad).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deep_size_counts_buffers() {
+        let dir = tempdir("deepsize");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        let before = w.deep_size_of();
+        let batch: Vec<RawTuple> = (0..100).map(|i| tuple(i, i as f64)).collect();
+        w.append_batch(&batch).unwrap();
+        let after = w.deep_size_of();
+        assert!(
+            after >= before + 100 * std::mem::size_of::<RawTuple>(),
+            "{after} vs {before}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_through_the_lifecycle() {
+        let dir = tempdir("invariants");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        for i in 0..30 {
+            w.append_batch(&[tuple(i * 10, 1.0)]).unwrap();
+            assert_eq!(w.check_invariants(), Ok(()));
+        }
+        w.seal_windows_before(2).unwrap();
+        assert_eq!(w.check_invariants(), Ok(()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn max_window_id_spans_open_and_sealed() {
+        let dir = tempdir("maxid");
+        let mut w = WalStore::open(&dir, cfg()).unwrap();
+        assert_eq!(w.max_window_id(), None);
+        w.append_batch(&[tuple(10, 1.0), tuple(3 * H + 1, 2.0)])
+            .unwrap();
+        assert_eq!(w.max_window_id(), Some(3));
+        w.seal_window(3).unwrap();
+        assert_eq!(w.max_window_id(), Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -22,7 +22,10 @@ pub const LAYERS: &[(&str, &[&str])] = &[
     ("enviro-geo", &["enviro-memsize"]),
     ("enviro-data", &["enviro-memsize", "enviro-geo"]),
     ("enviro-index", &["enviro-memsize", "enviro-geo"]),
-    ("enviro-storage", &["enviro-geo", "enviro-data"]),
+    (
+        "enviro-storage",
+        &["enviro-memsize", "enviro-geo", "enviro-data"],
+    ),
     (
         "enviro-meter",
         &[
@@ -33,7 +36,16 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "enviro-index",
         ],
     ),
-    ("enviro-net", &["enviro-geo", "enviro-data", "enviro-meter"]),
+    (
+        "enviro-net",
+        &[
+            "enviro-memsize",
+            "enviro-geo",
+            "enviro-data",
+            "enviro-meter",
+            "enviro-storage",
+        ],
+    ),
     (
         "enviro-cli",
         &[

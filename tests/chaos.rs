@@ -19,13 +19,17 @@
 // fails the run loudly, which is the desired behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use enviro_data::{LausanneSim, QueryTuple, SimConfig, Timestamp, WindowSpec};
+use enviro_data::{
+    Dataset, LausanneSim, Pollutant, QueryTuple, RawTuple, SimConfig, Timestamp, WindowSpec,
+};
+use enviro_geo::Point;
 use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod, QueryOutcome};
 use enviro_net::{
     BinaryCodec, ChaosWire, ConcurrentTransport, EnviroClient, EnviroServer, FaultPlan,
-    LinkProfile, LoopbackWire, Outage, ResilienceStats, RetryPolicy, SimulatedLink, TextCodec,
-    VirtualClock, WireCodec,
+    IngestConfig, IngestReport, IngestState, LinkProfile, LoopbackWire, ModelMaintenance, Outage,
+    ResilienceStats, RetryPolicy, SimulatedLink, TextCodec, VirtualClock, WireCodec,
 };
+use enviro_storage::{WalConfig, WalStore};
 use std::sync::Arc;
 
 /// Default suite seed; override with `CHAOS_SEED=<u64>`.
@@ -490,4 +494,326 @@ fn client_rides_through_server_shedding() {
     });
     assert!(transport.shed_total() > 0);
     let _ = blocker.recv(); // drain the pre-loaded request's reply
+}
+
+// ------------------------------------------------ durable write path chaos
+
+/// A deterministic stream of distinct, finite tuples for ingest tests.
+fn ingest_tuples(n: usize, start_secs: i64) -> Vec<RawTuple> {
+    (0..n)
+        .map(|i| {
+            RawTuple::new(
+                Timestamp::from_secs(start_secs + i as i64 * 2),
+                Point::new(
+                    (i % 97) as f64 * 40.0 - 2_000.0,
+                    (i % 61) as f64 * 50.0 - 1_500.0,
+                ),
+                400.0 + (i % 37) as f64 * 3.0,
+            )
+        })
+        .collect()
+}
+
+fn chaos_temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("enviro-chaos-{tag}-{}", std::process::id()))
+}
+
+/// Bit-exact identity key for a stored tuple.
+fn tuple_key(t: &RawTuple) -> (i64, u64, u64, u64) {
+    (
+        t.time.as_secs(),
+        t.pos.x.to_bits(),
+        t.pos.y.to_bits(),
+        t.value.to_bits(),
+    )
+}
+
+const INGEST_WINDOW_SECS: i64 = 3_600;
+
+/// One chaos ingest run into a fresh WAL at `dir`.
+fn run_ingest_chaos(
+    dir: &std::path::Path,
+    tuples: &[RawTuple],
+    plan: FaultPlan,
+    seed: u64,
+) -> (IngestReport, ResilienceStats, u64) {
+    let _ = std::fs::remove_dir_all(dir);
+    let state = Arc::new(
+        IngestState::open(
+            dir,
+            WalConfig {
+                window_secs: INGEST_WINDOW_SECS,
+                ..WalConfig::default()
+            },
+            IngestConfig::default(),
+        )
+        .unwrap(),
+    );
+    let server = Arc::new(build_server(BinaryCodec).with_ingest(Arc::clone(&state)));
+    let transport = ConcurrentTransport::spawn_shared(Arc::clone(&server), 2).unwrap();
+    let clock = VirtualClock::new();
+    let mut wire =
+        ChaosWire::new(transport.session(), plan, seed, clock.clone()).with_trace(verbose());
+    let mut client = EnviroClient::new(BinaryCodec, Pollutant::Co2)
+        .with_batch(64)
+        .with_clock(clock)
+        .with_rng_seed(seed ^ 0x1A6E);
+    let report = client.ingest_resilient(&mut wire, 0xFEED, tuples);
+    let stats = client.resilience_stats();
+    drop(wire); // release the session before the transport joins
+    state.check_invariants().unwrap();
+    let durable = state.stats().durable_tuples;
+    (report, stats, durable)
+}
+
+/// The durable-write acceptance criterion: 10 000 tuples streamed as
+/// `IngestBatch` frames under `{drop: 0.10, corrupt: 0.05, dup: 0.05}`
+/// must lose **zero acked tuples** — every tuple of every acknowledged
+/// chunk is found in the WAL after a cold reopen (crash-equivalent), with
+/// no duplicate appends despite the retransmits — and a second identical
+/// run must be bit-identical, report and counters included.
+#[test]
+fn acceptance_10k_ingested_tuples_under_faults_lose_nothing() {
+    const TUPLES: usize = 10_000;
+    const BATCH: usize = 64;
+    let seed = chaos_seed();
+    eprintln!("chaos ingest: seed={seed} (override with CHAOS_SEED=<u64>)");
+
+    let tuples = ingest_tuples(TUPLES, 0);
+    let plan = FaultPlan {
+        drop: 0.10,
+        corrupt: 0.05,
+        duplicate: 0.05,
+        ..FaultPlan::default()
+    };
+    let dir = chaos_temp_dir("ingest-a");
+    let (report, stats, durable) = run_ingest_chaos(&dir, &tuples, plan.clone(), seed);
+
+    assert_eq!(
+        report.acked_tuples + report.failed_tuples,
+        TUPLES as u64,
+        "seed {seed}: tuples unaccounted for"
+    );
+    // Exactly-once despite retransmits: the server never appends a chunk
+    // twice, so the durable count can exceed the acked count only by
+    // chunks whose ack was lost — never by duplicates.
+    assert!(
+        durable >= report.acked_tuples && durable <= TUPLES as u64,
+        "seed {seed}: durable {durable} vs acked {} — dedup broke",
+        report.acked_tuples
+    );
+    // The plan really fired.
+    assert!(stats.timeouts > 0, "seed {seed}: no drops materialized");
+    assert!(
+        stats.corrupt_replies > 0 || stats.retries > 0,
+        "seed {seed}: no corruption materialized: {stats:?}"
+    );
+
+    // Zero lost acked tuples, by cold-reopen audit: replay the WAL from
+    // disk exactly as crash recovery would and check membership of every
+    // tuple in every acknowledged chunk.
+    let wal = WalStore::open(
+        &dir,
+        WalConfig {
+            window_secs: INGEST_WINDOW_SECS,
+            ..WalConfig::default()
+        },
+    )
+    .unwrap();
+    let stored: std::collections::HashSet<_> = wal
+        .memtables()
+        .flat_map(|(_, mem)| mem.tuples().iter().map(tuple_key))
+        .collect();
+    assert_eq!(
+        stored.len() as u64,
+        durable,
+        "seed {seed}: reopen lost durable tuples"
+    );
+    let mut lost = 0usize;
+    for (i, chunk) in tuples.chunks(BATCH).enumerate() {
+        if report.chunk_acked[i] {
+            lost += chunk
+                .iter()
+                .filter(|t| !stored.contains(&tuple_key(t)))
+                .count();
+        }
+    }
+    assert_eq!(lost, 0, "seed {seed}: {lost} acked tuples missing from WAL");
+
+    // Determinism: a second run into a fresh WAL, counter for counter.
+    let dir2 = chaos_temp_dir("ingest-b");
+    let (report2, stats2, durable2) = run_ingest_chaos(&dir2, &tuples, plan, seed);
+    assert_eq!(report, report2, "seed {seed}: ingest reports diverged");
+    assert_eq!(stats, stats2, "seed {seed}: stats diverged");
+    assert_eq!(durable, durable2, "seed {seed}: durable counts diverged");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+/// Streamed-vs-batch parity: ingesting the simulation's dataset through
+/// the wire and publishing covers online must answer queries **bit
+/// identically** to the batch platform built from the same dataset in one
+/// shot — same windows, same Ad-KMN covers, same interpolation.
+#[test]
+fn queries_under_ingest_match_the_batch_platform_bit_for_bit() {
+    let seed = chaos_seed();
+    let dir = chaos_temp_dir("parity");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 6 * 3_600,
+        seed: 4242,
+        ..SimConfig::default()
+    });
+    let tuples = sim.generate().tuples().to_vec();
+    let batch_server = build_server(BinaryCodec);
+
+    let state = Arc::new(
+        IngestState::open(
+            &dir,
+            WalConfig {
+                window_secs: 2 * 3_600,
+                ..WalConfig::default()
+            },
+            IngestConfig::default(),
+        )
+        .unwrap(),
+    );
+    // An ingest-only endpoint: its static platform is empty, so every
+    // answer comes from the stream's published covers.
+    let ingest_server = EnviroServer::new(
+        EnviroMeter::new(
+            Dataset::new(Pollutant::Co2),
+            WindowSpec::ByDuration(2 * 3_600),
+            AdKmnConfig::default(),
+            1_000.0,
+        ),
+        BinaryCodec,
+        QueryMethod::ModelCover,
+    )
+    .with_ingest(Arc::clone(&state));
+
+    // Stream in dataset order (the windows see the same tuple sequence the
+    // batch engine does), then publish.
+    let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+    let mut wire = LoopbackWire::new(&ingest_server, &mut link);
+    let mut client = EnviroClient::new(BinaryCodec, Pollutant::Co2).with_batch(64);
+    let report = client.ingest_resilient(&mut wire, 7, &tuples);
+    assert_eq!(report.acked_tuples, tuples.len() as u64, "seed {seed}");
+    state.rebuild_dirty_now().unwrap();
+    assert!(state.generation() > 0);
+
+    let traj = trajectory(2_000, 8, 9);
+    let want = oracle_values(&batch_server, BinaryCodec, &traj, 64);
+    let got = oracle_values(&ingest_server, BinaryCodec, &traj, 64);
+    let mut wrong = 0usize;
+    for (a, b) in got.iter().zip(&want) {
+        let same = match (a, b) {
+            (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+            (None, None) => true,
+            _ => false,
+        };
+        if !same {
+            wrong += 1;
+        }
+    }
+    assert_eq!(
+        wrong,
+        0,
+        "seed {seed}: {wrong}/{} streamed answers differ from the batch platform",
+        traj.len()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Queries never block on a rebuild: while the maintenance worker is
+/// paused mid-“rebuild” with a dirty window queued, the server keeps
+/// answering from the previously published covers; resuming publishes the
+/// new window in the background with no query-thread involvement.
+#[test]
+fn queries_keep_serving_while_a_rebuild_is_pending() {
+    let dir = chaos_temp_dir("pending-rebuild");
+    let _ = std::fs::remove_dir_all(&dir);
+    let state = Arc::new(
+        IngestState::open(
+            &dir,
+            WalConfig {
+                window_secs: INGEST_WINDOW_SECS,
+                ..WalConfig::default()
+            },
+            IngestConfig::default(),
+        )
+        .unwrap(),
+    );
+    let server = EnviroServer::new(
+        EnviroMeter::new(
+            Dataset::new(Pollutant::Co2),
+            WindowSpec::ByDuration(INGEST_WINDOW_SECS),
+            AdKmnConfig::default(),
+            1_000.0,
+        ),
+        BinaryCodec,
+        QueryMethod::ModelCover,
+    )
+    .with_ingest(Arc::clone(&state));
+
+    // Window 0 ingested and published synchronously.
+    let w0 = ingest_tuples(200, 0);
+    let mut link = SimulatedLink::new(LinkProfile::IDEAL);
+    let mut wire = LoopbackWire::new(&server, &mut link);
+    let mut client = EnviroClient::new(BinaryCodec, Pollutant::Co2).with_batch(64);
+    assert_eq!(client.ingest_resilient(&mut wire, 1, &w0).failed_tuples, 0);
+    state.rebuild_dirty_now().unwrap();
+    let gen1 = state.generation();
+    assert!(gen1 > 0);
+
+    // Hold the worker's rebuild gate (an arbitrarily long Ad-KMN rebuild),
+    // then hand it a dirty window.
+    state.pause_rebuilds();
+    let maintenance = ModelMaintenance::spawn(Arc::clone(&state)).unwrap();
+    let w1 = ingest_tuples(200, INGEST_WINDOW_SECS);
+    assert_eq!(client.ingest_resilient(&mut wire, 1, &w1).failed_tuples, 0);
+
+    // While the rebuild is pending, every query is still answered from the
+    // generation-1 covers — the hot path shares nothing with the rebuild.
+    let probe = |wire: &mut LoopbackWire<BinaryCodec>, client: &mut EnviroClient<BinaryCodec>| {
+        let queries: Vec<QueryTuple> = w0
+            .iter()
+            .step_by(20)
+            .map(|t| QueryTuple::new(t.time, t.pos))
+            .collect();
+        let mut values = Vec::new();
+        client.query_batch(wire, &queries, &mut values).unwrap();
+        values
+    };
+    let before = probe(&mut wire, &mut client);
+    assert!(
+        before.iter().all(Option::is_some),
+        "queries starved while a rebuild was pending"
+    );
+    assert_eq!(state.generation(), gen1, "publication must be deferred");
+
+    // Release the gate: the background worker publishes on its own.
+    state.resume_rebuilds();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while state.generation() == gen1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "maintenance worker never published"
+        );
+        std::thread::yield_now();
+    }
+    // The new window answers, the old one still does (bit-identically).
+    assert_eq!(probe(&mut wire, &mut client), before);
+    let q1 = QueryTuple::new(w1[0].time, w1[0].pos);
+    let mut values = Vec::new();
+    client
+        .query_batch(&mut wire, std::slice::from_ref(&q1), &mut values)
+        .unwrap();
+    assert!(values[0].is_some(), "newly published window must answer");
+
+    drop(maintenance);
+    let _ = std::fs::remove_dir_all(&dir);
 }

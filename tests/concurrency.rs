@@ -209,7 +209,7 @@ fn pipelined_batches_round_trip_under_contention() {
     for (i, chunk) in chunks.iter().enumerate() {
         let reply = session.recv().unwrap();
         match BinaryCodec.decode_response(reply).unwrap() {
-            Response::ValueBatch { seq, values } => {
+            Response::ValueBatch { seq, values, .. } => {
                 // In-order pipelining: reply N carries request N's seq.
                 assert_eq!(seq, i as u32 + 1);
                 assert_eq!(values.len(), chunk.len());
@@ -255,7 +255,7 @@ fn corrupt_frame_mid_pipeline_is_isolated_to_its_own_reply() {
     for (i, chunk) in chunks.iter().enumerate() {
         let reply = session.recv().unwrap();
         match BinaryCodec.decode_response(reply).unwrap() {
-            Response::ValueBatch { seq, values } => {
+            Response::ValueBatch { seq, values, .. } => {
                 assert_ne!(i, 1, "corrupted frame must not be answered");
                 assert_eq!(seq, i as u32 + 1);
                 assert_eq!(values.len(), chunk.len());
