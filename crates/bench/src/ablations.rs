@@ -28,9 +28,9 @@ pub struct K0Row {
 /// to split (at the default 2 % the initial clustering already passes and
 /// every strategy degenerates to plain k-means).
 pub fn k0_sweep(workload: &Workload, h: usize, k0_values: &[usize]) -> Vec<K0Row> {
-    let window = Windows::new(&workload.dataset, WindowSpec::ByCount(h))
-        .next()
-        .expect("non-empty dataset");
+    let Some(window) = Windows::new(&workload.dataset, WindowSpec::ByCount(h)).next() else {
+        return Vec::new();
+    };
     k0_values
         .iter()
         .map(|&k0| {
@@ -68,9 +68,9 @@ pub struct SplitRow {
 /// abl-split: does the worst-error seed (the paper's choice) beat random
 /// seeds or centroid jitter?
 pub fn split_sweep(workload: &Workload, h: usize) -> Vec<SplitRow> {
-    let window = Windows::new(&workload.dataset, WindowSpec::ByCount(h))
-        .next()
-        .expect("non-empty dataset");
+    let Some(window) = Windows::new(&workload.dataset, WindowSpec::ByCount(h)).next() else {
+        return Vec::new();
+    };
     [
         SplitStrategy::WorstErrorPoint,
         SplitStrategy::RandomPoint,

@@ -65,7 +65,7 @@ pub fn run(workload: &Workload, h_values: &[usize]) -> Vec<Row> {
             );
             let common_pairs: Vec<(f64, f64)> = common
                 .iter()
-                .map(|&i| (preds[mi][i].expect("common support"), truths[i]))
+                .filter_map(|&i| preds[mi][i].map(|p| (p, truths[i])))
                 .collect();
             rows.push(Row {
                 h,

@@ -27,10 +27,10 @@ use enviro_net::{
     BinaryCodec, ConcurrentTransport, EnviroClient, EnviroServer, IngestConfig, IngestState,
     ModelMaintenance,
 };
+use enviro_schedule::sync::Arc;
 use enviro_storage::WalConfig;
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// WAL window width used by every cell (one simulated hour).
@@ -342,7 +342,7 @@ fn run_latency_cell(cfg: &IngestBenchConfig, with_ingest: bool) -> QueryLatencyR
     let traj: Vec<QueryTuple> = sim.continuous_trajectory(cfg.queries, 60, cfg.seed ^ 9);
     let writer_tuples = synthetic_tuples(cfg.tuples, cfg.seed ^ 0x0077_1217);
 
-    let stop = std::sync::atomic::AtomicBool::new(false);
+    let stop = enviro_schedule::sync::atomic::AtomicBool::new(false);
     let (latencies_us, elapsed, ingested) = std::thread::scope(|scope| {
         let writer = with_ingest.then(|| {
             let transport = &transport;
@@ -353,7 +353,10 @@ fn run_latency_cell(cfg: &IngestBenchConfig, with_ingest: bool) -> QueryLatencyR
                 let mut client = EnviroClient::new(BinaryCodec, Pollutant::Co2).with_batch(64);
                 let mut landed = 0u64;
                 // Keep writing until the query side finishes.
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                // ordering: Relaxed — a polled stop flag; the writer only
+                // needs to observe the store eventually, and the scope join
+                // below is what synchronizes its counters back.
+                while !stop.load(enviro_schedule::sync::atomic::Ordering::Relaxed) {
                     landed += client
                         .ingest_resilient(&mut wire, 0xADD, tuples)
                         .acked_tuples;
@@ -373,7 +376,8 @@ fn run_latency_cell(cfg: &IngestBenchConfig, with_ingest: bool) -> QueryLatencyR
             latencies.push(t0.elapsed().as_secs_f64() * 1e6);
         }
         let elapsed = start.elapsed().as_secs_f64();
-        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        // ordering: Relaxed — see the writer's polling load above.
+        stop.store(true, enviro_schedule::sync::atomic::Ordering::Relaxed);
         let ingested = writer.and_then(|h| h.join().ok()).unwrap_or(0);
         (latencies, elapsed, ingested)
     });

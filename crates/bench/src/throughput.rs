@@ -18,8 +18,8 @@ use enviro_net::{
     BinaryCodec, ChannelTransport, ConcurrentTransport, EnviroClient, EnviroServer, Request,
     Response, Wire, WireCodec,
 };
+use enviro_schedule::sync::Arc;
 use std::fmt::Write as _;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Sweep configuration.

@@ -10,9 +10,9 @@ use enviro_net::{
     BinaryCodec, Clock, ConcurrentTransport, EnviroClient, EnviroServer, IngestConfig, IngestState,
     ModelMaintenance, RetryPolicy, SystemClock, TransportConfig, VirtualClock, Wire, WireCodec,
 };
+use enviro_schedule::sync::Arc;
 use enviro_storage::{TupleStore, WalConfig};
 use std::io::Write;
-use std::sync::Arc;
 
 /// Routes a raw argument list to its subcommand.
 pub fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {

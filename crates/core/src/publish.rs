@@ -21,8 +21,8 @@
 use crate::cover::ModelCover;
 use enviro_data::Timestamp;
 use enviro_memsize::DeepSize;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use enviro_schedule::sync::atomic::{AtomicU64, Ordering};
+use enviro_schedule::sync::{Arc, RwLock};
 
 /// One published cover: a window's models plus the routing key.
 #[derive(Debug, Clone)]
@@ -164,6 +164,9 @@ impl CoverRegistry {
 
     /// The generation of the latest publication (0 = none yet). Monotone.
     pub fn generation(&self) -> u64 {
+        // ordering: Acquire pairs with the AcqRel bump in `publish` — a
+        // reader that observes generation N also observes every write the
+        // publisher made before bumping to N (the swapped cover set).
         self.generation.load(Ordering::Acquire)
     }
 
@@ -183,6 +186,9 @@ impl CoverRegistry {
         *guard = Arc::new(CoverSet { entries });
         // Bumped while still holding the write lock, so generations observed
         // through a fresh snapshot are never ahead of the set's contents.
+        // ordering: AcqRel — Release publishes the swapped set to Acquire
+        // loads in `generation`; Acquire keeps the bump from being hoisted
+        // above the swap on this side.
         self.generation.fetch_add(1, Ordering::AcqRel) + 1
     }
 

@@ -7,7 +7,7 @@ use crate::query::{
     PointQueryProcessor, QueryMethod,
 };
 use enviro_data::{Dataset, QueryTuple, RawTuple, Timestamp, WindowSpec, Windows};
-use std::sync::OnceLock;
+use enviro_schedule::sync::OnceLock;
 
 /// Precomputed placement of one window inside the dataset's tuple vector.
 #[derive(Debug, Clone, Copy)]
@@ -206,11 +206,14 @@ impl QueryEngine {
     /// (hundreds of windows) for evaluation.
     pub fn prepare_parallel(&self, method: QueryMethod, threads: usize) {
         let threads = threads.max(1);
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        let next = enviro_schedule::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    // ordering: Relaxed — a pure work-distribution counter;
+                    // no data is published through it (each slot is its own
+                    // OnceLock), so only atomicity matters.
+                    let idx = next.fetch_add(1, enviro_schedule::sync::atomic::Ordering::Relaxed);
                     if idx >= self.windows.len() {
                         break;
                     }

@@ -6,8 +6,8 @@
 //! fault-injecting wire, so a "2-second outage" is a counter bump, every
 //! run is deterministic, and no test ever sleeps.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use enviro_schedule::sync::atomic::{AtomicU64, Ordering};
+use enviro_schedule::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A monotonic millisecond clock plus the ability to wait on it.
@@ -73,12 +73,17 @@ impl VirtualClock {
 
     /// Moves time forward by `ms` milliseconds.
     pub fn advance(&self, ms: u64) {
+        // ordering: SeqCst — chaos tests assert a single global timeline
+        // across client, wire, and server clones of this clock; the total
+        // order is the spec, so the strongest ordering is the honest one.
         self.now_ms.fetch_add(ms, Ordering::SeqCst);
     }
 }
 
 impl Clock for VirtualClock {
     fn now_ms(&self) -> u64 {
+        // ordering: SeqCst — see `advance`: reads participate in the same
+        // single total order the deterministic chaos runs rely on.
         self.now_ms.load(Ordering::SeqCst)
     }
 

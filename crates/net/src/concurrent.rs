@@ -25,10 +25,10 @@ use crate::protocol::Response;
 use crate::server::EnviroServer;
 use crate::transport::TransportError;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use enviro_schedule::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use enviro_schedule::sync::{Arc, Condvar, Mutex, PoisonError};
+use enviro_schedule::thread::JoinHandle;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::thread::JoinHandle;
 
 /// Maximum unacknowledged requests a [`Session`] may pipeline.
 ///
@@ -179,7 +179,7 @@ impl ConcurrentTransport {
             let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = bounded(max_queue);
             let server = Arc::clone(&server);
             let gate = Arc::clone(&gate);
-            let handle = std::thread::Builder::new()
+            let handle = enviro_schedule::thread::Builder::new()
                 .name(format!("enviro-worker-{i}"))
                 .spawn(move || worker_loop(&server, &rx, &gate))?;
             shards.push(tx);
@@ -202,6 +202,10 @@ impl ConcurrentTransport {
 
     /// Total requests shed (answered [`Response::Busy`]) since spawn.
     pub fn shed_total(&self) -> u64 {
+        // ordering: Relaxed — `shed` is a statistics counter; nothing is
+        // published through it and no control flow gates on a fresh value,
+        // so only the count's atomicity matters. (Tests that assert exact
+        // totals read it from the thread that did the shedding.)
         self.shed.load(Ordering::Relaxed)
     }
 
@@ -226,6 +230,7 @@ impl ConcurrentTransport {
         }) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
+                // ordering: Relaxed — statistics only; see `shed_total`.
                 self.shed.fetch_add(1, Ordering::Relaxed);
                 return Ok(self.busy_frame.clone());
             }
@@ -250,6 +255,9 @@ impl ConcurrentTransport {
     }
 
     fn pick_shard(&self) -> usize {
+        // ordering: Relaxed — a round-robin distribution counter. Fairness
+        // is best-effort by design; correctness never depends on which
+        // shard a request lands on, so no ordering is required.
         self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len()
     }
 }
@@ -344,6 +352,7 @@ impl Session<'_> {
         }) {
             Ok(()) => self.sources.push_back(ReplySource::Wire),
             Err(TrySendError::Full(envelope)) => {
+                // ordering: Relaxed — statistics only; see `shed_total`.
                 self.transport.shed.fetch_add(1, Ordering::Relaxed);
                 if self.pool.len() < 4 {
                     self.pool.push(envelope.request);

@@ -26,12 +26,12 @@ use enviro_meter::{
     AdKmnConfig, CoverBuilder, CoverProcessor, CoverRegistry, ModelCover, PointQueryProcessor,
     PublishedCover,
 };
+use enviro_schedule::sync::atomic::{AtomicBool, Ordering};
+use enviro_schedule::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use enviro_schedule::thread::JoinHandle;
 use enviro_storage::{StorageError, WalConfig, WalStore};
 use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::thread::JoinHandle;
 
 /// Model-maintenance knobs for an ingesting server.
 #[derive(Debug, Clone)]
@@ -205,6 +205,10 @@ impl IngestState {
                 });
             }
         }
+        // lock-scope: allow(durability) — the fsync'd append *must* happen
+        // under the ingest lock: the dedup entry and the WAL watermark it
+        // acks are one atomic step, and the paper's exactly-once ack
+        // contract hangs on them never being observed apart.
         let durable_upto = inner.wal.append_batch(tuples)?;
         for t in tuples {
             let id = inner.wal.window_id_of(t.time);
@@ -268,6 +272,10 @@ impl IngestState {
                 .max_window_id()
                 .map(|max| max.saturating_sub(self.config.seal_lag));
             match watermark {
+                // lock-scope: allow(maintenance) — sealing shares the
+                // ingest lock by design: it only ever runs on the single
+                // maintenance worker, and the query path never takes this
+                // lock (covers are read through the registry snapshot).
                 Some(w) => match inner.wal.seal_windows_before(w) {
                     Ok(ids) => ids.len() as u64,
                     Err(e) => {
@@ -367,7 +375,22 @@ impl IngestState {
 
     /// Wakes the worker and tells it to exit. Idempotent.
     fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::Release);
+        {
+            // The store MUST happen under the ingest lock: the worker
+            // evaluates its wait predicate (dirty-set + this flag) while
+            // holding it, so an unlocked store can land between that check
+            // and the park on `work` — the notify below is then lost and
+            // the worker sleeps through its own shutdown. Found by the
+            // `maintenance-pause-resume` model harness (schedule #40,
+            // bound 2); see DESIGN.md "Concurrency model".
+            let _inner = self.lock();
+            // ordering: Release pairs with the Acquire loads in
+            // `maintenance_loop` — a worker that observes the flag also
+            // observes everything the dropping thread did before
+            // requesting shutdown. (The flag is re-checked outside the
+            // lock after the gate, so the pairing is kept explicit.)
+            self.shutdown.store(true, Ordering::Release);
+        }
         self.rebuild_gate.resume();
         self.work.notify_all();
     }
@@ -377,6 +400,8 @@ impl IngestState {
         loop {
             {
                 let mut inner = self.lock();
+                // ordering: Acquire pairs with the Release store in
+                // `request_shutdown` (see there).
                 while inner.dirty.is_empty() && !self.shutdown.load(Ordering::Acquire) {
                     inner = self
                         .work
@@ -384,10 +409,13 @@ impl IngestState {
                         .unwrap_or_else(PoisonError::into_inner);
                 }
             }
+            // ordering: Acquire — same pairing as the loop condition above.
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
             self.rebuild_gate.wait_until_resumed();
+            // ordering: Acquire — re-checked after the gate so a shutdown
+            // that raced the pause/resume window still exits promptly.
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
@@ -422,7 +450,7 @@ impl ModelMaintenance {
     /// Spawns the worker over `state`.
     pub fn spawn(state: Arc<IngestState>) -> std::io::Result<Self> {
         let worker_state = Arc::clone(&state);
-        let handle = std::thread::Builder::new()
+        let handle = enviro_schedule::thread::Builder::new()
             .name("enviro-maintenance".into())
             .spawn(move || worker_state.maintenance_loop())?;
         Ok(Self {

@@ -6,7 +6,7 @@ use crate::ingest::IngestState;
 use crate::protocol::{ErrorCode, ProtocolError, Request, Response, WireCover};
 use enviro_data::QueryTuple;
 use enviro_meter::{EnviroMeter, QueryMethod};
-use std::sync::Arc;
+use enviro_schedule::sync::Arc;
 
 /// The server side of Figure 3: decodes a request, consults the platform,
 /// encodes the response.

@@ -8,7 +8,7 @@
 use crate::codec::WireCodec;
 use crate::server::EnviroServer;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use std::thread::JoinHandle;
+use enviro_schedule::thread::JoinHandle;
 
 /// Errors crossing the channel wire (the transport layer, not the
 /// protocol: a malformed request comes back as `Ok` bytes encoding a
@@ -66,7 +66,7 @@ impl ChannelTransport {
         C: WireCodec + Send + 'static,
     {
         let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = bounded(64);
-        let worker = std::thread::Builder::new()
+        let worker = enviro_schedule::thread::Builder::new()
             .name("enviro-server".into())
             .spawn(move || {
                 for envelope in rx {

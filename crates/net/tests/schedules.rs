@@ -1,0 +1,167 @@
+//! Deterministic-schedule model checks for the serving and write paths.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg enviro_schedules"` (the CI
+//! `concurrency-check` job). Every harness re-executes its closure under
+//! each interleaving the bounded-preemption search enumerates; a failing
+//! schedule panics with a `SCHED_REPLAY=` path that reproduces it exactly.
+//!
+//! The expensive fixtures (the simulated platform, the query server) are
+//! built **once**, outside [`enviro_schedule::explore`]; only the
+//! interaction under test runs per schedule.
+#![cfg(enviro_schedules)]
+
+use enviro_data::{LausanneSim, RawTuple, SimConfig, Timestamp, WindowSpec};
+use enviro_geo::Point;
+use enviro_meter::{AdKmnConfig, EnviroMeter, QueryMethod};
+use enviro_net::{
+    BinaryCodec, ConcurrentTransport, EnviroServer, IngestConfig, IngestState, ModelMaintenance,
+    Request, TransportConfig, WireCodec,
+};
+use enviro_schedule::sync::Arc;
+use enviro_storage::WalConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fresh WAL directory per schedule execution: the search re-runs the
+/// closure many times and durable state must not leak between runs.
+fn fresh_dir(tag: &str, round: u64) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("enviro-sched-{tag}-{}-{round}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_state(dir: &std::path::Path) -> IngestState {
+    IngestState::open(
+        dir,
+        WalConfig {
+            window_secs: 100,
+            ..WalConfig::default()
+        },
+        IngestConfig::default(),
+    )
+    .expect("wal opens")
+}
+
+fn batch(n: i64) -> Vec<RawTuple> {
+    (0..n)
+        .map(|i| {
+            RawTuple::new(
+                Timestamp::from_secs(i),
+                Point::new(i as f64 * 25.0, 0.0),
+                400.0 + i as f64,
+            )
+        })
+        .collect()
+}
+
+/// Exactly-once acks under retransmission: a client that resends the same
+/// `(source, seq)` chunk concurrently (the stop-and-wait client's timeout
+/// racing its own in-flight ack) must get the batch appended exactly once,
+/// whatever order the two ingest calls interleave in.
+#[test]
+fn retransmitted_batch_is_appended_exactly_once() {
+    let round = AtomicU64::new(0);
+    let report = enviro_schedule::explore("ingest-retransmit-dedup", move || {
+        let dir = fresh_dir("dedup", round.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(open_state(&dir));
+        let tuples = batch(5);
+        let spawn_ingest = |state: &Arc<IngestState>, tuples: &[RawTuple]| {
+            let state = Arc::clone(state);
+            let tuples = tuples.to_vec();
+            enviro_schedule::thread::spawn(move || {
+                state.ingest(7, 1, &tuples).expect("ingest succeeds")
+            })
+        };
+        let a = spawn_ingest(&state, &tuples);
+        let b = spawn_ingest(&state, &tuples);
+        let out_a = a.join().expect("first sender");
+        let out_b = b.join().expect("second sender");
+        // One append, one idempotent re-ack — in either order.
+        assert_ne!(
+            out_a.duplicate, out_b.duplicate,
+            "exactly one of the racing sends may append"
+        );
+        assert_eq!(out_a.durable_upto, 5);
+        assert_eq!(out_b.durable_upto, 5);
+        let stats = state.stats();
+        assert_eq!(stats.durable_tuples, 5, "no double append");
+        assert_eq!(stats.acked_batches, 1);
+        assert_eq!(stats.duplicate_batches, 1);
+        state.check_invariants().expect("state is consistent");
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    println!("{report}");
+    assert!(report.schedules > 1);
+}
+
+fn query_server() -> EnviroServer<BinaryCodec> {
+    let sim = LausanneSim::lausanne(SimConfig {
+        duration_secs: 600,
+        seed: 3,
+        ..SimConfig::default()
+    });
+    let platform = EnviroMeter::new(
+        sim.generate(),
+        WindowSpec::ByDuration(600),
+        AdKmnConfig::default(),
+        1_000.0,
+    );
+    EnviroServer::new(platform, BinaryCodec, QueryMethod::ModelCover)
+}
+
+/// Transport shutdown: dropping a [`ConcurrentTransport`] with a request in
+/// flight must always join its workers — no schedule may leave a worker
+/// parked on the pause gate or the request channel (the model checker
+/// reports that as a deadlock).
+#[test]
+fn transport_drop_joins_workers_on_every_schedule() {
+    let server = Arc::new(query_server());
+    let request = BinaryCodec.encode_request(&Request::Query {
+        time: Timestamp::from_secs(60),
+        pos: Point::new(0.0, -200.0),
+    });
+    let report = enviro_schedule::explore("transport-drop-join", move || {
+        let transport = ConcurrentTransport::spawn_shared_with(
+            Arc::clone(&server),
+            TransportConfig {
+                workers: 1,
+                max_queue: 2,
+                retry_after_ms: 1,
+                start_paused: false,
+            },
+        )
+        .expect("spawn");
+        let reply = transport.call(request.clone()).expect("served");
+        assert!(!reply.is_empty());
+        drop(transport); // must join, never hang, on every interleaving
+    });
+    println!("{report}");
+    assert!(report.schedules > 1);
+}
+
+/// The maintenance pause gate: while paused, no schedule lets the worker
+/// publish; after resume + shutdown the worker always exits and the state
+/// stays consistent — including the shutdown-races-resume window.
+#[test]
+fn paused_maintenance_never_publishes_and_always_shuts_down() {
+    let round = AtomicU64::new(0);
+    let report = enviro_schedule::explore("maintenance-pause-resume", move || {
+        let dir = fresh_dir("gate", round.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(open_state(&dir));
+        state.pause_rebuilds();
+        let maintenance = ModelMaintenance::spawn(Arc::clone(&state)).expect("spawn");
+        state.ingest(1, 1, &batch(6)).expect("ingest succeeds");
+        // The gate is checked before every rebuild pass: no interleaving
+        // may publish while paused.
+        assert_eq!(state.generation(), 0, "published while paused");
+        state.resume_rebuilds();
+        drop(maintenance); // request_shutdown + join, racing the resume
+                           // The worker either rebuilt before seeing shutdown or exited
+                           // first; both are legal, a hang or a torn registry is not.
+        assert!(state.generation() <= 1);
+        state.check_invariants().expect("state is consistent");
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    println!("{report}");
+    assert!(report.schedules > 1);
+}

@@ -1,0 +1,162 @@
+//! Deterministic-schedule concurrency facade for the EnviroMeter workspace.
+//!
+//! Every concurrent crate imports its synchronization primitives from
+//! [`sync`] and its thread-spawning entry points from [`thread`] instead of
+//! `std`. In an ordinary build the facade is a thin veneer over `std::sync` /
+//! `std::thread` (plus a `debug_assertions`-only lock-order tracker, see
+//! [`order`]), so production code pays nothing.
+//!
+//! Under `--cfg enviro_schedules` the same types route every acquire,
+//! release, load, store, wait, notify, spawn, and join through a
+//! deterministic user-space scheduler ([`model`]). A harness wraps the code
+//! under test in [`explore`], which re-executes the closure under
+//! exhaustively enumerated thread interleavings: depth-first search over
+//! scheduling decisions with a bounded-preemption budget (iterative
+//! deepening, so counterexamples carry the fewest preemptions possible — the
+//! schedule-space analogue of shrinking), falling back to seeded random
+//! sampling once the exhaustive budget is exceeded. Failures print a
+//! `SCHED_REPLAY` decision path that re-runs the exact failing interleaving.
+//!
+//! Knobs (read from the environment by [`explore`]):
+//!
+//! | variable       | default | meaning                                            |
+//! |----------------|---------|----------------------------------------------------|
+//! | `SCHED_BOUND`  | `2`     | max preemptions per schedule (iteratively deepened) |
+//! | `SCHED_MAX`    | `20000` | exhaustive-schedule cap before random fallback     |
+//! | `SCHED_RANDOM` | `256`   | random schedules sampled after the cap             |
+//! | `SCHED_SEED`   | `1`     | seed for the random fallback                       |
+//! | `SCHED_STEPS`  | `20000` | per-schedule decision cap (livelock guard)         |
+//! | `SCHED_REPLAY` | unset   | dotted decision path: replay one schedule          |
+//!
+//! The model serializes threads (one runs at a time) and is therefore
+//! sequentially consistent: it explores *interleavings*, not weak-memory
+//! reorderings. Memory-ordering claims are audited separately by the xtask
+//! `// ordering:` lint.
+
+#![forbid(unsafe_code)]
+// The model checker's job is to panic loudly (that is how a failing schedule
+// surfaces in a test run); its panic sites are tracked by the xtask ratchet.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod model;
+pub mod order;
+pub mod sync;
+pub mod thread;
+
+pub use model::{explore, Explorer, Report, SearchMode};
+
+/// An explicit schedule point for operations with no modeled primitive —
+/// e.g. the WAL marks its file I/O boundaries so the scheduler can preempt
+/// around durability-visible steps. Outside a model run this is free.
+#[inline]
+pub fn point(label: &str) {
+    model::point(label);
+}
+
+// These two tests live here rather than in `tests/model.rs` because they
+// need MODELED atomics: the facade's atomic wrappers are compiled only
+// under `any(test, enviro_schedules)`, and an integration test builds this
+// library without `cfg(test)`, degrading atomics to raw `std` re-exports
+// with no schedule points — the races below would become unexhibitable.
+#[cfg(test)]
+mod atomic_model_tests {
+    use crate::model::Explorer;
+    use crate::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::{Arc, PoisonError, RwLock};
+    use crate::thread;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn quick() -> Explorer {
+        Explorer {
+            bound: 2,
+            max_schedules: 5_000,
+            random_runs: 64,
+            seed: 7,
+            max_steps: 5_000,
+            replay: None,
+        }
+    }
+
+    fn failure_message(r: std::thread::Result<crate::Report>) -> String {
+        match r {
+            Ok(rep) => panic!("exploration unexpectedly passed: {rep}"),
+            Err(payload) => {
+                if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else {
+                    panic!("non-string panic payload")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lost_update_race_is_found_and_replayable() {
+        let racy = || {
+            let a = Arc::new(AtomicU64::new(0));
+            let mut hs = Vec::new();
+            for _ in 0..2 {
+                let a = Arc::clone(&a);
+                hs.push(thread::spawn(move || {
+                    // Non-atomic read-modify-write: the classic lost update.
+                    let v = a.load(Ordering::SeqCst);
+                    a.store(v + 1, Ordering::SeqCst);
+                }));
+            }
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        };
+        let msg = failure_message(catch_unwind(AssertUnwindSafe(|| {
+            quick().run("lost-update", racy)
+        })));
+        assert!(msg.contains("FAILED harness `lost-update`"), "{msg}");
+        assert!(msg.contains("lost update"), "{msg}");
+        assert!(msg.contains("SCHED_REPLAY="), "{msg}");
+
+        // The printed decision path must reproduce the same failure in one
+        // run.
+        let path_str = msg
+            .split("SCHED_REPLAY=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .expect("replay path in failure message");
+        let path: Vec<usize> = path_str
+            .split('.')
+            .map(|p| p.parse().expect("numeric path component"))
+            .collect();
+        let mut replayer = quick();
+        replayer.replay = Some(path);
+        let msg2 = failure_message(catch_unwind(AssertUnwindSafe(move || {
+            replayer.run("lost-update", racy)
+        })));
+        assert!(msg2.contains("schedule #1"), "{msg2}");
+        assert!(msg2.contains("lost update"), "{msg2}");
+    }
+
+    #[test]
+    fn rwlock_generation_protocol_explores_cleanly() {
+        let rep = quick().run("rwlock-protocol", || {
+            let slot = Arc::new(RwLock::new(0u64));
+            let gen = Arc::new(AtomicU64::new(0));
+            let (s, g) = (Arc::clone(&slot), Arc::clone(&gen));
+            let writer = thread::spawn(move || {
+                let mut w = s.write().unwrap_or_else(PoisonError::into_inner);
+                *w = 1;
+                // Generation bumps under the write lock, so a generation is
+                // never observable before its contents.
+                g.fetch_add(1, Ordering::SeqCst);
+            });
+            let observed_gen = gen.load(Ordering::SeqCst);
+            let observed_val = *slot.read().unwrap_or_else(PoisonError::into_inner);
+            if observed_gen == 1 {
+                assert_eq!(observed_val, 1, "generation led its contents");
+            }
+            writer.join().unwrap();
+        });
+        assert!(rep.schedules > 1, "{rep}");
+    }
+}

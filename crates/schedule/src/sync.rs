@@ -1,0 +1,444 @@
+//! `std::sync` facade: identical API surface, scheduler-aware internals.
+//!
+//! `Mutex`, `RwLock`, and `Condvar` are thin wrappers over their `std`
+//! counterparts that (a) feed the `debug_assertions` lock-order tracker
+//! ([`crate::order`]) on every acquisition and (b) route through the
+//! deterministic scheduler when the calling thread belongs to a
+//! [`crate::explore`] run. Outside a model run the wrappers delegate
+//! straight to `std` — one thread-local probe per operation.
+//!
+//! Atomics are re-exported from `std` verbatim in normal builds; under
+//! `--cfg enviro_schedules` (or this crate's own unit tests) they become
+//! wrappers that insert a schedule point before every access, so the
+//! explorer can interleave around loads and stores too. The model
+//! serializes execution and is therefore sequentially consistent — the
+//! per-site `Ordering` arguments are passed through but not weakened, and
+//! justifying them is the xtask `// ordering:` lint's job.
+//!
+//! Workspace rule (enforced by `cargo run -p xtask -- lint`): product code
+//! imports sync primitives from here, never from `std::sync` directly.
+
+use crate::model::{self, Site};
+use crate::order;
+use std::panic::Location;
+
+pub use std::sync::{Arc, LockResult, OnceLock, PoisonError, Weak};
+
+/// A mutual-exclusion lock with the `std::sync::Mutex` API, wired into the
+/// lock-order tracker and the deterministic scheduler.
+pub struct Mutex<T> {
+    id: u64,
+    site: Site,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; mirrors `std::sync::MutexGuard`.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<model::Ctx>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex. The construction site becomes the lock's class
+    /// for order tracking and failure reports.
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: model::fresh_resource_id(),
+            site: Location::caller(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking the calling thread (or parking it in
+    /// the deterministic scheduler inside a model run).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let ctx = model::current();
+        if let Some(ctx) = &ctx {
+            ctx.mutex_lock(self.id, self.site, false);
+        }
+        order::on_acquire(self.site);
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                model: ctx,
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(poisoned.into_inner()),
+                model: ctx,
+            })),
+        }
+    }
+
+    /// Consumes the mutex, returning the underlying data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking
+    /// needed: the borrow proves exclusivity).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard dismantled")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard dismantled")
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // `Condvar::wait` dismantles the guard before parking; nothing to do.
+        if self.inner.is_none() && self.model.is_none() {
+            return;
+        }
+        order::on_release(self.lock.site);
+        self.inner = None;
+        if let Some(ctx) = self.model.take() {
+            ctx.mutex_unlock(self.lock.id, std::thread::panicking());
+        }
+    }
+}
+
+/// A reader-writer lock with the `std::sync::RwLock` API, wired into the
+/// lock-order tracker and the deterministic scheduler.
+pub struct RwLock<T> {
+    id: u64,
+    site: Site,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-read RAII guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: Option<model::Ctx>,
+}
+
+/// Exclusive-write RAII guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: Option<model::Ctx>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock; the construction site is its class.
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: model::fresh_resource_id(),
+            site: Location::caller(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let ctx = model::current();
+        if let Some(ctx) = &ctx {
+            ctx.rw_lock(self.id, self.site, false);
+        }
+        order::on_acquire(self.site);
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                lock: self,
+                inner: Some(g),
+                model: ctx,
+            }),
+            Err(poisoned) => Err(PoisonError::new(RwLockReadGuard {
+                lock: self,
+                inner: Some(poisoned.into_inner()),
+                model: ctx,
+            })),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let ctx = model::current();
+        if let Some(ctx) = &ctx {
+            ctx.rw_lock(self.id, self.site, true);
+        }
+        order::on_acquire(self.site);
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                lock: self,
+                inner: Some(g),
+                model: ctx,
+            }),
+            Err(poisoned) => Err(PoisonError::new(RwLockWriteGuard {
+                lock: self,
+                inner: Some(poisoned.into_inner()),
+                model: ctx,
+            })),
+        }
+    }
+
+    /// Consumes the lock, returning the underlying data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard dismantled")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.lock.site);
+        self.inner = None;
+        if let Some(ctx) = self.model.take() {
+            ctx.rw_unlock(self.lock.id, false, std::thread::panicking());
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard dismantled")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard dismantled")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.lock.site);
+        self.inner = None;
+        if let Some(ctx) = self.model.take() {
+            ctx.rw_unlock(self.lock.id, true, std::thread::panicking());
+        }
+    }
+}
+
+/// A condition variable with the `std::sync::Condvar` API (the subset this
+/// workspace uses: `wait`, `notify_one`, `notify_all`).
+pub struct Condvar {
+    id: u64,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            id: model::fresh_resource_id(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard`'s mutex and parks until notified, then
+    /// re-acquires the mutex. Spurious wakeups are possible outside the
+    /// model (callers loop on their predicate, as with `std`).
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        order::on_release(lock.site);
+        if let Some(ctx) = guard.model.take() {
+            // Dismantle the guard: drop the real lock now; the model owns
+            // the release/re-acquire protocol from here.
+            guard.inner = None;
+            drop(guard);
+            ctx.cond_wait(self.id, lock.id, lock.site);
+            order::on_acquire(lock.site);
+            match lock.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    model: Some(ctx),
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: Some(poisoned.into_inner()),
+                    model: Some(ctx),
+                })),
+            }
+        } else {
+            let std_guard = guard.inner.take().expect("guard dismantled");
+            drop(guard);
+            let result = self.inner.wait(std_guard);
+            order::on_acquire(lock.site);
+            match result {
+                Ok(g) => Ok(MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: Some(poisoned.into_inner()),
+                    model: None,
+                })),
+            }
+        }
+    }
+
+    /// Wakes one waiter (in the model: the lowest-tid waiter,
+    /// deterministically).
+    pub fn notify_one(&self) {
+        if let Some(ctx) = model::current() {
+            ctx.cond_notify(self.id, false);
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        if let Some(ctx) = model::current() {
+            ctx.cond_notify(self.id, true);
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+/// Atomic types: `std` re-exports normally, schedule-point wrappers under
+/// `--cfg enviro_schedules` (and in this crate's own unit tests, so the
+/// model checker is exercised by plain `cargo test`).
+pub mod atomic {
+    #[cfg(not(any(test, enviro_schedules)))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(any(test, enviro_schedules))]
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(any(test, enviro_schedules))]
+    pub use modeled::{AtomicBool, AtomicU64, AtomicUsize};
+
+    #[cfg(any(test, enviro_schedules))]
+    mod modeled {
+        use super::Ordering;
+        use crate::model;
+
+        macro_rules! modeled_atomic {
+            ($name:ident, $raw:ty, $std:ty) => {
+                /// Scheduler-aware atomic: inserts a schedule point before
+                /// every access so the explorer can interleave around it.
+                /// The model serializes execution (sequential consistency);
+                /// the `Ordering` argument is passed through unchanged.
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    /// Creates a new atomic with the given initial value.
+                    #[must_use]
+                    pub const fn new(v: $raw) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Atomic load (schedule point, then delegate).
+                    pub fn load(&self, order: Ordering) -> $raw {
+                        model::point(concat!(stringify!($name), "::load"));
+                        self.0.load(order)
+                    }
+
+                    /// Atomic store (schedule point, then delegate).
+                    pub fn store(&self, v: $raw, order: Ordering) {
+                        model::point(concat!(stringify!($name), "::store"));
+                        self.0.store(v, order);
+                    }
+
+                    /// Atomic swap (schedule point, then delegate).
+                    pub fn swap(&self, v: $raw, order: Ordering) -> $raw {
+                        model::point(concat!(stringify!($name), "::swap"));
+                        self.0.swap(v, order)
+                    }
+
+                    /// Consumes the atomic, returning the contained value.
+                    pub fn into_inner(self) -> $raw {
+                        self.0.into_inner()
+                    }
+                }
+            };
+        }
+
+        modeled_atomic!(AtomicBool, bool, std::sync::atomic::AtomicBool);
+        modeled_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+        modeled_atomic!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+
+        macro_rules! modeled_fetch_ops {
+            ($name:ident, $raw:ty) => {
+                impl $name {
+                    /// Atomic add, returning the previous value.
+                    pub fn fetch_add(&self, v: $raw, order: Ordering) -> $raw {
+                        model::point(concat!(stringify!($name), "::fetch_add"));
+                        self.0.fetch_add(v, order)
+                    }
+
+                    /// Atomic subtract, returning the previous value.
+                    pub fn fetch_sub(&self, v: $raw, order: Ordering) -> $raw {
+                        model::point(concat!(stringify!($name), "::fetch_sub"));
+                        self.0.fetch_sub(v, order)
+                    }
+                }
+            };
+        }
+
+        modeled_fetch_ops!(AtomicU64, u64);
+        modeled_fetch_ops!(AtomicUsize, usize);
+    }
+}

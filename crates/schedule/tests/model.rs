@@ -1,0 +1,222 @@
+//! Self-tests for the model checker: the facade behaves like `std` outside
+//! a run, and the explorer finds (and replays) seeded races, lost wakeups,
+//! and deadlocks.
+
+use enviro_schedule::model::Explorer;
+use enviro_schedule::sync::atomic::{AtomicU64, Ordering};
+use enviro_schedule::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use enviro_schedule::thread;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn quick() -> Explorer {
+    Explorer {
+        bound: 2,
+        max_schedules: 5_000,
+        random_runs: 64,
+        seed: 7,
+        max_steps: 5_000,
+        replay: None,
+    }
+}
+
+fn failure_message(r: std::thread::Result<enviro_schedule::Report>) -> String {
+    match r {
+        Ok(rep) => panic!("exploration unexpectedly passed: {rep}"),
+        Err(payload) => {
+            if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                panic!("non-string panic payload")
+            }
+        }
+    }
+}
+
+#[test]
+fn passthrough_mutex_condvar_rwlock_work_without_a_model() {
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let p2 = Arc::clone(&pair);
+    let h = thread::spawn(move || {
+        let (m, cv) = &*p2;
+        let mut done = m.lock().unwrap_or_else(PoisonError::into_inner);
+        *done = true;
+        cv.notify_all();
+    });
+    let (m, cv) = &*pair;
+    let mut done = m.lock().unwrap_or_else(PoisonError::into_inner);
+    while !*done {
+        done = cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+    }
+    h.join().unwrap();
+
+    let rw = RwLock::new(41);
+    assert_eq!(*rw.read().unwrap(), 41);
+    *rw.write().unwrap() += 1;
+    assert_eq!(rw.into_inner().unwrap(), 42);
+
+    let a = AtomicU64::new(1);
+    a.store(5, Ordering::SeqCst);
+    assert_eq!(a.fetch_add(1, Ordering::SeqCst), 5);
+    assert_eq!(a.load(Ordering::SeqCst), 6);
+}
+
+#[test]
+fn exploration_is_deterministic_and_multi_schedule() {
+    let run = || {
+        quick().run("two-increments", || {
+            let a = Arc::new(Mutex::new(0u64));
+            let mut hs = Vec::new();
+            for _ in 0..2 {
+                let a = Arc::clone(&a);
+                hs.push(thread::spawn(move || {
+                    *a.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+                }));
+            }
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*a.lock().unwrap_or_else(PoisonError::into_inner), 2);
+        })
+    };
+    let r1 = run();
+    let r2 = run();
+    assert!(r1.exhaustive, "{r1}");
+    assert!(r1.schedules > 1, "{r1}");
+    assert_eq!(
+        r1.schedules, r2.schedules,
+        "exploration must be deterministic"
+    );
+}
+
+#[test]
+fn bound_zero_still_explores_blocking_choices() {
+    let mut e = quick();
+    e.bound = 0;
+    let rep = e.run("bound-zero", || {
+        let h1 = thread::spawn(|| ());
+        let h2 = thread::spawn(|| ());
+        h1.join().unwrap();
+        h2.join().unwrap();
+    });
+    assert!(rep.exhaustive);
+    assert!(rep.schedules >= 2, "{rep}");
+}
+
+/// Same-class locks are invisible to the site-keyed order tracker, so this
+/// exercises the *model's* deadlock detector, not the tracker.
+#[test]
+fn ab_ba_deadlock_is_detected_by_the_model() {
+    fn make_lock() -> Arc<Mutex<u8>> {
+        Arc::new(Mutex::new(0))
+    }
+    let msg = failure_message(catch_unwind(AssertUnwindSafe(|| {
+        quick().run("ab-ba", || {
+            let a = make_lock();
+            let b = make_lock();
+            let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+            let h1 = thread::spawn(move || {
+                let _ga = a1.lock().unwrap_or_else(PoisonError::into_inner);
+                let _gb = b1.lock().unwrap_or_else(PoisonError::into_inner);
+            });
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h2 = thread::spawn(move || {
+                let _gb = b2.lock().unwrap_or_else(PoisonError::into_inner);
+                let _ga = a2.lock().unwrap_or_else(PoisonError::into_inner);
+            });
+            h1.join().unwrap();
+            h2.join().unwrap();
+        })
+    })));
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("blocked on mutex"), "{msg}");
+    assert!(msg.contains("SCHED_REPLAY="), "{msg}");
+}
+
+#[test]
+fn lost_wakeup_is_detected() {
+    let msg = failure_message(catch_unwind(AssertUnwindSafe(|| {
+        quick().run("lost-wakeup", || {
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let p = Arc::clone(&pair);
+            let waiter = thread::spawn(move || {
+                let (m, cv) = &*p;
+                let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                // BUG under test: waits without a predicate; if the notify
+                // lands first, this waits forever.
+                let _g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            });
+            let (m, cv) = &*pair;
+            let _g = m.lock().unwrap_or_else(PoisonError::into_inner);
+            cv.notify_all();
+            drop(_g);
+            waiter.join().unwrap();
+        })
+    })));
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("condvar"), "{msg}");
+}
+
+#[test]
+fn predicated_wait_has_no_lost_wakeup() {
+    let rep = quick().run("predicated-wait", || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p = Arc::clone(&pair);
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*p;
+            let mut done = m.lock().unwrap_or_else(PoisonError::into_inner);
+            while !*done {
+                done = cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+            }
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock().unwrap_or_else(PoisonError::into_inner);
+        *done = true;
+        drop(done);
+        cv.notify_all();
+        waiter.join().unwrap();
+    });
+    assert!(rep.exhaustive, "{rep}");
+    assert!(rep.schedules > 1, "{rep}");
+}
+
+#[test]
+fn nested_exploration_is_rejected() {
+    let msg = failure_message(catch_unwind(AssertUnwindSafe(|| {
+        quick().run("outer", || {
+            let _ = quick().run("inner", || {});
+        })
+    })));
+    assert!(msg.contains("must not be called"), "{msg}");
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn lock_order_cycle_panics_in_ordinary_tests() {
+    // Distinct construction sites => distinct classes for the tracker.
+    let a = Arc::new(Mutex::new(0u8));
+    let b = Arc::new(Mutex::new(0u8));
+    {
+        let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+        let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+    }
+    let msg = catch_unwind(AssertUnwindSafe(|| {
+        let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+    }))
+    .expect_err("reversed acquisition order must panic");
+    let msg = msg
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string>".into());
+    assert!(msg.contains("lock-order cycle"), "{msg}");
+}
+
+#[test]
+fn report_display_mentions_name_and_count() {
+    let rep = quick().run("display", || {});
+    let s = rep.to_string();
+    assert!(s.contains("display"), "{s}");
+    assert!(s.contains("schedules"), "{s}");
+}

@@ -9,7 +9,7 @@ const POLY: u32 = 0xEDB8_8320;
 
 /// The 256-entry table, computed once.
 fn table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
+    use enviro_schedule::sync::OnceLock;
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     TABLE.get_or_init(|| {
         let mut t = [0u32; 256];

@@ -326,6 +326,9 @@ impl WalStore {
         if self.writer.len() >= self.config.max_wal_segment_bytes {
             self.rotate_wal()?;
         }
+        // Visible to the deterministic scheduler (no-op outside a model
+        // run): the durability point interleaves with concurrent readers.
+        enviro_schedule::point("wal-append");
         let append = (|| -> Result<(), StorageError> {
             self.writer.append_batch(&scratch)?;
             self.writer.sync()?;
@@ -389,6 +392,9 @@ impl WalStore {
         if ids.is_empty() {
             return Ok(ids);
         }
+        // Model-checker schedule point: sealing + compaction is the other
+        // mutating I/O boundary the maintenance pass crosses.
+        enviro_schedule::point("wal-seal");
         for &id in &ids {
             self.seal_one(id)?;
         }

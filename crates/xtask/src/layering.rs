@@ -12,11 +12,13 @@ use crate::manifest::Manifest;
 /// Allowed **normal**-dependency edges, bottom layer first.
 ///
 /// Invariants encoded here (see DESIGN.md "Static analysis & code policy"):
-/// * `enviro-memsize`, `enviro-geo`, `enviro-linalg` are leaves;
+/// * `enviro-memsize`, `enviro-geo`, `enviro-linalg`, and `enviro-schedule`
+///   (the concurrency facade everything above may use) are leaves;
 /// * `enviro-meter` (core) never depends on `enviro-cli`, `enviro-bench`,
 ///   or `enviro-net`;
 /// * `enviro-net` never depends on `enviro-cli`.
 pub const LAYERS: &[(&str, &[&str])] = &[
+    ("enviro-schedule", &[]),
     ("enviro-memsize", &[]),
     ("enviro-linalg", &[]),
     ("enviro-geo", &["enviro-memsize"]),
@@ -24,7 +26,12 @@ pub const LAYERS: &[(&str, &[&str])] = &[
     ("enviro-index", &["enviro-memsize", "enviro-geo"]),
     (
         "enviro-storage",
-        &["enviro-memsize", "enviro-geo", "enviro-data"],
+        &[
+            "enviro-memsize",
+            "enviro-geo",
+            "enviro-data",
+            "enviro-schedule",
+        ],
     ),
     (
         "enviro-meter",
@@ -34,6 +41,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "enviro-geo",
             "enviro-data",
             "enviro-index",
+            "enviro-schedule",
         ],
     ),
     (
@@ -44,6 +52,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "enviro-data",
             "enviro-meter",
             "enviro-storage",
+            "enviro-schedule",
         ],
     ),
     (
@@ -54,6 +63,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "enviro-meter",
             "enviro-net",
             "enviro-storage",
+            "enviro-schedule",
         ],
     ),
     (
@@ -67,6 +77,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "enviro-storage",
             "enviro-meter",
             "enviro-net",
+            "enviro-schedule",
         ],
     ),
     ("xtask", &[]),

@@ -1,6 +1,6 @@
 //! Workspace static-analysis gate for EnviroMeter.
 //!
-//! `cargo run -p xtask -- lint` runs three analyses over `crates/*`:
+//! `cargo run -p xtask -- lint` runs four analyses over `crates/*`:
 //!
 //! 1. **Layering** ([`layering`]) — each crate's `Cargo.toml` is checked
 //!    against the allowed dependency DAG, and each crate must opt into
@@ -11,12 +11,17 @@
 //! 3. **Invariant-hook audit** ([`invariants`]) — every
 //!    `check_invariants()` definition must be invoked under
 //!    `debug_assertions` from its mutation paths.
+//! 4. **Concurrency discipline** ([`concurrency`]) — raw `std::sync` use
+//!    outside the `enviro_schedule` facade, unjustified atomic orderings,
+//!    lock guards held across I/O or model rebuilds, and the declared
+//!    lock-order registry (`crates/xtask/lock-order.toml`).
 //!
 //! The tool is std-only by design: it must run in the offline build
 //! environment and must never depend on the crates it polices.
 
 #![forbid(unsafe_code)]
 
+pub mod concurrency;
 pub mod invariants;
 pub mod layering;
 pub mod manifest;
@@ -29,6 +34,9 @@ use std::path::{Path, PathBuf};
 
 /// Relative location of the ratchet baseline within the workspace.
 pub const BASELINE_PATH: &str = "crates/xtask/panic-baseline.toml";
+
+/// Relative location of the declared lock-order registry.
+pub const LOCK_ORDER_PATH: &str = "crates/xtask/lock-order.toml";
 
 /// Everything one lint run produced.
 #[derive(Debug, Default)]
@@ -83,13 +91,31 @@ pub fn run_lint(root: &Path, update_baseline: bool) -> LintOutcome {
         };
         let mut per_file = Vec::new();
         let mut audited = Vec::new();
+        let mut sources = Vec::new();
         for (rel, src) in &files {
             per_file.push(ratchet::count_file(rel, src));
-            audited.push((rel.clone(), scan::strip_cfg_test(scan::mask(src))));
+            let stripped = scan::strip_cfg_test(scan::mask(src));
+            audited.push((rel.clone(), stripped.clone()));
+            sources.push(concurrency::FileSource {
+                rel: rel.clone(),
+                raw: src.clone(),
+                stripped,
+            });
         }
         counts.insert(c.manifest.name.clone(), ratchet::merge(per_file));
         out.errors
             .extend(invariants::audit(&c.manifest.name, &audited));
+        out.errors
+            .extend(concurrency::check_crate(&c.manifest.name, &sources));
+    }
+
+    // 4b. The declared lock-order registry.
+    let lock_order_file = root.join(LOCK_ORDER_PATH);
+    match fs::read_to_string(&lock_order_file) {
+        Ok(text) => out.errors.extend(concurrency::check_lock_order(&text)),
+        Err(e) => out
+            .errors
+            .push(format!("cannot read {}: {e}", lock_order_file.display())),
     }
     out.counts = counts.iter().map(|(k, v)| (k.clone(), v.total)).collect();
 

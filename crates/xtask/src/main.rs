@@ -42,7 +42,7 @@ fn lint(update_baseline: bool) -> ExitCode {
     if outcome.passed() {
         println!(
             "xtask lint: OK — {crates} crates, {sites} baselined panic-prone sites, \
-             layering + invariant hooks clean"
+             layering + invariant hooks + concurrency discipline clean"
         );
         ExitCode::SUCCESS
     } else {
@@ -57,7 +57,10 @@ fn usage() -> ExitCode {
          Runs the workspace static-analysis gate:\n  \
          * dependency-DAG layering check (+ [lints] workspace adoption)\n  \
          * panic-policy ratchet against crates/xtask/panic-baseline.toml\n  \
-         * debug_assertions invariant-hook audit"
+         * debug_assertions invariant-hook audit\n  \
+         * concurrency discipline: std::sync facade ratchet, `// ordering:`\n    \
+         justifications, lock-scope check, lock-order registry\n    \
+         (crates/xtask/lock-order.toml)"
     );
     ExitCode::FAILURE
 }

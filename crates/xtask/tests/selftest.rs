@@ -37,6 +37,7 @@ fn manifest(name: &str, deps: &[&str]) -> String {
 }
 
 const EMPTY_BASELINE: &str = "[counts]\n";
+const EMPTY_LOCK_ORDER: &str = "[locks]\n";
 
 #[test]
 fn the_real_workspace_passes_the_gate() {
@@ -143,6 +144,68 @@ fn synthetic_unhooked_invariant_checker_fails_the_gate() {
 }
 
 #[test]
+fn synthetic_raw_std_sync_import_fails_the_gate() {
+    with_workspace(
+        "stdsync",
+        &[
+            (
+                "crates/geo/Cargo.toml",
+                &manifest("enviro-geo", &["enviro-memsize"]),
+            ),
+            (
+                "crates/geo/src/lib.rs",
+                "//! Synthetic crate.\nuse std::sync::Mutex;\npub static M: Mutex<u32> = Mutex::new(0);\n",
+            ),
+            ("crates/xtask/panic-baseline.toml", EMPTY_BASELINE),
+        ],
+        |root| {
+            let outcome = xtask::run_lint(root, false);
+            assert!(!outcome.passed());
+            assert!(
+                outcome.errors.iter().any(|e| e.contains("std-sync")
+                    && e.contains("enviro-geo/src/lib.rs:2")
+                    && e.contains("enviro_schedule::sync")),
+                "missing std-sync error: {:?}",
+                outcome.errors
+            );
+        },
+    );
+}
+
+#[test]
+fn synthetic_lock_order_cycle_fails_the_gate() {
+    with_workspace(
+        "lockorder",
+        &[
+            (
+                "crates/geo/Cargo.toml",
+                &manifest("enviro-geo", &["enviro-memsize"]),
+            ),
+            ("crates/geo/src/lib.rs", "//! Synthetic crate.\n"),
+            ("crates/xtask/panic-baseline.toml", EMPTY_BASELINE),
+            (
+                "crates/xtask/lock-order.toml",
+                "[locks]\na = \"first\"\nb = \"second\"\n\n\
+                 [[order]]\nbefore = \"a\"\nafter = \"b\"\n\n\
+                 [[order]]\nbefore = \"b\"\nafter = \"a\"\n",
+            ),
+        ],
+        |root| {
+            let outcome = xtask::run_lint(root, false);
+            assert!(!outcome.passed());
+            assert!(
+                outcome
+                    .errors
+                    .iter()
+                    .any(|e| e.contains("lock-order") && e.contains("form a cycle")),
+                "missing cycle error: {:?}",
+                outcome.errors
+            );
+        },
+    );
+}
+
+#[test]
 fn ratchet_improvement_warns_until_baseline_updated() {
     with_workspace(
         "improvement",
@@ -159,6 +222,7 @@ fn ratchet_improvement_warns_until_baseline_updated() {
                 "crates/xtask/panic-baseline.toml",
                 "[counts]\nenviro-geo = 4\n",
             ),
+            ("crates/xtask/lock-order.toml", EMPTY_LOCK_ORDER),
         ],
         |root| {
             let outcome = xtask::run_lint(root, false);

@@ -2,25 +2,61 @@
 //! crate.
 //!
 //! The build environment has no network access, so the workspace vendors
-//! the subset of the crossbeam 0.8 API its transport uses — MPMC-flavoured
-//! bounded channels — implemented over `std::sync::mpsc`. Call sites
-//! compile unchanged against the upstream crate. The one semantic
-//! narrowing: receivers are multi-consumer upstream but single-consumer
-//! here; EnviroMeter's transport only ever hands a receiver to one thread.
+//! the subset of the crossbeam 0.8 API its transport uses — MPMC bounded
+//! channels — implemented over the `enviro_schedule::sync` facade
+//! (mutex + two condvars over a pre-allocated ring). Call sites compile
+//! unchanged against the upstream crate, and because every blocking edge
+//! goes through the facade, channel waits are fully visible to the
+//! deterministic model checker under `--cfg enviro_schedules`: a worker
+//! parked in `recv()` is a modeled condvar waiter, not an opaque OS block.
+//!
+//! Unlike the previous `std::sync::mpsc` wrapper, receivers here are
+//! genuinely multi-consumer, matching upstream.
 
 pub mod channel {
     //! Bounded channels with the crossbeam surface.
 
-    use std::sync::mpsc;
+    use enviro_schedule::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::collections::VecDeque;
+
+    struct State<T> {
+        /// Ring of queued messages; capacity is reserved up front so the
+        /// steady state allocates nothing (the serving path is pinned to
+        /// zero allocations by an enviro-net test).
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when a message is queued (receivers wait here).
+        not_empty: Condvar,
+        /// Signalled when a slot frees up (senders wait here).
+        not_full: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> enviro_schedule::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
 
     /// The sending half of a bounded channel. Cloneable and shareable
     /// across threads.
-    #[derive(Debug, Clone)]
-    pub struct Sender<T>(mpsc::SyncSender<T>);
-
-    /// The receiving half of a bounded channel.
     #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half of a bounded channel. Cloneable (multi-consumer).
+    #[derive(Debug)]
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    impl<T> std::fmt::Debug for Chan<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("Chan { .. }")
+        }
+    }
 
     /// Error returned when the receiving side has disconnected.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,63 +77,165 @@ pub mod channel {
 
     /// Creates a channel holding at most `cap` queued messages.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        let cap = cap.max(1);
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
     }
 
     impl<T> Sender<T> {
         /// Sends, blocking while the channel is full. Errors if every
         /// receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            let mut st = self.0.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < st.cap {
+                    st.queue.push_back(value);
+                    drop(st);
+                    self.0.not_empty.notify_all();
+                    return Ok(());
+                }
+                st = self
+                    .0
+                    .not_full
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
         }
 
         /// Non-blocking send: fails immediately with [`TrySendError::Full`]
         /// when the channel is at capacity instead of waiting for room —
         /// the primitive behind overload shedding.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            self.0.try_send(value).map_err(|e| match e {
-                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
-                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
-            })
+            let mut st = self.0.lock();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.queue.len() >= st.cap {
+                return Err(TrySendError::Full(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.0.not_empty.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.lock();
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                // Blocked receivers must observe the disconnect.
+                self.0.not_empty.notify_all();
+            }
         }
     }
 
     impl<T> Receiver<T> {
         /// Receives, blocking while the channel is empty. Errors if every
-        /// sender is gone.
+        /// sender is gone and the queue is drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let mut st = self.0.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.0.not_full.notify_all();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .0
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
         }
 
         /// Non-blocking receive: `None` when no message is ready.
         pub fn try_recv(&self) -> Option<T> {
-            self.0.try_recv().ok()
+            let v = self.0.lock().queue.pop_front();
+            if v.is_some() {
+                self.0.not_full.notify_all();
+            }
+            v
         }
 
         /// Iterates over messages until every sender disconnects.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.iter()
+            std::iter::from_fn(move || self.recv().ok())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.lock();
+            st.receivers -= 1;
+            let last = st.receivers == 0;
+            drop(st);
+            if last {
+                // Blocked senders must observe the disconnect.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Owning iterator over a channel's messages.
+    #[derive(Debug)]
+    pub struct IntoIter<T>(Receiver<T>);
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
         }
     }
 
     impl<T> IntoIterator for Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
+        type IntoIter = IntoIter<T>;
 
         fn into_iter(self) -> Self::IntoIter {
-            self.0.into_iter()
+            IntoIter(self)
         }
     }
 
     impl<'a, T> IntoIterator for &'a Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::Iter<'a, T>;
+        type IntoIter = Box<dyn Iterator<Item = T> + 'a>;
 
         fn into_iter(self) -> Self::IntoIter {
-            self.0.iter()
+            Box::new(self.iter())
         }
     }
 }
@@ -130,6 +268,15 @@ mod tests {
     }
 
     #[test]
+    fn queued_messages_survive_sender_disconnect() {
+        let (tx, rx) = bounded(4);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
     fn try_send_reports_full_and_disconnected() {
         use super::channel::TrySendError;
         let (tx, rx) = bounded(1);
@@ -149,5 +296,29 @@ mod tests {
         tx2.send(2).unwrap();
         drop((tx, tx2));
         assert_eq!(rx.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_channel() {
+        let (tx, rx) = bounded(8);
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx2.recv(), Ok(2));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_room() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.send(1).unwrap(); // blocks until the first recv below
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
     }
 }
